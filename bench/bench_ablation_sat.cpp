@@ -1,0 +1,112 @@
+// Ablation study of the design choices inside the iterated-SAT optimal
+// disjoint clustering (DESIGN.md "ablation benches for the design choices"):
+//
+//   - symmetry breaking (cluster ids ordered by minimal member node)
+//   - the In-class lower bound for the starting k (vs starting at k = 1)
+//
+// Reported per configuration: F_k iterations, total conflicts/decisions and
+// wall time. Expected shape: symmetry breaking shrinks the search space of
+// the (UNSAT) iterations dramatically as instances grow; the lower bound
+// removes the cheap-but-useless small-k iterations; neither changes the
+// computed optimum (verified on every row).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_util.hpp"
+#include "core/methods.hpp"
+#include "suite/figures.hpp"
+#include "suite/random_models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+struct Config {
+    const char* name;
+    ClusterOptions opts;
+};
+
+void print_table() {
+    const Config configs[] = {
+        {"full (sym+lb)", {}},
+        {"no symmetry", {.sat_symmetry_breaking = false}},
+        {"no lower bound", {.sat_start_k = 1}},
+        {"neither", {.sat_start_k = 1, .sat_symmetry_breaking = false}},
+    };
+    std::printf("Ablation: iterated-SAT optimal disjoint clustering\n");
+    sbd::bench::rule('-', 108);
+    std::printf("%-22s | %-16s | %4s %6s | %10s %10s | %9s\n", "instance", "config", "k*",
+                "iters", "conflicts", "decisions", "time ms");
+    sbd::bench::rule('-', 108);
+
+    struct Row {
+        std::string name;
+        Sdg sdg;
+    };
+    std::vector<Row> rows;
+    {
+        std::mt19937_64 rng(2718);
+        rows.push_back({"fig4 chain n=12", [] {
+                            const auto p = suite::figure4_chain(12);
+                            std::vector<Profile> storage;
+                            std::vector<const Profile*> ptrs;
+                            for (std::size_t s = 0; s < p->num_subs(); ++s)
+                                storage.push_back(atomic_profile(
+                                    static_cast<const AtomicBlock&>(*p->sub(s).type)));
+                            for (const auto& pr : storage) ptrs.push_back(&pr);
+                            return build_sdg(*p, ptrs);
+                        }()});
+        rows.push_back({"random |Vint|=16", suite::random_flat_sdg(rng, 4, 4, 16, 0.15)});
+        rows.push_back({"random |Vint|=24", suite::random_flat_sdg(rng, 5, 5, 24, 0.12)});
+        rows.push_back({"random |Vint|=32", suite::random_flat_sdg(rng, 5, 5, 32, 0.10)});
+    }
+
+    for (const auto& row : rows) {
+        std::size_t reference_k = 0;
+        for (const Config& cfg : configs) {
+            SatClusterStats stats;
+            Clustering c;
+            const double ms = sbd::bench::time_ms(
+                [&] { c = cluster_disjoint_sat(row.sdg, cfg.opts, &stats); });
+            if (reference_k == 0) reference_k = c.num_clusters();
+            std::printf("%-22s | %-16s | %4zu %6zu | %10llu %10llu | %9.2f%s\n",
+                        row.name.c_str(), cfg.name, c.num_clusters(), stats.iterations,
+                        static_cast<unsigned long long>(stats.conflicts),
+                        static_cast<unsigned long long>(stats.decisions), ms,
+                        c.num_clusters() == reference_k ? "" : "  << OPTIMUM CHANGED (BUG)");
+        }
+        sbd::bench::rule('-', 108);
+    }
+    std::printf("shape check: k* identical across configs (the ablations only change cost,\n"
+                "never the optimum); the lower bound removes the useless small-k rounds. On\n"
+                "real-shaped models all configs are cheap -- the combinatorial cost lives in\n"
+                "the clique-partition gadgets (see bench_np_reduction), where UNSAT rounds\n"
+                "dominate.\n\n");
+}
+
+void BM_SatFullConfig(benchmark::State& state) {
+    std::mt19937_64 rng(11);
+    const Sdg sdg = suite::random_flat_sdg(rng, 4, 4, 20, 0.12);
+    for (auto _ : state) benchmark::DoNotOptimize(cluster_disjoint_sat(sdg));
+}
+BENCHMARK(BM_SatFullConfig);
+
+void BM_SatNoSymmetry(benchmark::State& state) {
+    std::mt19937_64 rng(11);
+    const Sdg sdg = suite::random_flat_sdg(rng, 4, 4, 20, 0.12);
+    const ClusterOptions opts{.sat_symmetry_breaking = false};
+    for (auto _ : state) benchmark::DoNotOptimize(cluster_disjoint_sat(sdg, opts));
+}
+BENCHMARK(BM_SatNoSymmetry);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Regenerates the DATE'08 headline experiment: modularity vs reusability.
+//
+// For each suite model and method: the number of generated interface
+// functions (modularity: fewer = more modular) against the fraction of
+// semantically legal single-wire feedback contexts the generated profile
+// supports (reusability). Profile-level verdicts are cross-validated by
+// actually compiling each embedding.
+//
+// Expected shape: monolithic = most modular / least reusable; singletons =
+// least modular / maximally reusable; dynamic = maximal reusability at the
+// provably minimal function count; the n+1 bound holds everywhere.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/compiler.hpp"
+#include "core/reuse.hpp"
+#include "suite/figures.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+void print_table() {
+    const Method methods[] = {Method::Monolithic, Method::StepGet, Method::Dynamic,
+                              Method::DisjointSat, Method::Singletons};
+    std::printf("DATE'08 trade-off: interface functions (root block) vs supported feedback "
+                "contexts\n");
+    sbd::bench::rule('-', 112);
+    std::printf("%-16s %6s |", "model", "legal");
+    for (const Method m : methods) std::printf(" %16s |", to_string(m));
+    std::printf("\n%-16s %6s |", "", "ctxts");
+    for (int i = 0; i < 5; ++i) std::printf(" %7s %8s |", "fns", "score");
+    std::printf("\n");
+    sbd::bench::rule('-', 112);
+
+    for (const auto& model : suite::demo_suite()) {
+        // Count legal contexts once (method independent).
+        const auto probe = compile_hierarchy(model.block, Method::Dynamic);
+        const auto& sdg = *probe.at(*model.block).sdg;
+        const auto legal = legal_feedback_pairs(sdg);
+        std::printf("%-16s %6zu |", model.name.c_str(), legal.size());
+        for (const Method method : methods) {
+            try {
+                const auto sys = compile_hierarchy(model.block, method);
+                const auto& cb = sys.at(*model.block);
+                const auto rep = reusability(*cb.sdg, cb.profile);
+                std::printf(" %7zu %8.2f |", cb.profile.functions.size(), rep.score());
+            } catch (const SdgCycleError&) {
+                std::printf(" %7s %8s |", "REJ", "0.00");
+            }
+        }
+        std::printf("\n");
+    }
+    sbd::bench::rule('-', 112);
+
+    // Cross-validate the profile-level check with real embeddings
+    // (Figure 2 style) for the dynamic method: every legal context must be
+    // accepted by an actual compile of the feedback diagram.
+    std::size_t contexts = 0, accepted = 0;
+    for (const auto& model : suite::demo_suite()) {
+        const auto probe = compile_hierarchy(model.block, Method::Dynamic);
+        for (const auto& pair : legal_feedback_pairs(*probe.at(*model.block).sdg)) {
+            ++contexts;
+            try {
+                const auto ctx =
+                    suite::feedback_context(model.block, pair.first, pair.second);
+                (void)compile_hierarchy(ctx, Method::Dynamic);
+                ++accepted;
+            } catch (const SdgCycleError&) {
+            }
+        }
+    }
+    std::printf("real-embedding cross-check (dynamic): %zu / %zu legal contexts accepted\n",
+                accepted, contexts);
+    std::printf("shape check: dynamic & disjoint-sat & singletons score 1.00 everywhere;\n"
+                "monolithic/step-get drop below 1.00 (or REJ) exactly on the models whose\n"
+                "outputs have distinct input dependencies.\n\n");
+}
+
+void BM_ReusabilityAnalysis(benchmark::State& state) {
+    const auto models = suite::demo_suite();
+    const auto& model = models.at(static_cast<std::size_t>(state.range(0)));
+    const auto sys = compile_hierarchy(model.block, Method::Dynamic);
+    const auto& cb = sys.at(*model.block);
+    for (auto _ : state) benchmark::DoNotOptimize(reusability(*cb.sdg, cb.profile));
+    state.SetLabel(model.name);
+}
+BENCHMARK(BM_ReusabilityAnalysis)->Arg(0)->Arg(5)->Arg(11);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

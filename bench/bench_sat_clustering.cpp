@@ -1,0 +1,102 @@
+// Regenerates the Section 7 data: solving optimal disjoint clustering with
+// the iterated SAT encoding F_k (paper Figure 8).
+//
+// For random SDGs of growing size and for the suite models: formula size
+// (variables, clauses), number of F_k iterations, solver work (conflicts,
+// decisions, propagations), wall time, and the gap between the greedy
+// heuristic and the SAT optimum.
+//
+// Expected shape: formula size grows ~ |E| * k^2; almost all instances are
+// easy for a CDCL solver despite NP-completeness; greedy is often but not
+// always optimal.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_util.hpp"
+#include "core/compiler.hpp"
+#include "core/methods.hpp"
+#include "suite/models.hpp"
+#include "suite/random_models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+void print_random_table() {
+    std::printf("Optimal disjoint clustering by iterated SAT on random flat SDGs\n");
+    sbd::bench::rule('-', 116);
+    std::printf("%5s %4s %4s | %5s %5s | %6s %9s | %6s %6s | %9s %9s %11s | %9s\n", "|Vint|",
+                "in", "out", "k*", "iters", "vars", "clauses", "greedy", "gap", "conflicts",
+                "decisions", "propagations", "time ms");
+    sbd::bench::rule('-', 116);
+    std::mt19937_64 rng(777);
+    for (const std::size_t internals : {6u, 10u, 14u, 18u, 24u, 30u, 40u}) {
+        const Sdg sdg = suite::random_flat_sdg(rng, 4, 4, internals, 0.12);
+        SatClusterStats stats;
+        Clustering sat;
+        const double ms =
+            sbd::bench::time_ms([&] { sat = cluster_disjoint_sat(sdg, {}, &stats); });
+        const Clustering greedy = cluster_disjoint_greedy(sdg);
+        std::printf("%5zu %4zu %4zu | %5zu %5zu | %6zu %9zu | %6zu %6zu | %9llu %9llu %11llu "
+                    "| %9.2f\n",
+                    internals, sdg.num_inputs(), sdg.num_outputs(), sat.num_clusters(),
+                    stats.iterations, stats.vars, stats.clauses, greedy.num_clusters(),
+                    greedy.num_clusters() - sat.num_clusters(),
+                    static_cast<unsigned long long>(stats.conflicts),
+                    static_cast<unsigned long long>(stats.decisions),
+                    static_cast<unsigned long long>(stats.propagations), ms);
+    }
+    sbd::bench::rule('-', 116);
+}
+
+void print_suite_table() {
+    std::printf("\nIterated SAT on the model suite (stats accumulated over the whole hierarchy)\n");
+    sbd::bench::rule('-', 96);
+    std::printf("%-16s | %6s %5s %5s | %7s %9s | %9s | %9s\n", "model", "|Vint|", "k*",
+                "iters", "vars", "clauses", "conflicts", "time ms");
+    sbd::bench::rule('-', 96);
+    for (const auto& model : suite::demo_suite()) {
+        // Compile sub-blocks with the SAT method, then time the root alone.
+        SatClusterStats stats;
+        CompiledSystem sys;
+        const double ms = sbd::bench::time_ms(
+            [&] { sys = compile_hierarchy(model.block, Method::DisjointSat, {}, &stats); });
+        const auto& cb = sys.at(*model.block);
+        std::printf("%-16s | %6zu %5zu %5zu | %7zu %9zu | %9llu | %9.2f\n", model.name.c_str(),
+                    cb.sdg->internal_nodes.size(), cb.clustering->num_clusters(),
+                    stats.iterations, stats.vars, stats.clauses,
+                    static_cast<unsigned long long>(stats.conflicts), ms);
+    }
+    sbd::bench::rule('-', 96);
+    std::printf("shape check: k* and iteration counts stay small on real-shaped models; the\n"
+                "SAT work is dominated by the (rare) UNSAT iterations below k*.\n\n");
+}
+
+void BM_SatClustering(benchmark::State& state) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(state.range(0)) * 13 + 7);
+    const Sdg sdg =
+        suite::random_flat_sdg(rng, 4, 4, static_cast<std::size_t>(state.range(0)), 0.12);
+    for (auto _ : state) benchmark::DoNotOptimize(cluster_disjoint_sat(sdg));
+}
+BENCHMARK(BM_SatClustering)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_GreedyClustering(benchmark::State& state) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(state.range(0)) * 13 + 7);
+    const Sdg sdg =
+        suite::random_flat_sdg(rng, 4, 4, static_cast<std::size_t>(state.range(0)), 0.12);
+    for (auto _ : state) benchmark::DoNotOptimize(cluster_disjoint_greedy(sdg));
+}
+BENCHMARK(BM_GreedyClustering)->Arg(8)->Arg(16)->Arg(24);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_random_table();
+    print_suite_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

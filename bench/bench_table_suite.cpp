@@ -1,0 +1,97 @@
+// Regenerates the paper's Section 8 experiments table on the offline model
+// suite (the stand-in for the Simulink demo suite + industrial automotive
+// models; see DESIGN.md substitutions).
+//
+// Per model and per clustering method: whether modular code generation
+// succeeds, the number of generated interface functions, total generated
+// code size, replication, and generation time. The paper's findings that
+// this table must reproduce in shape:
+//   - monolithic / step-get get rejected (or lose contexts) on models with
+//     Moore feedback across levels;
+//   - the dynamic method accepts everything with the fewest functions but
+//     replicates code where output cones share logic;
+//   - optimal disjoint clustering accepts everything, never replicates and
+//     pays at most a small number of extra functions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/compiler.hpp"
+#include "sbd/flatten.hpp"
+#include "suite/figures.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+std::size_t hierarchy_depth(const Block& b) {
+    if (b.is_atomic()) return 0;
+    const auto& m = static_cast<const MacroBlock&>(b);
+    std::size_t d = 0;
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        d = std::max(d, hierarchy_depth(*m.sub(s).type));
+    return d + 1;
+}
+
+void print_table() {
+    const Method methods[] = {Method::Monolithic, Method::StepGet, Method::Dynamic,
+                              Method::DisjointSat};
+    std::printf("Section 8 experiments: the model suite under all code generation methods\n");
+    std::printf("(cells: functions/LoC/replication, or REJ when the SDG is cyclic)\n");
+    sbd::bench::rule('-', 118);
+    std::printf("%-16s %6s %5s | %14s | %14s | %14s | %16s | %9s\n", "model", "atoms",
+                "depth", "monolithic", "step-get", "dynamic", "disjoint-sat", "sat ms");
+    sbd::bench::rule('-', 118);
+    for (const auto& model : suite::demo_suite()) {
+        const auto& m = static_cast<const MacroBlock&>(*model.block);
+        const auto flat = flatten(m);
+        std::printf("%-16s %6zu %5zu |", model.name.c_str(), flat->num_subs(),
+                    hierarchy_depth(m));
+        double sat_ms = 0.0;
+        for (const Method method : methods) {
+            try {
+                CompiledSystem sys;
+                const double ms =
+                    sbd::bench::time_ms([&] { sys = compile_hierarchy(model.block, method); });
+                if (method == Method::DisjointSat) sat_ms = ms;
+                std::printf(" %4zu/%4zu/%3zu |", sys.total_functions(), sys.total_lines(),
+                            sys.total_replication());
+            } catch (const SdgCycleError&) {
+                std::printf(" %14s |", "REJ");
+            }
+        }
+        std::printf(" %9.2f\n", sat_ms);
+    }
+    sbd::bench::rule('-', 118);
+    std::printf("shape check: no REJ in the dynamic/disjoint columns; dynamic functions <=\n"
+                "disjoint functions; disjoint replication is always 0.\n\n");
+}
+
+void BM_CompileSuiteModel(benchmark::State& state) {
+    const auto models = suite::demo_suite();
+    const auto& model = models.at(static_cast<std::size_t>(state.range(0)));
+    const Method method = static_cast<Method>(state.range(1));
+    for (auto _ : state) {
+        try {
+            benchmark::DoNotOptimize(compile_hierarchy(model.block, method));
+        } catch (const SdgCycleError&) {
+        }
+    }
+    state.SetLabel(model.name + "/" + to_string(method));
+}
+BENCHMARK(BM_CompileSuiteModel)
+    ->Args({5, static_cast<int>(Method::Dynamic)})
+    ->Args({5, static_cast<int>(Method::DisjointSat)})
+    ->Args({10, static_cast<int>(Method::Dynamic)})
+    ->Args({10, static_cast<int>(Method::DisjointSat)});
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

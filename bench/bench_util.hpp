@@ -1,0 +1,25 @@
+#ifndef SBD_BENCH_UTIL_HPP
+#define SBD_BENCH_UTIL_HPP
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+namespace sbd::bench {
+
+/// Wall-clock of one call, in milliseconds.
+inline double time_ms(const std::function<void()>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+inline void rule(char c = '-', int width = 100) {
+    for (int i = 0; i < width; ++i) std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace sbd::bench
+
+#endif

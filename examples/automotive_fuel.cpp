@@ -1,0 +1,74 @@
+// End-to-end industrial-style flow on a three-level automotive model: a
+// fuel-rate controller in the style of the Simulink fuelsys demo.
+//
+//   1. compile every subsystem bottom-up (each sees only sub-profiles),
+//   2. report profile sizes / code sizes per method,
+//   3. write the complete generated C++ to disk,
+//   4. run the generated code against the reference simulator on a
+//      throttle-step scenario.
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/compiler.hpp"
+#include "core/emit_cpp.hpp"
+#include "core/exec.hpp"
+#include "sbd/flatten.hpp"
+#include "sim/simulator.hpp"
+#include "suite/models.hpp"
+
+int main() {
+    using namespace sbd;
+    using namespace sbd::codegen;
+
+    const auto model = suite::fuel_controller();
+    std::printf("== model: %s, %zu inputs, %zu outputs\n", model->type_name().c_str(),
+                model->num_inputs(), model->num_outputs());
+
+    std::printf("\n== per-block compilation report (dynamic vs optimal disjoint)\n\n");
+    std::printf("%-18s | %9s | %13s | %13s | %11s\n", "block", "SDG nodes", "dynamic fn/LoC",
+                "disjoint fn/LoC", "replication");
+    const auto dyn = compile_hierarchy(model, Method::Dynamic);
+    const auto dis = compile_hierarchy(model, Method::DisjointSat);
+    for (const Block* b : dyn.order()) {
+        const auto& dcb = dyn.at(*b);
+        if (!dcb.code) continue;
+        const auto& scb = dis.at(*b);
+        std::printf("%-18s | %9zu | %6zu / %5zu | %6zu / %6zu | %11zu\n",
+                    b->type_name().c_str(), dcb.sdg->internal_nodes.size(),
+                    dcb.code->functions.size(), dcb.code->line_count(),
+                    scb.code->functions.size(), scb.code->line_count(),
+                    dcb.clustering->replicated_nodes(*dcb.sdg));
+    }
+    std::printf("\ntotals: dynamic %zu functions / %zu LoC,  disjoint %zu functions / %zu LoC\n",
+                dyn.total_functions(), dyn.total_lines(), dis.total_functions(),
+                dis.total_lines());
+
+    // 3. Emit deployable C++.
+    const std::string path = "fuel_controller_gen.cpp";
+    {
+        std::ofstream f(path);
+        f << emit_cpp(dyn);
+    }
+    std::printf("\n== complete generated C++ written to ./%s\n", path.c_str());
+
+    // 4. Throttle-step scenario: idle -> tip-in at t=30 -> cruise.
+    std::printf("\n== scenario: throttle step (modular code vs reference simulator)\n");
+    Instance inst(dyn, model);
+    sim::Simulator reference(flatten(*model));
+    std::printf("%6s %9s %11s %11s %11s\n", "t", "throttle", "fuel (gen)", "fuel (ref)",
+                "o2 mode");
+    double max_err = 0.0;
+    for (int t = 0; t < 80; ++t) {
+        const double throttle = t < 30 ? 12.0 : 55.0;
+        const std::vector<double> in = {throttle, 1800.0, 0.4 + 0.1 * ((t / 7) % 2), 60.0};
+        const auto gen = inst.step_instant(in);
+        const auto ref = reference.step(in);
+        max_err = std::max(max_err, std::abs(gen[0] - ref[0]));
+        if (t % 10 == 0)
+            std::printf("%6d %9.1f %11.5f %11.5f %11.0f\n", t, throttle, gen[0], ref[0],
+                        gen[1]);
+    }
+    std::printf("\nmax |modular - reference| over 80 instants: %g\n", max_err);
+    return max_err == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// The modularity-vs-code-size trade-off: the paper's Figures 4, 5 and 6.
+//
+// P contains a chain A1..An feeding two outputs through B and C. The
+// dynamic method needs only 2 interface functions but replicates the chain
+// in both (with a modulo-2 guard counter, Figure 5). Optimal disjoint
+// clustering needs 3 functions but shares nothing (Figure 6).
+
+#include <cstdio>
+
+#include "core/compiler.hpp"
+#include "core/methods.hpp"
+#include "suite/figures.hpp"
+
+int main() {
+    using namespace sbd;
+    using namespace sbd::codegen;
+
+    const std::size_t n = 4;
+    const auto p = suite::figure4_chain(n);
+
+    std::printf("== generated code, dynamic method (paper Figure 5)\n\n");
+    const auto dyn = compile_hierarchy(p, Method::Dynamic);
+    std::printf("%s\n", dyn.at(*p).code->to_pseudocode().c_str());
+
+    std::printf("== generated code, optimal disjoint clustering (paper Figure 6)\n\n");
+    const auto dis = compile_hierarchy(p, Method::DisjointSat);
+    std::printf("%s\n", dis.at(*p).code->to_pseudocode().c_str());
+
+    std::printf("== code size as the chain grows\n\n");
+    std::printf("%6s | %19s | %19s | %10s\n", "n", "dynamic (fns/LoC)", "disjoint (fns/LoC)",
+                "saved LoC");
+    for (const std::size_t len : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        const auto chain = suite::figure4_chain(len);
+        const auto d = compile_hierarchy(chain, Method::Dynamic);
+        const auto s = compile_hierarchy(chain, Method::DisjointSat);
+        const auto& dc = *d.at(*chain).code;
+        const auto& sc = *s.at(*chain).code;
+        std::printf("%6zu | %8zu / %8zu | %8zu / %8zu | %10zu\n", len, dc.functions.size(),
+                    dc.line_count(), sc.functions.size(), sc.line_count(),
+                    dc.line_count() - sc.line_count());
+    }
+    std::printf("\nBoth interfaces stay maximally reusable; the disjoint one trades one\n"
+                "extra interface function for code that grows ~n instead of ~2n.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: modular code generation for the paper's Figure 3.
+//
+// Builds the macro block P (combinational A and C around a Moore-sequential
+// unit delay U), generates modular code with the dynamic method, prints the
+// exported profile, the paper-style pseudocode and the equivalent C++, and
+// finally executes the generated code against the reference simulator.
+
+#include <cstdio>
+
+#include "core/compiler.hpp"
+#include "core/emit_cpp.hpp"
+#include "core/exec.hpp"
+#include "sbd/flatten.hpp"
+#include "sim/simulator.hpp"
+#include "suite/figures.hpp"
+
+int main() {
+    using namespace sbd;
+    using namespace sbd::codegen;
+
+    // 1. The model: P_in -> C -> U(delay) -> A -> P_out.
+    const auto p = suite::figure3_p();
+    std::printf("== model: %s (%s)\n\n", p->type_name().c_str(),
+                to_string(p->block_class()));
+
+    // 2. Modular compilation with the dynamic clustering method. Only the
+    //    profiles of A, U, C are used, never their internals.
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const CompiledBlock& cb = sys.at(*p);
+
+    std::printf("== exported profile (the block's entire public interface)\n%s\n",
+                cb.profile.to_string().c_str());
+    std::printf("== generated pseudocode (paper style)\n%s\n",
+                cb.code->to_pseudocode().c_str());
+    std::printf("== generated C++\n%s\n", emit_cpp(sys).c_str());
+
+    // 3. Execute the generated code and cross-check with the reference
+    //    simulator on the flattened diagram.
+    Instance inst(sys, p);
+    sim::Simulator reference(flatten(*p));
+    std::printf("== execution (P_out = 3 * delay(0.5 * P_in))\n");
+    std::printf("%8s %12s %12s %12s\n", "instant", "P_in", "modular", "reference");
+    for (int t = 0; t < 6; ++t) {
+        const double input = 2.0 * (t + 1);
+        const auto modular = inst.step_instant(std::vector<double>{input});
+        const auto ref = reference.step(std::vector<double>{input});
+        std::printf("%8d %12.3f %12.3f %12.3f\n", t, input, modular[0], ref[0]);
+    }
+    return 0;
+}

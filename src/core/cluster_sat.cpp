@@ -1,0 +1,226 @@
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/methods.hpp"
+#include "sat/solver.hpp"
+
+namespace sbd::codegen {
+
+namespace {
+
+/// Everything the encoding needs from the SDG, precomputed once.
+struct Instance {
+    std::vector<graph::NodeId> internal;                      ///< internal nodes
+    std::vector<std::size_t> node_pos;                        ///< SDG node -> index in internal
+    std::vector<std::pair<std::size_t, std::size_t>> eii;     ///< internal -> internal edges
+    std::vector<std::pair<std::size_t, std::size_t>> ein;     ///< input port -> internal
+    std::vector<std::pair<std::size_t, std::size_t>> eout;    ///< internal -> output port
+    std::vector<std::pair<std::size_t, std::size_t>> non_dep; ///< (i, o) with no true dependency
+    std::size_t nin = 0, nout = 0;
+};
+
+Instance analyze(const Sdg& sdg) {
+    Instance inst;
+    inst.internal = sdg.internal_nodes;
+    inst.node_pos.assign(sdg.graph.num_nodes(), static_cast<std::size_t>(-1));
+    for (std::size_t b = 0; b < inst.internal.size(); ++b) inst.node_pos[inst.internal[b]] = b;
+    inst.nin = sdg.num_inputs();
+    inst.nout = sdg.num_outputs();
+
+    for (const auto u : sdg.internal_nodes)
+        for (const auto v : sdg.graph.successors(u)) {
+            if (sdg.is_internal(v))
+                inst.eii.emplace_back(inst.node_pos[u], inst.node_pos[v]);
+            else if (sdg.is_output(v))
+                inst.eout.emplace_back(inst.node_pos[u],
+                                       static_cast<std::size_t>(sdg.nodes[v].port));
+        }
+    for (std::size_t i = 0; i < inst.nin; ++i)
+        for (const auto v : sdg.graph.successors(sdg.input_nodes[i])) {
+            assert(sdg.is_internal(v)); // no direct input->output edges in an SDG
+            inst.ein.emplace_back(i, inst.node_pos[v]);
+        }
+    for (std::size_t i = 0; i < inst.nin; ++i) {
+        const auto reach = sdg.graph.reachable_from(sdg.input_nodes[i]);
+        for (std::size_t o = 0; o < inst.nout; ++o)
+            if (!reach.test(sdg.output_nodes[o])) inst.non_dep.emplace_back(i, o);
+    }
+    return inst;
+}
+
+/// Builds the formula F_k of the paper's Figure 8 as a CNF over the
+/// variable layout documented at encode_fk().
+sat::Cnf build_fk(const Instance& inst, std::size_t k, const ClusterOptions& opts) {
+    using sat::Lit;
+    using sat::Var;
+    sat::Cnf cnf;
+    const std::size_t B = inst.internal.size();
+    const auto X = [&](std::size_t b, std::size_t j) { return static_cast<Var>(b * k + j); };
+    const auto Y = [&](std::size_t o, std::size_t j) {
+        return static_cast<Var>(B * k + o * k + j);
+    };
+    const auto Z = [&](std::size_t i, std::size_t j) {
+        return static_cast<Var>(B * k + inst.nout * k + i * k + j);
+    };
+    cnf.num_vars = (B + inst.nout + inst.nin) * k;
+
+    sat::Clause cl;
+    // (1) every cluster contains at least one internal node.
+    for (std::size_t j = 0; j < k; ++j) {
+        cl.clear();
+        for (std::size_t b = 0; b < B; ++b) cl.push_back(sat::pos(X(b, j)));
+        cnf.add(cl);
+    }
+    // (2) every internal node belongs to exactly one cluster.
+    for (std::size_t b = 0; b < B; ++b) {
+        cl.clear();
+        for (std::size_t j = 0; j < k; ++j) cl.push_back(sat::pos(X(b, j)));
+        cnf.add(cl);
+        for (std::size_t j = 0; j < k; ++j)
+            for (std::size_t l = j + 1; l < k; ++l)
+                cnf.add({sat::neg(X(b, j)), sat::neg(X(b, l))});
+    }
+    // (3) b -> o implies o depends on b's cluster.
+    for (const auto& [b, o] : inst.eout)
+        for (std::size_t j = 0; j < k; ++j) cnf.add({sat::neg(X(b, j)), sat::pos(Y(o, j))});
+    // (4) i -> b implies b's cluster depends on i.
+    for (const auto& [i, b] : inst.ein)
+        for (std::size_t j = 0; j < k; ++j) cnf.add({sat::neg(X(b, j)), sat::pos(Z(i, j))});
+    // (5) b1 -> b2 implies In([b1]) subset of In([b2]).
+    for (const auto& [b1, b2] : inst.eii)
+        for (std::size_t i = 0; i < inst.nin; ++i)
+            for (std::size_t j = 0; j < k; ++j)
+                for (std::size_t l = 0; l < k; ++l) {
+                    if (j == l) continue;
+                    cnf.add({sat::neg(X(b1, j)), sat::neg(X(b2, l)), sat::neg(Z(i, j)),
+                             sat::pos(Z(i, l))});
+                }
+    // (6) b1 -> b2 implies Out([b2]) subset of Out([b1]).
+    for (const auto& [b1, b2] : inst.eii)
+        for (std::size_t o = 0; o < inst.nout; ++o)
+            for (std::size_t j = 0; j < k; ++j)
+                for (std::size_t l = 0; l < k; ++l) {
+                    if (j == l) continue;
+                    cnf.add({sat::neg(X(b1, j)), sat::neg(X(b2, l)), sat::neg(Y(o, l)),
+                             sat::pos(Y(o, j))});
+                }
+    // (7) no cluster may join an input and an output that are independent.
+    for (const auto& [i, o] : inst.non_dep)
+        for (std::size_t j = 0; j < k; ++j) cnf.add({sat::neg(Z(i, j)), sat::neg(Y(o, j))});
+
+    if (opts.sat_symmetry_breaking) {
+        // Clusters numbered by minimal member: node b only in clusters <= b,
+        // and cluster j-1 must be opened by an earlier node than any node of
+        // cluster j.
+        for (std::size_t b = 0; b < B; ++b)
+            for (std::size_t j = b + 1; j < k; ++j) cnf.add({sat::neg(X(b, j))});
+        for (std::size_t b = 1; b < B; ++b)
+            for (std::size_t j = 1; j < std::min(b + 1, k); ++j) {
+                cl.clear();
+                cl.push_back(sat::neg(X(b, j)));
+                for (std::size_t b2 = 0; b2 < b; ++b2) cl.push_back(sat::pos(X(b2, j - 1)));
+                cnf.add(cl);
+            }
+    }
+    return cnf;
+}
+
+/// Solves F_k; on success fills the cluster assignment per internal-node
+/// index.
+bool solve_fk(const Instance& inst, std::size_t k, const ClusterOptions& opts,
+              std::vector<std::size_t>* assignment, SatClusterStats* stats) {
+    const sat::Cnf cnf = build_fk(inst, k, opts);
+    sat::Solver solver;
+    if (opts.sat_conflict_budget != 0) solver.set_conflict_budget(opts.sat_conflict_budget);
+    for (std::size_t v = 0; v < cnf.num_vars; ++v) solver.new_var();
+    for (const auto& clause : cnf.clauses) solver.add_clause(clause);
+
+    if (stats != nullptr) {
+        stats->vars = cnf.num_vars;
+        stats->clauses = cnf.clauses.size();
+    }
+    const bool sat = solver.solve();
+    if (stats != nullptr) {
+        stats->conflicts += solver.stats().conflicts;
+        stats->decisions += solver.stats().decisions;
+        stats->propagations += solver.stats().propagations;
+    }
+    if (!sat) return false;
+    const std::size_t B = inst.internal.size();
+    assignment->assign(B, 0);
+    for (std::size_t b = 0; b < B; ++b) {
+        bool found = false;
+        for (std::size_t j = 0; j < k; ++j)
+            if (solver.model_value(static_cast<sat::Var>(b * k + j))) {
+                (*assignment)[b] = j;
+                found = true;
+                break;
+            }
+        assert(found);
+        (void)found;
+    }
+    return true;
+}
+
+/// Sound lower bound on the number of disjoint clusters: when every output
+/// node has a unique writer (true for SDGs built from diagrams), outputs
+/// whose input-dependency sets differ cannot have their writers in the same
+/// cluster, so the number of distinct In(y) classes is a floor. Synthetic
+/// SDGs (e.g. the Figure 7 reduction gadgets) may violate the unique-writer
+/// assumption; the bound then falls back to 1.
+std::size_t class_lower_bound(const Sdg& sdg) {
+    for (const auto out : sdg.output_nodes)
+        if (sdg.graph.in_degree(out) != 1) return 1;
+    std::vector<graph::Bitset> keys;
+    for (std::size_t o = 0; o < sdg.num_outputs(); ++o) {
+        graph::Bitset key(sdg.num_inputs());
+        const auto reaching = sdg.graph.reaching_to(sdg.output_nodes[o]);
+        for (std::size_t i = 0; i < sdg.num_inputs(); ++i)
+            if (reaching.test(sdg.input_nodes[i])) key.set(i);
+        if (std::find(keys.begin(), keys.end(), key) == keys.end()) keys.push_back(key);
+    }
+    return std::max<std::size_t>(keys.size(), 1);
+}
+
+} // namespace
+
+Clustering cluster_disjoint_sat(const Sdg& sdg, const ClusterOptions& opts,
+                                SatClusterStats* stats) {
+    Clustering result;
+    result.method = Method::DisjointSat;
+    const Instance inst = analyze(sdg);
+    const std::size_t B = inst.internal.size();
+    if (B == 0) return result;
+
+    std::size_t k0 = opts.sat_start_k > 0 ? static_cast<std::size_t>(opts.sat_start_k)
+                                          : class_lower_bound(sdg);
+    k0 = std::min(k0, B);
+    if (stats != nullptr) stats->first_k = k0;
+
+    std::vector<std::size_t> assignment;
+    for (std::size_t k = k0; k <= B; ++k) {
+        if (stats != nullptr) ++stats->iterations;
+        if (solve_fk(inst, k, opts, &assignment, stats)) {
+            result.clusters.assign(k, {});
+            for (std::size_t b = 0; b < B; ++b)
+                result.clusters[assignment[b]].push_back(inst.internal[b]);
+            for (auto& cl : result.clusters) std::sort(cl.begin(), cl.end());
+            if (stats != nullptr) stats->final_k = k;
+            // Lemma 5: the first satisfiable k yields a clustering that is
+            // not just almost valid but valid; verify defensively.
+            const auto report = check_validity(sdg, result);
+            if (!report.valid())
+                throw std::logic_error(
+                    "cluster_disjoint_sat: extracted clustering failed validation");
+            return result;
+        }
+    }
+    throw std::logic_error("cluster_disjoint_sat: no clustering found (unreachable)");
+}
+
+sat::Cnf encode_fk(const Sdg& sdg, std::size_t k, const ClusterOptions& opts) {
+    return build_fk(analyze(sdg), k, opts);
+}
+
+} // namespace sbd::codegen

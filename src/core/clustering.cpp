@@ -1,0 +1,274 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace sbd::codegen {
+
+const char* to_string(Method m) {
+    switch (m) {
+    case Method::Monolithic: return "monolithic";
+    case Method::StepGet: return "step-get";
+    case Method::Dynamic: return "dynamic";
+    case Method::DisjointSat: return "disjoint-sat";
+    case Method::DisjointGreedy: return "disjoint-greedy";
+    case Method::Singletons: return "singletons";
+    }
+    return "?";
+}
+
+bool Clustering::is_partition(const Sdg& sdg) const {
+    std::vector<int> count(sdg.graph.num_nodes(), 0);
+    for (const auto& cl : clusters)
+        for (const auto v : cl) ++count[v];
+    for (const auto v : sdg.internal_nodes)
+        if (count[v] != 1) return false;
+    return true;
+}
+
+std::size_t Clustering::replicated_nodes(const Sdg& sdg) const {
+    std::vector<int> count(sdg.graph.num_nodes(), 0);
+    for (const auto& cl : clusters)
+        for (const auto v : cl) ++count[v];
+    std::size_t extra = 0;
+    for (const auto v : sdg.internal_nodes)
+        if (count[v] > 1) extra += static_cast<std::size_t>(count[v] - 1);
+    return extra;
+}
+
+std::vector<std::size_t> Clustering::clusters_of(graph::NodeId v) const {
+    std::vector<std::size_t> out;
+    for (std::size_t c = 0; c < clusters.size(); ++c)
+        if (std::binary_search(clusters[c].begin(), clusters[c].end(), v)) out.push_back(c);
+    return out;
+}
+
+std::vector<std::vector<std::size_t>> Clustering::output_attribution(const Sdg& sdg) const {
+    // Per-cluster input cone (inputs reaching any member node), used to pick
+    // the cheapest-to-call function among those containing a shared writer.
+    std::vector<graph::Bitset> cluster_in(clusters.size(), graph::Bitset(sdg.num_inputs()));
+    std::vector<graph::Bitset> reaches(sdg.num_inputs());
+    for (std::size_t i = 0; i < sdg.num_inputs(); ++i)
+        reaches[i] = sdg.graph.reachable_from(sdg.input_nodes[i]);
+    for (std::size_t c = 0; c < clusters.size(); ++c)
+        for (const auto v : clusters[c])
+            for (std::size_t i = 0; i < sdg.num_inputs(); ++i)
+                if (reaches[i].test(v)) cluster_in[c].set(i);
+
+    std::vector<std::vector<std::size_t>> attribution(sdg.num_outputs());
+    for (std::size_t o = 0; o < sdg.num_outputs(); ++o) {
+        for (const auto w : sdg.graph.predecessors(sdg.output_nodes[o])) {
+            // Among clusters containing this writer, pick the cheapest one.
+            std::size_t best = static_cast<std::size_t>(-1);
+            for (const std::size_t c : clusters_of(w))
+                if (best == static_cast<std::size_t>(-1) ||
+                    cluster_in[c].count() < cluster_in[best].count())
+                    best = c;
+            if (best != static_cast<std::size_t>(-1)) attribution[o].push_back(best);
+        }
+        std::sort(attribution[o].begin(), attribution[o].end());
+        attribution[o].erase(std::unique(attribution[o].begin(), attribution[o].end()),
+                             attribution[o].end());
+    }
+    return attribution;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> cluster_pdg_edges(const Sdg& sdg,
+                                                                   const Clustering& c) {
+    // membership[v] = sorted cluster list per node.
+    std::vector<std::vector<std::size_t>> membership(sdg.graph.num_nodes());
+    for (std::size_t k = 0; k < c.clusters.size(); ++k)
+        for (const auto v : c.clusters[k]) membership[v].push_back(k);
+
+    std::set<std::pair<std::size_t, std::size_t>> edges;
+    for (const auto u : sdg.internal_nodes) {
+        for (const auto v : sdg.graph.successors(u)) {
+            if (!sdg.is_internal(v)) continue;
+            const auto& cu = membership[u];
+            const auto& cv = membership[v];
+            // a -> b for a in clusters(u)\clusters(v), b in clusters(v)\clusters(u):
+            // shared nodes execute under guards inside whichever function runs
+            // first, so they impose no cross-function ordering.
+            for (const std::size_t a : cu) {
+                if (std::binary_search(cv.begin(), cv.end(), a)) continue;
+                for (const std::size_t b : cv) {
+                    if (std::binary_search(cu.begin(), cu.end(), b)) continue;
+                    edges.emplace(a, b);
+                }
+            }
+        }
+    }
+    return {edges.begin(), edges.end()};
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> exported_io_dependencies(const Sdg& sdg,
+                                                                          const Clustering& c) {
+    const std::size_t k = c.clusters.size();
+    const std::size_t nin = sdg.num_inputs();
+    const std::size_t nout = sdg.num_outputs();
+    // Profile-level graph: cluster nodes, then inputs, then outputs.
+    graph::Digraph g(k + nin + nout);
+    const auto in_node = [&](std::size_t i) { return static_cast<graph::NodeId>(k + i); };
+    const auto out_node = [&](std::size_t o) { return static_cast<graph::NodeId>(k + nin + o); };
+
+    std::vector<std::vector<std::size_t>> membership(sdg.graph.num_nodes());
+    for (std::size_t ci = 0; ci < k; ++ci)
+        for (const auto v : c.clusters[ci]) membership[v].push_back(ci);
+
+    for (std::size_t i = 0; i < nin; ++i)
+        for (const auto v : sdg.graph.successors(sdg.input_nodes[i]))
+            for (const std::size_t ci : membership[v])
+                g.add_edge(in_node(i), static_cast<graph::NodeId>(ci));
+    // Output-side edges reflect the profile: an output is returned by the
+    // attributed cluster(s) of its writer(s), not by every cluster that
+    // happens to contain a (shared) writer.
+    const auto attribution = c.output_attribution(sdg);
+    for (std::size_t o = 0; o < nout; ++o)
+        for (const std::size_t ci : attribution[o])
+            g.add_edge(static_cast<graph::NodeId>(ci), out_node(o));
+    for (const auto& [a, b] : cluster_pdg_edges(sdg, c))
+        g.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+
+    std::vector<std::pair<std::size_t, std::size_t>> deps;
+    for (std::size_t i = 0; i < nin; ++i) {
+        const auto reach = g.reachable_from(in_node(i));
+        for (std::size_t o = 0; o < nout; ++o)
+            if (reach.test(out_node(o))) deps.emplace_back(i, o);
+    }
+    return deps;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> false_io_dependencies(const Sdg& sdg,
+                                                                       const Clustering& c) {
+    const auto true_deps = sdg.io_dependencies();
+    const std::set<std::pair<std::size_t, std::size_t>> truth(true_deps.begin(), true_deps.end());
+    std::vector<std::pair<std::size_t, std::size_t>> added;
+    for (const auto& d : exported_io_dependencies(sdg, c))
+        if (!truth.contains(d)) added.push_back(d);
+    return added;
+}
+
+ValidityReport check_validity(const Sdg& sdg, const Clustering& c) {
+    ValidityReport r;
+    r.partition = c.is_partition(sdg);
+    r.false_io_pairs = false_io_dependencies(sdg, c);
+    r.no_false_io = r.false_io_pairs.empty();
+    // Condition 3: acyclicity of the cluster relation (self-loops dropped by
+    // construction of cluster_pdg_edges).
+    graph::Digraph q(c.clusters.size());
+    for (const auto& [a, b] : cluster_pdg_edges(sdg, c))
+        q.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+    r.acyclic = q.is_acyclic();
+    return r;
+}
+
+namespace {
+
+/// Per-internal-node input and output cones, plus the input->output truth
+/// table, used by the O(1)-per-pair mergeability test.
+struct Cones {
+    std::vector<graph::Bitset> in_of;   ///< per node: inputs (by port) reaching it
+    std::vector<graph::Bitset> out_of;  ///< per node: outputs (by port) it reaches
+    std::vector<graph::Bitset> io;      ///< per input port: outputs it reaches
+};
+
+Cones compute_cones(const Sdg& sdg) {
+    Cones c;
+    const std::size_t n = sdg.graph.num_nodes();
+    const std::size_t nin = sdg.num_inputs();
+    const std::size_t nout = sdg.num_outputs();
+    c.in_of.assign(n, graph::Bitset(nin));
+    c.out_of.assign(n, graph::Bitset(nout));
+    c.io.assign(nin, graph::Bitset(nout));
+    for (std::size_t i = 0; i < nin; ++i) {
+        const auto reach = sdg.graph.reachable_from(sdg.input_nodes[i]);
+        for (std::size_t v = 0; v < n; ++v)
+            if (reach.test(v)) c.in_of[v].set(i);
+        for (std::size_t o = 0; o < nout; ++o)
+            if (reach.test(sdg.output_nodes[o])) c.io[i].set(o);
+    }
+    for (std::size_t o = 0; o < nout; ++o) {
+        const auto reaching = sdg.graph.reaching_to(sdg.output_nodes[o]);
+        for (std::size_t v = 0; v < n; ++v)
+            if (reaching.test(v)) c.out_of[v].set(o);
+    }
+    return c;
+}
+
+bool mergeable_with_cones(const Cones& cones, graph::NodeId u, graph::NodeId v) {
+    // Merging u and v is almost valid iff every (input, output) pair in
+    // (In(u) u In(v)) x (Out(u) u Out(v)) is already a true dependency.
+    graph::Bitset in_union = cones.in_of[u];
+    in_union |= cones.in_of[v];
+    graph::Bitset out_union = cones.out_of[u];
+    out_union |= cones.out_of[v];
+    for (const std::size_t i : in_union.to_indices())
+        if (!out_union.is_subset_of(cones.io[i])) return false;
+    return true;
+}
+
+} // namespace
+
+bool mergeable(const Sdg& sdg, graph::NodeId u, graph::NodeId v) {
+    const Cones cones = compute_cones(sdg);
+    return mergeable_with_cones(cones, u, v);
+}
+
+graph::Undirected mergeability_graph(const Sdg& sdg) {
+    const Cones cones = compute_cones(sdg);
+    const std::size_t n = sdg.internal_nodes.size();
+    graph::Undirected m(n);
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = a + 1; b < n; ++b)
+            if (mergeable_with_cones(cones, sdg.internal_nodes[a], sdg.internal_nodes[b]))
+                m.add_edge(a, b);
+    return m;
+}
+
+Clustering brute_force_optimal_disjoint(const Sdg& sdg) {
+    const std::size_t n = sdg.internal_nodes.size();
+    if (n > 12)
+        throw std::invalid_argument("brute_force_optimal_disjoint: too many internal nodes");
+    if (n == 0) return Clustering{Method::DisjointSat, {}};
+
+    // Enumerate set partitions via restricted growth strings.
+    std::vector<std::size_t> rgs(n, 0);
+    std::optional<Clustering> best;
+    std::size_t best_k = n + 1;
+    const auto materialize = [&](std::size_t k) {
+        Clustering c;
+        c.method = Method::DisjointSat;
+        c.clusters.assign(k, {});
+        for (std::size_t idx = 0; idx < n; ++idx)
+            c.clusters[rgs[idx]].push_back(sdg.internal_nodes[idx]);
+        for (auto& cl : c.clusters) std::sort(cl.begin(), cl.end());
+        return c;
+    };
+    const auto next_rgs = [&]() -> bool {
+        for (std::size_t pos = n; pos-- > 1;) {
+            const std::size_t prefix_max = *std::max_element(rgs.begin(), rgs.begin() + pos);
+            if (rgs[pos] <= prefix_max) {
+                ++rgs[pos];
+                std::fill(rgs.begin() + pos + 1, rgs.end(), 0);
+                return true;
+            }
+        }
+        return false;
+    };
+    do {
+        const std::size_t k = 1 + *std::max_element(rgs.begin(), rgs.end());
+        if (k < best_k) {
+            Clustering c = materialize(k);
+            if (check_validity(sdg, c).valid()) {
+                best = std::move(c);
+                best_k = k;
+            }
+        }
+    } while (next_rgs());
+    assert(best.has_value()); // all-singletons is always valid
+    return *best;
+}
+
+} // namespace sbd::codegen

@@ -1,0 +1,101 @@
+#ifndef SBD_CORE_CLUSTERING_HPP
+#define SBD_CORE_CLUSTERING_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/undirected.hpp"
+#include "core/sdg.hpp"
+
+namespace sbd::codegen {
+
+/// The clustering/code-generation method. These are the paper's trade-off
+/// points: each choice of clustering specializes the modular code-generation
+/// scheme (Section 4).
+enum class Method {
+    Monolithic,     ///< single step() — the folk baseline from the Introduction
+    StepGet,        ///< <= 2 functions (DATE'08 step-get; Mosterman-Ciolfi style)
+    Dynamic,        ///< overlapping clusters, optimal modularity, maximal reusability
+    DisjointSat,    ///< optimal disjoint clustering via iterated SAT (this paper)
+    DisjointGreedy, ///< polynomial disjoint heuristic (Hainque-style merge baseline)
+    Singletons      ///< one cluster per SDG node (finest; always valid)
+};
+
+const char* to_string(Method m);
+
+/// A clustering of the internal nodes of an SDG. Clusters may overlap (the
+/// dynamic method) or form a partition (all disjoint methods). Every
+/// internal node belongs to at least one cluster.
+struct Clustering {
+    Method method = Method::Dynamic;
+    std::vector<std::vector<graph::NodeId>> clusters; ///< each sorted ascending
+
+    std::size_t num_clusters() const { return clusters.size(); }
+    /// Which cluster(s) produce each output port, one entry per writer node
+    /// of the output. For disjoint clusterings a writer's cluster is
+    /// unambiguous; with overlap, a shared writer is attributed to the
+    /// containing cluster whose input cone is smallest — attributing it to
+    /// any other would make the generated profile export false
+    /// dependencies. (Real diagrams have exactly one writer per output;
+    /// synthetic SDGs like the Figure 7 gadgets may have several.)
+    std::vector<std::vector<std::size_t>> output_attribution(const Sdg& sdg) const;
+    bool is_partition(const Sdg& sdg) const;
+    /// Number of (node, cluster) memberships beyond the first — the code
+    /// replication the paper's Section 5 is about.
+    std::size_t replicated_nodes(const Sdg& sdg) const;
+    /// Clusters containing node v, ascending.
+    std::vector<std::size_t> clusters_of(graph::NodeId v) const;
+};
+
+/// Result of the validity check of Definition 1 / Proposition 1.
+struct ValidityReport {
+    bool partition = false;      ///< every internal node in exactly one cluster
+    bool no_false_io = false;    ///< condition 2: no added input-output deps
+    bool acyclic = false;        ///< condition 3: quotient acyclic
+    std::vector<std::pair<std::size_t, std::size_t>> false_io_pairs; ///< (in,out) ports
+
+    bool valid() const { return partition && no_false_io && acyclic; }
+    bool almost_valid() const { return partition && no_false_io; }
+};
+
+/// Checks Definition 1 validity of a *disjoint* clustering in polynomial
+/// time (Proposition 1: transitive closures of the SDG and of its quotient
+/// are compared on input-output pairs; quotient acyclicity via SCC).
+ValidityReport check_validity(const Sdg& sdg, const Clustering& c);
+
+/// Input-output dependencies (i, o) exported by generated code for this
+/// clustering, including overlapping ones: the dependencies induced by
+/// interface-function signatures plus synthesized PDG edges. For a disjoint
+/// clustering this equals the quotient-closure dependencies of Definition 1.
+std::vector<std::pair<std::size_t, std::size_t>> exported_io_dependencies(const Sdg& sdg,
+                                                                          const Clustering& c);
+
+/// The exported dependencies minus the true ones: nonempty iff the
+/// clustering sacrifices reusability.
+std::vector<std::pair<std::size_t, std::size_t>> false_io_dependencies(const Sdg& sdg,
+                                                                       const Clustering& c);
+
+/// Synthesized PDG edges between clusters (cluster indices): (a, b) means
+/// cluster a's function must run before cluster b's. Rule: a -> b iff some
+/// node exclusive to a feeds a node exclusive to b. (For disjoint
+/// clusterings this is the quotient edge relation.)
+std::vector<std::pair<std::size_t, std::size_t>> cluster_pdg_edges(const Sdg& sdg,
+                                                                   const Clustering& c);
+
+/// Definition 2: nodes u, v are mergeable iff clustering {u,v} + singletons
+/// is almost valid.
+bool mergeable(const Sdg& sdg, graph::NodeId u, graph::NodeId v);
+
+/// The mergeability graph M(G) over internal nodes (Definition 2). Node
+/// indices are positions in sdg.internal_nodes.
+graph::Undirected mergeability_graph(const Sdg& sdg);
+
+/// Exact optimal disjoint clustering by exhaustive partition enumeration
+/// (test oracle; exponential, use only for <= ~10 internal nodes).
+Clustering brute_force_optimal_disjoint(const Sdg& sdg);
+
+} // namespace sbd::codegen
+
+#endif

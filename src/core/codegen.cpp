@@ -1,0 +1,224 @@
+#include "core/codegen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace sbd::codegen {
+
+namespace {
+
+std::string sanitize(std::string s) {
+    for (char& c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    return s;
+}
+
+} // namespace
+
+CodegenResult generate_code(const MacroBlock& m, std::span<const Profile* const> sub_profiles,
+                            const Sdg& sdg, const Clustering& clustering) {
+    const std::size_t num_clusters = clustering.num_clusters();
+
+    // Node -> clusters membership; every internal node must be covered.
+    std::vector<std::vector<std::size_t>> membership(sdg.graph.num_nodes());
+    for (std::size_t c = 0; c < num_clusters; ++c)
+        for (const auto v : clustering.clusters[c]) membership[v].push_back(c);
+    for (const auto v : sdg.internal_nodes)
+        if (membership[v].empty())
+            throw std::logic_error("generate_code: internal node not covered by any cluster");
+
+    // Guard-counter correctness: a node shared by several clusters fires on
+    // the first call among them; its producers must then already have fired,
+    // which holds iff each containing cluster also contains all its internal
+    // predecessors.
+    for (const auto v : sdg.internal_nodes) {
+        if (membership[v].size() < 2) continue;
+        for (const auto u : sdg.graph.predecessors(v)) {
+            if (!sdg.is_internal(u)) continue;
+            for (const std::size_t c : membership[v])
+                if (!std::binary_search(clustering.clusters[c].begin(),
+                                        clustering.clusters[c].end(), u))
+                    throw std::logic_error(
+                        "generate_code: shared node is not backward-closed in a cluster");
+        }
+    }
+
+    CodegenResult out;
+    CodeUnit& code = out.code;
+    code.block_name = m.type_name();
+    for (std::size_t i = 0; i < m.num_inputs(); ++i) code.param_names.push_back(m.input_name(i));
+    for (std::size_t o = 0; o < m.num_outputs(); ++o)
+        code.output_names.push_back(m.output_name(o));
+
+    // Persistent slots: one per sub-block output port, plus one per
+    // pass-through node.
+    std::vector<std::vector<std::int32_t>> slot_of_sub(m.num_subs());
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        const Block& b = *m.sub(s).type;
+        slot_of_sub[s].resize(b.num_outputs());
+        for (std::size_t o = 0; o < b.num_outputs(); ++o) {
+            slot_of_sub[s][o] = static_cast<std::int32_t>(code.num_slots++);
+            code.slot_names.push_back(sanitize(m.sub(s).name) + "_" + b.output_name(o));
+        }
+    }
+    std::vector<std::int32_t> slot_of_node(sdg.graph.num_nodes(), -1);
+    for (const auto v : sdg.internal_nodes) {
+        if (sdg.nodes[v].is_passthrough()) {
+            slot_of_node[v] = static_cast<std::int32_t>(code.num_slots++);
+            code.slot_names.push_back("pass_" + sanitize(m.output_name(sdg.nodes[v].port)));
+        }
+    }
+
+    // Guard counters: one per sharing signature (set of clusters) of size
+    // >= 2; the modulus is the signature size (Figure 5's modulo-2 counter
+    // generalized).
+    std::map<std::vector<std::size_t>, std::int32_t> counter_of_signature;
+    for (const auto v : sdg.internal_nodes) {
+        if (membership[v].size() < 2) continue;
+        const auto [it, inserted] = counter_of_signature.try_emplace(
+            membership[v], static_cast<std::int32_t>(code.counter_mods.size()));
+        if (inserted) code.counter_mods.push_back(static_cast<std::int32_t>(membership[v].size()));
+    }
+
+    // The value feeding a sub-block input port or a macro output port.
+    const auto source_value = [&](const Endpoint& dst) -> ValueRef {
+        const Connection* c = m.writer_of(dst);
+        assert(c != nullptr);
+        if (c->src.kind == Endpoint::Kind::MacroInput) return ValueRef::param(c->src.port);
+        return ValueRef::slot(slot_of_sub[c->src.sub][c->src.port]);
+    };
+
+    const auto topo = sdg.graph.topological_order();
+    if (!topo) throw std::logic_error("generate_code: SDG is cyclic");
+    std::vector<std::size_t> topo_pos(sdg.graph.num_nodes());
+    for (std::size_t i = 0; i < topo->size(); ++i) topo_pos[(*topo)[i]] = i;
+
+    // Which outputs each cluster writes: the writer node of output o is its
+    // unique internal predecessor.
+    std::vector<std::vector<std::size_t>> cluster_writes(num_clusters);
+    std::vector<ValueRef> output_value(m.num_outputs());
+    const auto attribution = clustering.output_attribution(sdg);
+    for (std::size_t o = 0; o < m.num_outputs(); ++o) {
+        const auto& preds = sdg.graph.predecessors(sdg.output_nodes[o]);
+        assert(preds.size() == 1);
+        const auto writer = preds[0];
+        if (sdg.nodes[writer].is_passthrough()) {
+            output_value[o] = ValueRef::slot(slot_of_node[writer]);
+        } else {
+            const Connection* c =
+                m.writer_of(Endpoint{Endpoint::Kind::MacroOutput, -1, static_cast<std::int32_t>(o)});
+            assert(c != nullptr && c->src.kind == Endpoint::Kind::SubOutput);
+            output_value[o] = ValueRef::slot(slot_of_sub[c->src.sub][c->src.port]);
+        }
+        // With overlap the writer may live in several clusters; the output
+        // is returned by the attributed one (smallest input cone), anything
+        // else would export false input-output dependencies.
+        assert(attribution[o].size() == 1);
+        cluster_writes[attribution[o].front()].push_back(o);
+    }
+
+    // Emit one function per cluster.
+    out.profile.sequential = false;
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        if (sub_profiles[s]->sequential) {
+            out.profile.sequential = true;
+            code.sequential_subs.push_back(static_cast<std::int32_t>(s));
+        }
+    if (!code.counter_mods.empty()) out.profile.sequential = true;
+
+    std::size_t get_count = 0, aux_count = 0;
+    for (std::size_t c = 0; c < num_clusters; ++c)
+        if (!cluster_writes[c].empty()) ++get_count;
+    std::size_t get_seen = 0;
+
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+        GenFunction fn;
+        std::vector<graph::NodeId> nodes = clustering.clusters[c];
+        std::sort(nodes.begin(), nodes.end(),
+                  [&](graph::NodeId a, graph::NodeId b) { return topo_pos[a] < topo_pos[b]; });
+
+        std::int32_t open_counter = -1;
+        std::vector<std::int32_t> used_counters;
+        graph::Bitset reads(m.num_inputs());
+        for (const auto v : nodes) {
+            // Guard management for shared nodes.
+            std::int32_t want = -1;
+            if (membership[v].size() >= 2) want = counter_of_signature.at(membership[v]);
+            if (want != open_counter) {
+                if (open_counter >= 0) fn.body.emplace_back(GuardEnd{});
+                if (want >= 0) {
+                    fn.body.emplace_back(GuardBegin{want});
+                    if (std::find(used_counters.begin(), used_counters.end(), want) ==
+                        used_counters.end())
+                        used_counters.push_back(want);
+                }
+                open_counter = want;
+            }
+            const SdgNode& n = sdg.nodes[v];
+            if (n.is_passthrough()) {
+                fn.body.emplace_back(
+                    AssignStmt{ValueRef::param(n.pt_input), slot_of_node[v]});
+                reads.set(static_cast<std::size_t>(n.pt_input));
+                continue;
+            }
+            const Profile& sp = *sub_profiles[n.sub];
+            const InterfaceFunction& sf = sp.functions[n.fn];
+            CallStmt call;
+            call.sub = n.sub;
+            call.fn = n.fn;
+            call.callee = m.sub(n.sub).name + "." + sf.name;
+            for (const std::size_t port : sf.reads) {
+                const ValueRef vr = source_value(Endpoint{Endpoint::Kind::SubInput, n.sub,
+                                                          static_cast<std::int32_t>(port)});
+                if (vr.kind == ValueRef::Kind::Param)
+                    reads.set(static_cast<std::size_t>(vr.index));
+                call.args.push_back(vr);
+            }
+            for (const std::size_t port : sf.writes)
+                call.results.push_back(slot_of_sub[n.sub][port]);
+            if (const auto& trig = m.sub(n.sub).trigger) {
+                // Triggered sub-block: predicate the call; a skipped call
+                // leaves the result slots holding their previous values.
+                ValueRef tv = trig->kind == Endpoint::Kind::MacroInput
+                                  ? ValueRef::param(trig->port)
+                                  : ValueRef::slot(slot_of_sub[trig->sub][trig->port]);
+                if (tv.kind == ValueRef::Kind::Param)
+                    reads.set(static_cast<std::size_t>(tv.index));
+                call.trigger = tv;
+            }
+            fn.body.emplace_back(std::move(call));
+        }
+        if (open_counter >= 0) fn.body.emplace_back(GuardEnd{});
+        for (const std::int32_t ctr : used_counters)
+            fn.body.emplace_back(BumpStmt{ctr, code.counter_mods[ctr]});
+
+        for (const std::size_t i : reads.to_indices()) fn.sig.reads.push_back(i);
+        fn.sig.writes = cluster_writes[c];
+        std::sort(fn.sig.writes.begin(), fn.sig.writes.end());
+        for (const std::size_t o : fn.sig.writes) fn.returns.push_back(output_value[o]);
+
+        if (num_clusters == 1)
+            fn.sig.name = "step"; // monolithic-style single interface function
+        else if (!fn.sig.writes.empty())
+            fn.sig.name = get_count == 1 ? "get" : "get" + std::to_string(++get_seen);
+        else
+            fn.sig.name = aux_count++ == 0 ? "step" : "step" + std::to_string(aux_count);
+
+        out.profile.functions.push_back(fn.sig);
+        code.functions.push_back(std::move(fn));
+    }
+
+    out.profile.pdg_edges = cluster_pdg_edges(sdg, clustering);
+    {
+        graph::Digraph pdg(num_clusters);
+        for (const auto& [a, b] : out.profile.pdg_edges)
+            pdg.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+        if (!pdg.is_acyclic())
+            throw std::logic_error("generate_code: synthesized PDG is cyclic");
+    }
+    return out;
+}
+
+} // namespace sbd::codegen

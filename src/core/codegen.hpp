@@ -1,0 +1,34 @@
+#ifndef SBD_CORE_CODEGEN_HPP
+#define SBD_CORE_CODEGEN_HPP
+
+#include <span>
+
+#include "core/clustering.hpp"
+#include "core/ir.hpp"
+#include "core/sdg.hpp"
+
+namespace sbd::codegen {
+
+/// Output of the profile-generation step (Section 4, step 2): the generated
+/// code of the macro block and the profile it exports to its own users.
+struct CodegenResult {
+    CodeUnit code;
+    Profile profile;
+};
+
+/// Generates the interface functions of `m` from a clustering of its SDG:
+/// one function per cluster, whose body calls the sub-block interface
+/// functions of the cluster in (a serialization of) SDG order, with guard
+/// counters around nodes shared between overlapping clusters, and
+/// synthesizes the PDG of `m` from the cluster dependencies.
+///
+/// Requirements checked (std::logic_error on violation): every internal
+/// node belongs to >= 1 cluster; nodes shared between clusters are
+/// backward-closed within each cluster containing them (the guard-counter
+/// correctness invariant); the synthesized PDG is acyclic.
+CodegenResult generate_code(const MacroBlock& m, std::span<const Profile* const> sub_profiles,
+                            const Sdg& sdg, const Clustering& clustering);
+
+} // namespace sbd::codegen
+
+#endif

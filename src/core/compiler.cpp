@@ -1,0 +1,91 @@
+#include "core/compiler.hpp"
+
+#include <stdexcept>
+
+namespace sbd::codegen {
+
+const CompiledBlock& CompiledSystem::at(const Block& b) const {
+    const auto it = blocks_.find(&b);
+    if (it == blocks_.end())
+        throw std::out_of_range("CompiledSystem: block '" + b.type_name() + "' not compiled");
+    return it->second;
+}
+
+std::size_t CompiledSystem::total_lines() const {
+    std::size_t n = 0;
+    for (const auto* b : order_) {
+        const auto& cb = blocks_.at(b);
+        if (cb.code) n += cb.code->line_count();
+    }
+    return n;
+}
+
+std::size_t CompiledSystem::total_replication() const {
+    std::size_t n = 0;
+    for (const auto* b : order_) {
+        const auto& cb = blocks_.at(b);
+        if (cb.sdg && cb.clustering) n += cb.clustering->replicated_nodes(*cb.sdg);
+    }
+    return n;
+}
+
+std::size_t CompiledSystem::total_functions() const {
+    std::size_t n = 0;
+    for (const auto* b : order_) {
+        const auto& cb = blocks_.at(b);
+        if (cb.code) n += cb.code->functions.size();
+    }
+    return n;
+}
+
+namespace {
+
+void compile_rec(const BlockPtr& block, Method method, const ClusterOptions& opts,
+                 SatClusterStats* sat_stats,
+                 std::unordered_map<const Block*, CompiledBlock>& done,
+                 std::vector<const Block*>& order) {
+    if (done.contains(block.get())) return;
+    if (block->is_atomic()) {
+        CompiledBlock cb;
+        cb.block = block;
+        cb.profile = block->is_opaque()
+                         ? opaque_profile(static_cast<const OpaqueBlock&>(*block))
+                         : atomic_profile(static_cast<const AtomicBlock&>(*block));
+        done.emplace(block.get(), std::move(cb));
+        order.push_back(block.get());
+        return;
+    }
+    const auto& macro = static_cast<const MacroBlock&>(*block);
+    for (std::size_t s = 0; s < macro.num_subs(); ++s)
+        compile_rec(macro.sub(s).type, method, opts, sat_stats, done, order);
+
+    // Modular code generation proper: the only information used about each
+    // sub-block is its exported profile.
+    std::vector<const Profile*> sub_profiles;
+    sub_profiles.reserve(macro.num_subs());
+    for (std::size_t s = 0; s < macro.num_subs(); ++s)
+        sub_profiles.push_back(&done.at(macro.sub(s).type.get()).profile);
+
+    CompiledBlock cb;
+    cb.block = block;
+    cb.sdg = build_sdg(macro, sub_profiles);
+    cb.clustering = cluster(*cb.sdg, method, opts, sat_stats);
+    auto gen = generate_code(macro, sub_profiles, *cb.sdg, *cb.clustering);
+    cb.code = std::move(gen.code);
+    cb.profile = std::move(gen.profile);
+    done.emplace(block.get(), std::move(cb));
+    order.push_back(block.get());
+}
+
+} // namespace
+
+CompiledSystem compile_hierarchy(BlockPtr root, Method method, const ClusterOptions& opts,
+                                 SatClusterStats* sat_stats) {
+    if (!root) throw std::invalid_argument("compile_hierarchy: null root");
+    CompiledSystem sys;
+    sys.root_ = root;
+    compile_rec(root, method, opts, sat_stats, sys.blocks_, sys.order_);
+    return sys;
+}
+
+} // namespace sbd::codegen

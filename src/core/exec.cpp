@@ -1,0 +1,155 @@
+#include "core/exec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sbd::codegen {
+
+Instance::Instance(const CompiledSystem& sys, BlockPtr block)
+    : sys_(&sys), block_(std::move(block)), compiled_(&sys.at(*block_)) {
+    if (block_->is_opaque())
+        throw std::logic_error("cannot execute interface-only (opaque) block '" +
+                               block_->type_name() + "'");
+    if (!block_->is_atomic()) {
+        const auto& macro = static_cast<const MacroBlock&>(*block_);
+        const CodeUnit& code = *compiled_->code;
+        slots_.resize(code.num_slots, 0.0);
+        counters_.resize(code.counter_mods.size(), 0);
+        subs_.reserve(macro.num_subs());
+        for (std::size_t s = 0; s < macro.num_subs(); ++s)
+            subs_.push_back(std::make_unique<Instance>(sys, macro.sub(s).type));
+    }
+    // Precompute a PDG-consistent call order for step_instant().
+    const Profile& p = compiled_->profile;
+    graph::Digraph pdg(p.functions.size());
+    for (const auto& [a, b] : p.pdg_edges)
+        pdg.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+    const auto order = pdg.topological_order();
+    assert(order.has_value());
+    pdg_order_.assign(order->begin(), order->end());
+    init();
+}
+
+void Instance::init() {
+    if (block_->is_atomic()) {
+        state_ = static_cast<const AtomicBlock&>(*block_).initial_state();
+        return;
+    }
+    std::fill(slots_.begin(), slots_.end(), 0.0);
+    std::fill(counters_.begin(), counters_.end(), 0);
+    for (const auto& sub : subs_) sub->init();
+}
+
+std::vector<double> Instance::call(std::size_t fn, std::span<const double> args) {
+    const InterfaceFunction& sig = compiled_->profile.functions.at(fn);
+    if (args.size() != sig.reads.size())
+        throw std::invalid_argument("Instance::call: wrong argument count for " + sig.name);
+    return block_->is_atomic() ? call_atomic(fn, args) : call_macro(fn, args);
+}
+
+std::vector<double> Instance::call_atomic(std::size_t fn, std::span<const double> args) {
+    const auto& atomic = static_cast<const AtomicBlock&>(*block_);
+    switch (atomic.block_class()) {
+    case BlockClass::Combinational: {
+        std::vector<double> out(atomic.num_outputs());
+        atomic.compute_outputs(state_, args, out);
+        return out;
+    }
+    case BlockClass::Sequential: {
+        std::vector<double> out(atomic.num_outputs());
+        atomic.compute_outputs(state_, args, out);
+        atomic.update_state(state_, args);
+        return out;
+    }
+    case BlockClass::MooreSequential:
+        if (fn == 0) { // get(): outputs from state only
+            std::vector<double> out(atomic.num_outputs());
+            atomic.compute_outputs(state_, {}, out);
+            return out;
+        }
+        atomic.update_state(state_, args); // step(): state update
+        return {};
+    }
+    return {};
+}
+
+std::vector<double> Instance::call_macro(std::size_t fn, std::span<const double> args) {
+    const GenFunction& gen = compiled_->code->functions[fn];
+    const auto& reads = gen.sig.reads;
+    const auto value = [&](const ValueRef& v) -> double {
+        if (v.kind == ValueRef::Kind::Slot) return slots_[v.index];
+        // Param: position of the input port within this function's reads.
+        const auto it = std::lower_bound(reads.begin(), reads.end(),
+                                         static_cast<std::size_t>(v.index));
+        assert(it != reads.end() && *it == static_cast<std::size_t>(v.index));
+        return args[static_cast<std::size_t>(it - reads.begin())];
+    };
+
+    std::vector<double> call_args;
+    for (std::size_t idx = 0; idx < gen.body.size(); ++idx) {
+        const Stmt& s = gen.body[idx];
+        if (const auto* gb = std::get_if<GuardBegin>(&s)) {
+            if (counters_[gb->counter] != 0) {
+                // Skip to the matching GuardEnd (guards never nest).
+                while (!std::holds_alternative<GuardEnd>(gen.body[idx])) ++idx;
+            }
+            continue;
+        }
+        if (std::holds_alternative<GuardEnd>(s)) continue;
+        if (const auto* bump = std::get_if<BumpStmt>(&s)) {
+            counters_[bump->counter] = (counters_[bump->counter] + 1) % bump->mod;
+            continue;
+        }
+        if (const auto* assign = std::get_if<AssignStmt>(&s)) {
+            slots_[assign->dst_slot] = value(assign->src);
+            continue;
+        }
+        const auto& call = std::get<CallStmt>(s);
+        if (call.trigger && value(*call.trigger) < 0.5)
+            continue; // hold: result slots keep their previous values
+        call_args.clear();
+        for (const ValueRef& a : call.args) call_args.push_back(value(a));
+        const std::vector<double> results =
+            subs_[call.sub]->call(static_cast<std::size_t>(call.fn), call_args);
+        assert(results.size() == call.results.size());
+        for (std::size_t r = 0; r < results.size(); ++r) slots_[call.results[r]] = results[r];
+    }
+
+    std::vector<double> out;
+    out.reserve(gen.returns.size());
+    for (const ValueRef& r : gen.returns) out.push_back(value(r));
+    return out;
+}
+
+std::vector<double> Instance::step_instant(std::span<const double> inputs) {
+    return step_instant_ordered(inputs, pdg_order_);
+}
+
+std::vector<double> Instance::step_instant_ordered(std::span<const double> inputs,
+                                                   std::span<const std::size_t> order) {
+    const Profile& p = compiled_->profile;
+    if (inputs.size() != block_->num_inputs())
+        throw std::invalid_argument("step_instant: wrong number of inputs");
+    if (order.size() != p.functions.size())
+        throw std::invalid_argument("step_instant: order must cover all interface functions");
+    // Check the order against the PDG.
+    std::vector<std::size_t> pos(p.functions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    for (const auto& [a, b] : p.pdg_edges)
+        if (pos[a] >= pos[b])
+            throw std::invalid_argument("step_instant: call order violates the PDG");
+
+    std::vector<double> outputs(block_->num_outputs(), 0.0);
+    std::vector<double> args;
+    for (const std::size_t f : order) {
+        const InterfaceFunction& sig = p.functions[f];
+        args.clear();
+        for (const std::size_t port : sig.reads) args.push_back(inputs[port]);
+        const std::vector<double> res = call(f, args);
+        for (std::size_t w = 0; w < sig.writes.size(); ++w) outputs[sig.writes[w]] = res[w];
+    }
+    return outputs;
+}
+
+} // namespace sbd::codegen

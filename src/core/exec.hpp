@@ -1,0 +1,63 @@
+#ifndef SBD_CORE_EXEC_HPP
+#define SBD_CORE_EXEC_HPP
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/compiler.hpp"
+
+namespace sbd::codegen {
+
+/// A runtime instance of a compiled block: the persistent data behind the
+/// generated code (signal slots, guard counters, sub-instances; block state
+/// for atomic blocks) plus an interpreter for the generated IR.
+///
+/// This is how the repository *executes* generated modular code, so that
+/// every clustering method can be checked bit-for-bit against the reference
+/// simulator on the flattened diagram.
+class Instance {
+public:
+    Instance(const CompiledSystem& sys, BlockPtr block);
+
+    /// (Re-)initializes all state: the generated init() function.
+    void init();
+
+    /// Calls interface function `fn` of the block's profile. `args` carries
+    /// the values of the function's read ports (profile functions[fn].reads
+    /// order); the result carries its written ports (writes order).
+    std::vector<double> call(std::size_t fn, std::span<const double> args);
+
+    /// Executes one full synchronous instant: calls every interface function
+    /// exactly once in a PDG-consistent order, feeding each from `inputs`
+    /// (all input port values) and collecting all output port values.
+    std::vector<double> step_instant(std::span<const double> inputs);
+
+    /// As step_instant but with an explicit call order (function indices,
+    /// a permutation). Throws std::invalid_argument if the order violates
+    /// the PDG — used to verify that *every* legal serialization yields the
+    /// same results.
+    std::vector<double> step_instant_ordered(std::span<const double> inputs,
+                                             std::span<const std::size_t> order);
+
+    const Profile& profile() const { return compiled_->profile; }
+    const Block& block() const { return *block_; }
+
+private:
+    std::vector<double> call_atomic(std::size_t fn, std::span<const double> args);
+    std::vector<double> call_macro(std::size_t fn, std::span<const double> args);
+
+    const CompiledSystem* sys_;
+    BlockPtr block_;
+    const CompiledBlock* compiled_;
+
+    std::vector<double> state_; ///< atomic block state
+    std::vector<double> slots_;
+    std::vector<std::int32_t> counters_;
+    std::vector<std::unique_ptr<Instance>> subs_;
+    std::vector<std::size_t> pdg_order_;
+};
+
+} // namespace sbd::codegen
+
+#endif

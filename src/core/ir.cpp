@@ -1,0 +1,99 @@
+#include "core/ir.hpp"
+
+#include <sstream>
+
+namespace sbd::codegen {
+
+namespace {
+
+struct LineCounter {
+    std::size_t lines = 0;
+    void operator()(const CallStmt&) { ++lines; }
+    void operator()(const AssignStmt&) { ++lines; }
+    void operator()(const GuardBegin&) { ++lines; }
+    void operator()(const GuardEnd&) { ++lines; }
+    void operator()(const BumpStmt&) { ++lines; }
+};
+
+} // namespace
+
+std::size_t CodeUnit::line_count() const {
+    std::size_t lines = 0;
+    for (const auto& fn : functions) {
+        lines += 2; // signature line and closing brace
+        if (!fn.returns.empty()) ++lines;
+        LineCounter counter;
+        for (const auto& s : fn.body) std::visit(counter, s);
+        lines += counter.lines;
+    }
+    return lines;
+}
+
+std::size_t CodeUnit::call_count() const {
+    std::size_t calls = 0;
+    for (const auto& fn : functions)
+        for (const auto& s : fn.body)
+            if (std::holds_alternative<CallStmt>(s)) ++calls;
+    return calls;
+}
+
+std::string CodeUnit::to_pseudocode() const {
+    std::ostringstream os;
+    const auto value = [&](const ValueRef& v) -> std::string {
+        if (v.kind == ValueRef::Kind::Param) return param_names.at(v.index);
+        return slot_names.at(v.index);
+    };
+    for (const auto& fn : functions) {
+        os << block_name << "." << fn.sig.name << "(";
+        for (std::size_t i = 0; i < fn.sig.reads.size(); ++i)
+            os << (i ? ", " : "") << param_names.at(fn.sig.reads[i]);
+        os << ")";
+        if (!fn.sig.writes.empty()) {
+            os << " returns (";
+            for (std::size_t i = 0; i < fn.sig.writes.size(); ++i)
+                os << (i ? ", " : "") << output_names.at(fn.sig.writes[i]);
+            os << ")";
+        }
+        os << " {\n";
+        std::string indent = "  ";
+        for (const auto& s : fn.body) {
+            if (std::holds_alternative<GuardEnd>(s)) {
+                indent = "  ";
+                os << indent << "}\n";
+                continue;
+            }
+            os << indent;
+            if (const auto* call = std::get_if<CallStmt>(&s)) {
+                if (call->trigger) os << "if (" << value(*call->trigger) << " >= 0.5) ";
+                if (!call->results.empty()) {
+                    os << (call->results.size() > 1 ? "(" : "");
+                    for (std::size_t i = 0; i < call->results.size(); ++i)
+                        os << (i ? ", " : "") << slot_names.at(call->results[i]);
+                    os << (call->results.size() > 1 ? ")" : "") << " := ";
+                }
+                os << call->callee << "(";
+                for (std::size_t i = 0; i < call->args.size(); ++i)
+                    os << (i ? ", " : "") << value(call->args[i]);
+                os << ");\n";
+            } else if (const auto* assign = std::get_if<AssignStmt>(&s)) {
+                os << slot_names.at(assign->dst_slot) << " := " << value(assign->src) << ";\n";
+            } else if (const auto* gb = std::get_if<GuardBegin>(&s)) {
+                os << "if (c" << gb->counter << " == 0) {\n";
+                indent = "    ";
+            } else if (const auto* bump = std::get_if<BumpStmt>(&s)) {
+                os << "c" << bump->counter << " := (c" << bump->counter << " + 1) mod "
+                   << bump->mod << ";\n";
+            }
+        }
+        if (!fn.returns.empty()) {
+            os << "  return (";
+            for (std::size_t i = 0; i < fn.returns.size(); ++i)
+                os << (i ? ", " : "") << value(fn.returns[i]);
+            os << ");\n";
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace sbd::codegen

@@ -1,0 +1,97 @@
+#ifndef SBD_CORE_IR_HPP
+#define SBD_CORE_IR_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/profile.hpp"
+
+namespace sbd::codegen {
+
+/// A value read by a generated statement: either a parameter of the
+/// enclosing interface function (a macro input port) or a persistent slot
+/// (an internal signal, kept in the generated block's state as the paper's
+/// "internal persistent variables" z1, z2, ...).
+struct ValueRef {
+    enum class Kind : std::uint8_t { Param, Slot };
+    Kind kind = Kind::Slot;
+    std::int32_t index = -1; ///< input port for Param, slot id for Slot
+
+    static ValueRef param(std::int32_t port) { return {Kind::Param, port}; }
+    static ValueRef slot(std::int32_t s) { return {Kind::Slot, s}; }
+    bool operator==(const ValueRef&) const = default;
+};
+
+/// slots... := sub.fn(args...), optionally predicated on a trigger:
+/// if (trigger >= 0.5) { slots... := sub.fn(args...) }. Skipping the call
+/// leaves the result slots at their previous values — exactly the triggered
+/// extension's hold semantics.
+struct CallStmt {
+    std::int32_t sub = -1; ///< sub-block index in the macro
+    std::int32_t fn = -1;  ///< interface-function index in the sub's profile
+    std::vector<ValueRef> args;        ///< one per read port of sub.fn, in order
+    std::vector<std::int32_t> results; ///< one slot per written port, in order
+    std::string callee;                ///< display name, e.g. "A.step"
+    std::optional<ValueRef> trigger;   ///< fire-vs-hold predicate, if triggered
+};
+
+/// slot := value  (pass-through of a macro input)
+struct AssignStmt {
+    ValueRef src;
+    std::int32_t dst_slot = -1;
+};
+
+/// if (c<counter> == 0) { ... until the matching GuardEnd ... }
+/// Guards implement exactly-once firing of SDG nodes shared between
+/// overlapping clusters (the paper's Figure 5 modulo counter).
+struct GuardBegin {
+    std::int32_t counter = -1;
+};
+struct GuardEnd {};
+
+/// c<counter> := (c<counter> + 1) mod <mod>
+struct BumpStmt {
+    std::int32_t counter = -1;
+    std::int32_t mod = 0;
+};
+
+using Stmt = std::variant<CallStmt, AssignStmt, GuardBegin, GuardEnd, BumpStmt>;
+
+/// A generated interface function: its exported signature, its body and the
+/// value returned for each written output port (aligned with sig.writes).
+struct GenFunction {
+    InterfaceFunction sig;
+    std::vector<Stmt> body;
+    std::vector<ValueRef> returns;
+};
+
+/// The complete generated code of one macro block: the functions behind its
+/// exported profile plus its persistent data (signal slots and guard
+/// counters). Self-contained for printing: all display names are copied in.
+struct CodeUnit {
+    std::string block_name;
+    std::vector<GenFunction> functions; ///< aligned with the exported profile
+    std::size_t num_slots = 0;
+    std::vector<std::string> slot_names;
+    std::vector<std::int32_t> counter_mods; ///< per counter: its modulus
+    std::vector<std::int32_t> sequential_subs; ///< sub indices needing init()
+    std::vector<std::string> param_names;  ///< macro input port names
+    std::vector<std::string> output_names; ///< macro output port names
+
+    /// Number of statement lines (calls + assigns + guards + bumps + one
+    /// signature and one return line per function) — the code-size measure
+    /// of Section 5.
+    std::size_t line_count() const;
+    /// Number of call statements, counting replicated ones each time.
+    std::size_t call_count() const;
+
+    /// Paper-style pseudocode (Figures 5 and 6).
+    std::string to_pseudocode() const;
+};
+
+} // namespace sbd::codegen
+
+#endif

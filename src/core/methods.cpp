@@ -1,0 +1,192 @@
+#include "core/methods.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace sbd::codegen {
+
+namespace {
+
+/// Per-node reach information used by the clustering methods.
+struct Reach {
+    std::vector<graph::Bitset> out_of; ///< per SDG node: output ports it reaches
+    std::vector<graph::Bitset> in_of_output; ///< per output port: inputs it depends on
+};
+
+Reach compute_reach(const Sdg& sdg) {
+    Reach r;
+    const std::size_t n = sdg.graph.num_nodes();
+    const std::size_t nin = sdg.num_inputs();
+    const std::size_t nout = sdg.num_outputs();
+    r.out_of.assign(n, graph::Bitset(nout));
+    r.in_of_output.assign(nout, graph::Bitset(nin));
+    for (std::size_t o = 0; o < nout; ++o) {
+        const auto reaching = sdg.graph.reaching_to(sdg.output_nodes[o]);
+        for (std::size_t v = 0; v < n; ++v)
+            if (reaching.test(v)) r.out_of[v].set(o);
+        for (std::size_t i = 0; i < nin; ++i)
+            if (reaching.test(sdg.input_nodes[i])) r.in_of_output[o].set(i);
+    }
+    return r;
+}
+
+void sort_clusters(Clustering& c) {
+    for (auto& cl : c.clusters) std::sort(cl.begin(), cl.end());
+}
+
+} // namespace
+
+Clustering cluster_monolithic(const Sdg& sdg) {
+    Clustering c;
+    c.method = Method::Monolithic;
+    if (!sdg.internal_nodes.empty()) c.clusters.push_back(sdg.internal_nodes);
+    sort_clusters(c);
+    return c;
+}
+
+Clustering cluster_singletons(const Sdg& sdg) {
+    Clustering c;
+    c.method = Method::Singletons;
+    for (const auto v : sdg.internal_nodes) c.clusters.push_back({v});
+    return c;
+}
+
+Clustering cluster_stepget(const Sdg& sdg) {
+    const Reach r = compute_reach(sdg);
+    Clustering c;
+    c.method = Method::StepGet;
+    std::vector<graph::NodeId> get_cluster, step_cluster;
+    for (const auto v : sdg.internal_nodes)
+        (r.out_of[v].any() ? get_cluster : step_cluster).push_back(v);
+    if (!get_cluster.empty()) c.clusters.push_back(std::move(get_cluster));
+    if (!step_cluster.empty()) c.clusters.push_back(std::move(step_cluster));
+    sort_clusters(c);
+    return c;
+}
+
+Clustering cluster_dynamic(const Sdg& sdg, const ClusterOptions& opts) {
+    const Reach r = compute_reach(sdg);
+    const std::size_t nout = sdg.num_outputs();
+
+    Clustering c;
+    c.method = Method::Dynamic;
+
+    // Group outputs by their exact input-dependency set: outputs with equal
+    // In(y) can share an interface function without losing reusability;
+    // outputs with different In(y) cannot.
+    std::vector<graph::Bitset> class_key;   ///< In-set per class
+    std::vector<graph::Bitset> class_mask;  ///< member outputs per class
+    for (std::size_t o = 0; o < nout; ++o) {
+        std::size_t cls = class_key.size();
+        for (std::size_t k = 0; k < class_key.size(); ++k)
+            if (class_key[k] == r.in_of_output[o]) {
+                cls = k;
+                break;
+            }
+        if (cls == class_key.size()) {
+            class_key.push_back(r.in_of_output[o]);
+            class_mask.emplace_back(nout);
+        }
+        class_mask[cls].set(o);
+    }
+
+    // One cluster per class: the union of the backward cones of its outputs.
+    // Cones are backward-closed, so they may overlap (the paper's Figure 4);
+    // overlap is what keeps the function count minimal.
+    for (std::size_t k = 0; k < class_key.size(); ++k) {
+        std::vector<graph::NodeId> cone;
+        for (const auto v : sdg.internal_nodes)
+            if (r.out_of[v].intersects(class_mask[k])) cone.push_back(v);
+        c.clusters.push_back(std::move(cone));
+    }
+
+    // Internal nodes feeding no output (typically state updates) form the
+    // trailing update cluster...
+    std::vector<graph::NodeId> leftover;
+    for (const auto v : sdg.internal_nodes)
+        if (r.out_of[v].none()) leftover.push_back(v);
+
+    if (!leftover.empty()) {
+        // ... unless they can be folded into one of the output clusters
+        // without adding false input-output dependencies: folding into class
+        // k is safe iff every input the merged cluster would (transitively,
+        // at the profile level) depend on is already in In(class k).
+        bool folded = false;
+        if (opts.fold_update_into_get) {
+            for (std::size_t k = 0; k < class_key.size() && !folded; ++k) {
+                graph::Bitset required(sdg.num_inputs());
+                for (const auto v : leftover) {
+                    for (const auto u : sdg.graph.predecessors(v)) {
+                        if (sdg.is_input(u)) {
+                            required.set(static_cast<std::size_t>(sdg.nodes[u].port));
+                        } else if (r.out_of[u].any() && !r.out_of[u].intersects(class_mask[k])) {
+                            // u lives in other output clusters: a PDG edge
+                            // from each of them would be synthesized, pulling
+                            // in their whole input sets.
+                            for (std::size_t k2 = 0; k2 < class_key.size(); ++k2)
+                                if (r.out_of[u].intersects(class_mask[k2]))
+                                    required |= class_key[k2];
+                        }
+                    }
+                }
+                if (required.is_subset_of(class_key[k])) {
+                    auto& cl = c.clusters[k];
+                    cl.insert(cl.end(), leftover.begin(), leftover.end());
+                    folded = true;
+                }
+            }
+        }
+        if (!folded) c.clusters.push_back(std::move(leftover));
+    }
+
+    sort_clusters(c);
+    return c;
+}
+
+Clustering cluster_disjoint_greedy(const Sdg& sdg) {
+    Clustering c;
+    c.method = Method::DisjointGreedy;
+    const auto order = sdg.graph.topological_order();
+    assert(order.has_value());
+
+    std::vector<graph::NodeId> pending = sdg.internal_nodes; // still singleton
+    const auto try_clustering = [&](const Clustering& candidate) {
+        return check_validity(sdg, candidate).valid();
+    };
+    for (const auto v : *order) {
+        if (!sdg.is_internal(v)) continue;
+        pending.erase(std::find(pending.begin(), pending.end(), v));
+        bool placed = false;
+        for (std::size_t k = 0; k < c.clusters.size() && !placed; ++k) {
+            Clustering candidate = c;
+            candidate.clusters[k].push_back(v);
+            std::sort(candidate.clusters[k].begin(), candidate.clusters[k].end());
+            for (const auto w : pending) candidate.clusters.push_back({w});
+            if (try_clustering(candidate)) {
+                c.clusters[k].push_back(v);
+                std::sort(c.clusters[k].begin(), c.clusters[k].end());
+                placed = true;
+            }
+        }
+        if (!placed) c.clusters.push_back({v});
+    }
+    sort_clusters(c);
+    return c;
+}
+
+Clustering cluster(const Sdg& sdg, Method method, const ClusterOptions& opts,
+                   SatClusterStats* sat_stats) {
+    switch (method) {
+    case Method::Monolithic: return cluster_monolithic(sdg);
+    case Method::StepGet: return cluster_stepget(sdg);
+    case Method::Dynamic: return cluster_dynamic(sdg, opts);
+    case Method::DisjointSat: return cluster_disjoint_sat(sdg, opts, sat_stats);
+    case Method::DisjointGreedy: return cluster_disjoint_greedy(sdg);
+    case Method::Singletons: return cluster_singletons(sdg);
+    }
+    assert(false);
+    return {};
+}
+
+} // namespace sbd::codegen

@@ -1,0 +1,91 @@
+#ifndef SBD_CORE_METHODS_HPP
+#define SBD_CORE_METHODS_HPP
+
+#include <cstdint>
+
+#include "core/clustering.hpp"
+#include "sat/dimacs.hpp"
+
+namespace sbd::codegen {
+
+/// Tuning knobs for the clustering methods.
+struct ClusterOptions {
+    /// Dynamic method: fold the trailing update cluster into an output
+    /// cluster when that adds no false dependencies (keeps the function
+    /// count at the theoretical minimum).
+    bool fold_update_into_get = true;
+    /// SAT method: first k to try; -1 = derive the lower bound from the
+    /// dynamic method's cluster count.
+    int sat_start_k = -1;
+    /// SAT method: add symmetry-breaking clauses (cluster ids ordered by
+    /// minimal member node).
+    bool sat_symmetry_breaking = true;
+    /// SAT method: abort (throw Solver::BudgetExceeded) past this many
+    /// conflicts accumulated over all iterations; 0 = unlimited.
+    std::uint64_t sat_conflict_budget = 0;
+};
+
+/// Statistics of the iterated-SAT optimal disjoint clustering (Section 7).
+struct SatClusterStats {
+    std::size_t iterations = 0; ///< number of F_k instances solved
+    std::size_t first_k = 0;    ///< k of the first (smallest) instance
+    std::size_t final_k = 0;    ///< k of the satisfiable instance
+    std::size_t vars = 0;       ///< variables of the final instance
+    std::size_t clauses = 0;    ///< clauses of the final instance
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+};
+
+/// One cluster containing every internal node: the folk "single step()"
+/// code generation from the paper's Introduction. Maximal modularity, no
+/// replication, but generally adds false input-output dependencies.
+Clustering cluster_monolithic(const Sdg& sdg);
+
+/// DATE'08 step-get: one cluster with the union of all output cones (the
+/// "get"/output function) and one with the remaining nodes (the
+/// "step"/update function). At most two functions; no replication; not
+/// maximally reusable in general.
+Clustering cluster_stepget(const Sdg& sdg);
+
+/// DATE'08 dynamic method: one (possibly overlapping) cluster per group of
+/// outputs with identical input-dependency sets — each cluster is the union
+/// of the backward cones of its outputs — plus, if needed, one update
+/// cluster for internal nodes feeding no output. Maximal reusability with
+/// the minimal number of interface functions; overlap causes replication.
+Clustering cluster_dynamic(const Sdg& sdg, const ClusterOptions& opts = {});
+
+/// One cluster per internal node (the fine-grain interface of Hainque et
+/// al.): always valid, maximally reusable, zero replication, but the worst
+/// possible modularity.
+Clustering cluster_singletons(const Sdg& sdg);
+
+/// Polynomial disjoint heuristic: processes internal nodes in topological
+/// order, placing each into the first existing cluster that keeps the
+/// partial clustering valid. Zero replication, maximal reusability, but no
+/// optimality guarantee.
+Clustering cluster_disjoint_greedy(const Sdg& sdg);
+
+/// This paper's optimal disjoint clustering: minimal number of
+/// non-overlapping clusters with maximal reusability, solved by iterating
+/// the SAT encoding F_k of Figure 8 over increasing k (Section 7).
+Clustering cluster_disjoint_sat(const Sdg& sdg, const ClusterOptions& opts = {},
+                                SatClusterStats* stats = nullptr);
+
+/// The propositional formula F_k of the paper's Figure 8 in CNF form, for
+/// interchange with external SAT solvers (DIMACS via sat::to_dimacs).
+/// Variable layout, 0-based: X[b][j] = b*k + j for internal-node index b
+/// (position in sdg.internal_nodes), then Y[o][j] = |Vint|*k + o*k + j,
+/// then Z[i][j] = (|Vint| + |Vout|)*k + i*k + j. The formula is
+/// satisfiable iff an almost-valid clustering with exactly k clusters
+/// exists (Lemma 6); symmetry-breaking clauses are appended when enabled
+/// in `opts` (they preserve satisfiability).
+sat::Cnf encode_fk(const Sdg& sdg, std::size_t k, const ClusterOptions& opts = {});
+
+/// Dispatch by method id.
+Clustering cluster(const Sdg& sdg, Method method, const ClusterOptions& opts = {},
+                   SatClusterStats* sat_stats = nullptr);
+
+} // namespace sbd::codegen
+
+#endif

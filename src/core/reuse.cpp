@@ -1,0 +1,44 @@
+#include "core/reuse.hpp"
+
+#include "graph/digraph.hpp"
+
+namespace sbd::codegen {
+
+bool supports_feedback(const Profile& profile,
+                       std::span<const std::pair<std::size_t, std::size_t>> loops) {
+    graph::Digraph g(profile.functions.size());
+    for (const auto& [a, b] : profile.pdg_edges)
+        g.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+    for (const auto& [o, i] : loops) {
+        const std::int32_t writer = profile.writer_of_output(o);
+        if (writer < 0) continue; // unproduced output cannot close a loop
+        for (const std::size_t reader : profile.readers_of_input(i)) {
+            if (static_cast<std::size_t>(writer) == reader) return false; // self-dependency
+            g.add_edge(static_cast<graph::NodeId>(writer), static_cast<graph::NodeId>(reader));
+        }
+    }
+    return g.is_acyclic();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> legal_feedback_pairs(const Sdg& sdg) {
+    std::vector<std::pair<std::size_t, std::size_t>> legal;
+    for (std::size_t i = 0; i < sdg.num_inputs(); ++i) {
+        const auto reach = sdg.graph.reachable_from(sdg.input_nodes[i]);
+        for (std::size_t o = 0; o < sdg.num_outputs(); ++o)
+            if (!reach.test(sdg.output_nodes[o])) legal.emplace_back(o, i);
+    }
+    return legal;
+}
+
+ReusabilityReport reusability(const Sdg& sdg, const Profile& profile) {
+    ReusabilityReport r;
+    const auto legal = legal_feedback_pairs(sdg);
+    r.legal_contexts = legal.size();
+    for (const auto& loop : legal) {
+        const std::pair<std::size_t, std::size_t> one[] = {loop};
+        if (supports_feedback(profile, one)) ++r.supported_contexts;
+    }
+    return r;
+}
+
+} // namespace sbd::codegen

@@ -1,0 +1,45 @@
+#ifndef SBD_CORE_REUSE_HPP
+#define SBD_CORE_REUSE_HPP
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/sdg.hpp"
+
+namespace sbd::codegen {
+
+/// Parent-level dependency analysis for an embedding: can a block with this
+/// profile be used in a context that wires output port `o` back to input
+/// port `i` (combinationally) for every pair in `loops`? True iff the
+/// function-level graph (PDG edges plus writer(o) -> readers(i) edges per
+/// loop) stays acyclic — exactly the check the paper's code-generation
+/// step 1 performs in the enclosing diagram.
+bool supports_feedback(const Profile& profile,
+                       std::span<const std::pair<std::size_t, std::size_t>> loops);
+
+/// All feedback pairs (o, i) that the diagram's true semantics allows, i.e.
+/// output o does not depend on input i, so connecting o to i creates no
+/// real dependency cycle.
+std::vector<std::pair<std::size_t, std::size_t>> legal_feedback_pairs(const Sdg& sdg);
+
+/// Quantified reusability of a profile against its block's SDG: how many of
+/// the semantically legal single-wire feedback contexts the profile
+/// supports. score() == 1 iff the profile achieves maximal reusability on
+/// single-wire contexts.
+struct ReusabilityReport {
+    std::size_t legal_contexts = 0;
+    std::size_t supported_contexts = 0;
+    double score() const {
+        return legal_contexts == 0
+                   ? 1.0
+                   : static_cast<double>(supported_contexts) / static_cast<double>(legal_contexts);
+    }
+};
+
+ReusabilityReport reusability(const Sdg& sdg, const Profile& profile);
+
+} // namespace sbd::codegen
+
+#endif

@@ -1,0 +1,158 @@
+#include "core/sdg.hpp"
+
+#include <cassert>
+
+namespace sbd::codegen {
+
+std::vector<std::string> Sdg::labels() const {
+    std::vector<std::string> out(nodes.size());
+    for (std::size_t v = 0; v < nodes.size(); ++v) {
+        const SdgNode& n = nodes[v];
+        switch (n.kind) {
+        case SdgNode::Kind::Input: out[v] = "in:" + std::to_string(n.port); break;
+        case SdgNode::Kind::Output: out[v] = "out:" + std::to_string(n.port); break;
+        case SdgNode::Kind::Internal:
+            out[v] = n.is_passthrough()
+                         ? "pass:" + std::to_string(n.pt_input) + "->" + std::to_string(n.port)
+                         : "sub" + std::to_string(n.sub) + ".fn" + std::to_string(n.fn);
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Sdg::io_dependencies() const {
+    std::vector<std::pair<std::size_t, std::size_t>> deps;
+    for (std::size_t i = 0; i < input_nodes.size(); ++i) {
+        const auto reach = graph.reachable_from(input_nodes[i]);
+        for (std::size_t o = 0; o < output_nodes.size(); ++o)
+            if (reach.test(output_nodes[o])) deps.emplace_back(i, o);
+    }
+    return deps;
+}
+
+std::string node_label(const Sdg& sdg, const MacroBlock& m,
+                       std::span<const Profile* const> sub_profiles, graph::NodeId v) {
+    const SdgNode& n = sdg.nodes[v];
+    switch (n.kind) {
+    case SdgNode::Kind::Input: return m.input_name(n.port);
+    case SdgNode::Kind::Output: return m.output_name(n.port);
+    case SdgNode::Kind::Internal:
+        if (n.is_passthrough())
+            return m.output_name(n.port) + ":=" + m.input_name(n.pt_input);
+        return m.sub(n.sub).name + "." + sub_profiles[n.sub]->functions[n.fn].name;
+    }
+    return "?";
+}
+
+Sdg build_sdg_unchecked(const MacroBlock& m, std::span<const Profile* const> sub_profiles,
+                        bool* cyclic) {
+    assert(sub_profiles.size() == m.num_subs());
+    m.validate();
+
+    Sdg sdg;
+    // Input and output nodes.
+    for (std::size_t i = 0; i < m.num_inputs(); ++i) {
+        const auto v = sdg.graph.add_node();
+        sdg.nodes.push_back(SdgNode{SdgNode::Kind::Input, static_cast<std::int32_t>(i), -1, -1, -1});
+        sdg.input_nodes.push_back(v);
+    }
+    for (std::size_t o = 0; o < m.num_outputs(); ++o) {
+        const auto v = sdg.graph.add_node();
+        sdg.nodes.push_back(
+            SdgNode{SdgNode::Kind::Output, static_cast<std::int32_t>(o), -1, -1, -1});
+        sdg.output_nodes.push_back(v);
+    }
+    // One internal node per interface function of every sub-block.
+    std::vector<std::vector<graph::NodeId>> fn_node(m.num_subs());
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        const Profile& p = *sub_profiles[s];
+        fn_node[s].resize(p.functions.size());
+        for (std::size_t f = 0; f < p.functions.size(); ++f) {
+            const auto v = sdg.graph.add_node();
+            sdg.nodes.push_back(SdgNode{SdgNode::Kind::Internal, -1,
+                                        static_cast<std::int32_t>(s), static_cast<std::int32_t>(f),
+                                        -1});
+            fn_node[s][f] = v;
+            sdg.internal_nodes.push_back(v);
+        }
+    }
+
+    // Lifted PDG edges of every sub-block.
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        for (const auto& [a, b] : sub_profiles[s]->pdg_edges)
+            sdg.graph.add_edge(fn_node[s][a], fn_node[s][b]);
+
+    // Trigger wires: every interface function of a triggered sub-block
+    // reads the trigger value to decide fire-vs-hold, so it depends on the
+    // trigger's writer.
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        const auto& trig = m.sub(s).trigger;
+        if (!trig) continue;
+        for (std::size_t f = 0; f < sub_profiles[s]->functions.size(); ++f) {
+            if (trig->kind == Endpoint::Kind::MacroInput) {
+                sdg.graph.add_edge(sdg.input_nodes[trig->port], fn_node[s][f]);
+            } else {
+                const Profile& ps = *sub_profiles[trig->sub];
+                const std::int32_t w = ps.writer_of_output(static_cast<std::size_t>(trig->port));
+                if (w < 0)
+                    throw ModelError("trigger of sub-block '" + m.sub(s).name +
+                                     "' has no writer in the producer's profile");
+                sdg.graph.add_edge(fn_node[trig->sub][w], fn_node[s][f]);
+            }
+        }
+    }
+
+    // Dataflow edges along connections.
+    for (const Connection& c : m.connections()) {
+        if (c.src.kind == Endpoint::Kind::MacroInput &&
+            c.dst.kind == Endpoint::Kind::MacroOutput) {
+            // Direct feed-through: insert the paper's dummy internal node so
+            // that no input->output edge exists.
+            const auto v = sdg.graph.add_node();
+            sdg.nodes.push_back(
+                SdgNode{SdgNode::Kind::Internal, c.dst.port, -1, -1, c.src.port});
+            sdg.internal_nodes.push_back(v);
+            sdg.graph.add_edge(sdg.input_nodes[c.src.port], v);
+            sdg.graph.add_edge(v, sdg.output_nodes[c.dst.port]);
+            continue;
+        }
+        if (c.dst.kind == Endpoint::Kind::SubInput) {
+            const Profile& pd = *sub_profiles[c.dst.sub];
+            const auto readers = pd.readers_of_input(static_cast<std::size_t>(c.dst.port));
+            if (c.src.kind == Endpoint::Kind::MacroInput) {
+                for (const std::size_t g : readers)
+                    sdg.graph.add_edge(sdg.input_nodes[c.src.port], fn_node[c.dst.sub][g]);
+            } else {
+                const Profile& ps = *sub_profiles[c.src.sub];
+                const std::int32_t f = ps.writer_of_output(static_cast<std::size_t>(c.src.port));
+                if (f < 0)
+                    throw ModelError("profile of sub-block '" + m.sub(c.src.sub).name +
+                                     "' writes no function for a connected output");
+                for (const std::size_t g : readers)
+                    sdg.graph.add_edge(fn_node[c.src.sub][f], fn_node[c.dst.sub][g]);
+            }
+        } else {
+            assert(c.dst.kind == Endpoint::Kind::MacroOutput);
+            assert(c.src.kind == Endpoint::Kind::SubOutput);
+            const Profile& ps = *sub_profiles[c.src.sub];
+            const std::int32_t f = ps.writer_of_output(static_cast<std::size_t>(c.src.port));
+            if (f < 0)
+                throw ModelError("profile of sub-block '" + m.sub(c.src.sub).name +
+                                 "' writes no function for a connected output");
+            sdg.graph.add_edge(fn_node[c.src.sub][f], sdg.output_nodes[c.dst.port]);
+        }
+    }
+
+    if (cyclic != nullptr) *cyclic = !sdg.graph.is_acyclic();
+    return sdg;
+}
+
+Sdg build_sdg(const MacroBlock& m, std::span<const Profile* const> sub_profiles) {
+    bool cyclic = false;
+    Sdg sdg = build_sdg_unchecked(m, sub_profiles, &cyclic);
+    if (cyclic) throw SdgCycleError(m.type_name());
+    return sdg;
+}
+
+} // namespace sbd::codegen

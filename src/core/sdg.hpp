@@ -1,0 +1,95 @@
+#ifndef SBD_CORE_SDG_HPP
+#define SBD_CORE_SDG_HPP
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/bitset.hpp"
+#include "graph/digraph.hpp"
+#include "sbd/block.hpp"
+#include "core/profile.hpp"
+
+namespace sbd::codegen {
+
+/// Raised when the SDG of a macro block has a dependency cycle, i.e. modular
+/// code generation fails and the block would have to be flattened (paper,
+/// code generation step 1).
+class SdgCycleError : public std::runtime_error {
+public:
+    explicit SdgCycleError(const std::string& block_name)
+        : std::runtime_error("scheduling dependency graph of macro block '" + block_name +
+                             "' is cyclic: modular code generation rejected"),
+          block_name_(block_name) {}
+    const std::string& block_name() const { return block_name_; }
+
+private:
+    std::string block_name_;
+};
+
+/// One node of the scheduling dependency graph. Following Section 6's
+/// formalization, V = V_in (one node per macro input port) + V_out (one node
+/// per macro output port) + V_int. Internal nodes are either an interface
+/// function of a sub-block instance or a pass-through node inserted for a
+/// direct input-to-output wire (the paper's "dummy internal node", needed
+/// because no direct edge between an input node and an output node is
+/// allowed).
+struct SdgNode {
+    enum class Kind : std::uint8_t { Input, Output, Internal };
+    Kind kind = Kind::Internal;
+    std::int32_t port = -1; ///< macro port for Input/Output nodes
+    std::int32_t sub = -1;  ///< sub-block index; -1 for a pass-through node
+    std::int32_t fn = -1;   ///< interface-function index within the sub's profile
+    /// For pass-through nodes: the macro input port copied to `port`.
+    std::int32_t pt_input = -1;
+
+    bool is_passthrough() const { return kind == Kind::Internal && sub < 0; }
+};
+
+/// The scheduling dependency graph of a macro block, together with the node
+/// classification and convenience indices.
+struct Sdg {
+    graph::Digraph graph;
+    std::vector<SdgNode> nodes;
+    std::vector<graph::NodeId> input_nodes;  ///< per macro input port
+    std::vector<graph::NodeId> output_nodes; ///< per macro output port
+    std::vector<graph::NodeId> internal_nodes;
+
+    std::size_t num_inputs() const { return input_nodes.size(); }
+    std::size_t num_outputs() const { return output_nodes.size(); }
+
+    bool is_input(graph::NodeId v) const { return nodes[v].kind == SdgNode::Kind::Input; }
+    bool is_output(graph::NodeId v) const { return nodes[v].kind == SdgNode::Kind::Output; }
+    bool is_internal(graph::NodeId v) const { return nodes[v].kind == SdgNode::Kind::Internal; }
+
+    /// Human-readable node labels ("A.step", "in:x1", ...).
+    std::vector<std::string> labels() const;
+
+    /// Input-output dependency pairs (i, o), port-indexed, of the graph
+    /// itself: o truly depends on i. This is the baseline against which
+    /// clusterings must not add pairs (maximal reusability).
+    std::vector<std::pair<std::size_t, std::size_t>> io_dependencies() const;
+};
+
+/// Builds the SDG of `m` from the profiles of its sub-blocks (one profile
+/// per sub, in order). Throws SdgCycleError if the result is cyclic and
+/// ModelError if the diagram is structurally invalid.
+///
+/// `sub_labels` (optional, same length as profiles) supplies instance names
+/// for labels; defaults to the macro's instance names.
+Sdg build_sdg(const MacroBlock& m, std::span<const Profile* const> sub_profiles);
+
+/// As build_sdg but returns the graph even if cyclic (for tests and for
+/// reporting); *cyclic is set accordingly.
+Sdg build_sdg_unchecked(const MacroBlock& m, std::span<const Profile* const> sub_profiles,
+                        bool* cyclic);
+
+/// The macro-level label of an SDG node (needs the macro for port/instance
+/// names).
+std::string node_label(const Sdg& sdg, const MacroBlock& m,
+                       std::span<const Profile* const> sub_profiles, graph::NodeId v);
+
+} // namespace sbd::codegen
+
+#endif

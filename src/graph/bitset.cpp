@@ -1,0 +1,59 @@
+#include "graph/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace sbd::graph {
+
+void Bitset::clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    return *this;
+}
+
+bool Bitset::none() const {
+    for (auto w : words_)
+        if (w != 0) return false;
+    return true;
+}
+
+std::size_t Bitset::count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+bool Bitset::is_subset_of(const Bitset& other) const {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        if ((words_[w] & ~other.words_[w]) != 0) return false;
+    return true;
+}
+
+bool Bitset::intersects(const Bitset& other) const {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        if ((words_[w] & other.words_[w]) != 0) return true;
+    return false;
+}
+
+std::vector<std::size_t> Bitset::to_indices() const {
+    std::vector<std::size_t> out;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        std::uint64_t word = words_[w];
+        while (word != 0) {
+            const int bit = std::countr_zero(word);
+            out.push_back(w * 64 + static_cast<std::size_t>(bit));
+            word &= word - 1;
+        }
+    }
+    return out;
+}
+
+} // namespace sbd::graph

@@ -1,0 +1,57 @@
+#ifndef SBD_GRAPH_BITSET_HPP
+#define SBD_GRAPH_BITSET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbd::graph {
+
+/// Dynamically sized bit set used for dense reachability computations.
+///
+/// The transitive-closure algorithms in this library (Proposition 1 of the
+/// paper requires comparing closures of a graph and of its quotient) operate
+/// on row bitsets so that closure of an n-node graph costs O(n^2 * n/64)
+/// word operations.
+class Bitset {
+public:
+    Bitset() = default;
+    explicit Bitset(std::size_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+    std::size_t size() const { return nbits_; }
+
+    void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+    void reset(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+    bool test(std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+    void clear();
+
+    /// Bitwise or-assign; both sets must have the same size.
+    Bitset& operator|=(const Bitset& other);
+    /// Bitwise and-assign; both sets must have the same size.
+    Bitset& operator&=(const Bitset& other);
+
+    bool operator==(const Bitset& other) const = default;
+
+    /// True if no bit is set.
+    bool none() const;
+    /// True if any bit is set.
+    bool any() const { return !none(); }
+    /// Number of set bits.
+    std::size_t count() const;
+    /// True if every bit set here is also set in `other`.
+    bool is_subset_of(const Bitset& other) const;
+    /// True if at least one bit is set in both.
+    bool intersects(const Bitset& other) const;
+
+    /// Indices of all set bits, ascending.
+    std::vector<std::size_t> to_indices() const;
+
+private:
+    std::size_t nbits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace sbd::graph
+
+#endif

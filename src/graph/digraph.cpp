@@ -1,0 +1,199 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stack>
+
+namespace sbd::graph {
+
+Digraph::Digraph(std::size_t num_nodes) : succ_(num_nodes), pred_(num_nodes) {}
+
+NodeId Digraph::add_node() {
+    succ_.emplace_back();
+    pred_.emplace_back();
+    return static_cast<NodeId>(succ_.size() - 1);
+}
+
+void Digraph::add_edge(NodeId u, NodeId v) {
+    assert(u < num_nodes() && v < num_nodes());
+    if (has_edge(u, v)) return;
+    succ_[u].push_back(v);
+    pred_[v].push_back(u);
+    ++num_edges_;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+    const auto& s = succ_[u];
+    return std::find(s.begin(), s.end(), v) != s.end();
+}
+
+std::optional<std::vector<NodeId>> Digraph::topological_order() const {
+    const std::size_t n = num_nodes();
+    std::vector<std::size_t> indeg(n);
+    for (NodeId u = 0; u < n; ++u) indeg[u] = in_degree(u);
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::vector<NodeId> ready;
+    for (NodeId u = 0; u < n; ++u)
+        if (indeg[u] == 0) ready.push_back(u);
+    while (!ready.empty()) {
+        const NodeId u = ready.back();
+        ready.pop_back();
+        order.push_back(u);
+        for (NodeId v : succ_[u])
+            if (--indeg[v] == 0) ready.push_back(v);
+    }
+    if (order.size() != n) return std::nullopt;
+    return order;
+}
+
+std::vector<NodeId> Digraph::scc_ids(std::size_t* num_components) const {
+    const std::size_t n = num_nodes();
+    constexpr NodeId kUnvisited = static_cast<NodeId>(-1);
+    std::vector<NodeId> index(n, kUnvisited), lowlink(n, 0), comp(n, kUnvisited);
+    std::vector<bool> on_stack(n, false);
+    std::vector<NodeId> stack;
+    NodeId next_index = 0, next_comp = 0;
+
+    // Iterative Tarjan to avoid stack overflow on long chains.
+    struct Frame {
+        NodeId node;
+        std::size_t child;
+    };
+    std::vector<Frame> frames;
+    for (NodeId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited) continue;
+        frames.push_back({root, 0});
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            const NodeId u = f.node;
+            if (f.child == 0) {
+                index[u] = lowlink[u] = next_index++;
+                stack.push_back(u);
+                on_stack[u] = true;
+            }
+            bool descended = false;
+            while (f.child < succ_[u].size()) {
+                const NodeId v = succ_[u][f.child++];
+                if (index[v] == kUnvisited) {
+                    frames.push_back({v, 0});
+                    descended = true;
+                    break;
+                }
+                if (on_stack[v]) lowlink[u] = std::min(lowlink[u], index[v]);
+            }
+            if (descended) continue;
+            if (lowlink[u] == index[u]) {
+                NodeId w;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    comp[w] = next_comp;
+                } while (w != u);
+                ++next_comp;
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                const NodeId parent = frames.back().node;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+            }
+        }
+    }
+    if (num_components != nullptr) *num_components = next_comp;
+    return comp;
+}
+
+std::vector<Bitset> Digraph::transitive_closure() const {
+    const std::size_t n = num_nodes();
+    std::vector<Bitset> reach(n, Bitset(n));
+    const auto order = topological_order();
+    if (order) {
+        // DAG: process in reverse topological order; reach(u) = union of
+        // ({v} | reach(v)) over successors v.
+        for (auto it = order->rbegin(); it != order->rend(); ++it) {
+            const NodeId u = *it;
+            for (NodeId v : succ_[u]) {
+                reach[u].set(v);
+                reach[u] |= reach[v];
+            }
+        }
+        return reach;
+    }
+    // General case: per-node BFS (used only in tests on cyclic graphs).
+    for (NodeId u = 0; u < n; ++u) reach[u] = reachable_from(u);
+    return reach;
+}
+
+Bitset Digraph::reachable_from(NodeId start) const {
+    Bitset seen(num_nodes());
+    std::vector<NodeId> work;
+    for (NodeId v : succ_[start])
+        if (!seen.test(v)) {
+            seen.set(v);
+            work.push_back(v);
+        }
+    while (!work.empty()) {
+        const NodeId u = work.back();
+        work.pop_back();
+        for (NodeId v : succ_[u])
+            if (!seen.test(v)) {
+                seen.set(v);
+                work.push_back(v);
+            }
+    }
+    return seen;
+}
+
+Bitset Digraph::reaching_to(NodeId target) const {
+    Bitset seen(num_nodes());
+    std::vector<NodeId> work;
+    for (NodeId v : pred_[target])
+        if (!seen.test(v)) {
+            seen.set(v);
+            work.push_back(v);
+        }
+    while (!work.empty()) {
+        const NodeId u = work.back();
+        work.pop_back();
+        for (NodeId v : pred_[u])
+            if (!seen.test(v)) {
+                seen.set(v);
+                work.push_back(v);
+            }
+    }
+    return seen;
+}
+
+Digraph Digraph::quotient(const std::vector<NodeId>& cls, std::size_t num_classes) const {
+    assert(cls.size() == num_nodes());
+    Digraph q(num_classes);
+    for (NodeId u = 0; u < num_nodes(); ++u)
+        for (NodeId v : succ_[u])
+            if (cls[u] != cls[v]) q.add_edge(cls[u], cls[v]);
+    return q;
+}
+
+Digraph Digraph::transpose() const {
+    Digraph t(num_nodes());
+    for (NodeId u = 0; u < num_nodes(); ++u)
+        for (NodeId v : succ_[u]) t.add_edge(v, u);
+    return t;
+}
+
+std::string Digraph::to_dot(const std::vector<std::string>& labels) const {
+    std::ostringstream os;
+    os << "digraph G {\n";
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+        os << "  n" << u;
+        if (u < labels.size() && !labels[u].empty()) os << " [label=\"" << labels[u] << "\"]";
+        os << ";\n";
+    }
+    for (NodeId u = 0; u < num_nodes(); ++u)
+        for (NodeId v : succ_[u]) os << "  n" << u << " -> n" << v << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace sbd::graph

@@ -1,0 +1,81 @@
+#ifndef SBD_GRAPH_DIGRAPH_HPP
+#define SBD_GRAPH_DIGRAPH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/bitset.hpp"
+
+namespace sbd::graph {
+
+/// Node index within a Digraph.
+using NodeId = std::uint32_t;
+
+/// Simple directed graph over nodes 0..n-1 with adjacency lists in both
+/// directions. Parallel edges are collapsed (add_edge is idempotent); self
+/// loops are permitted but rejected by the topological-sort and acyclicity
+/// helpers, matching the paper's SDGs which are DAGs.
+class Digraph {
+public:
+    Digraph() = default;
+    explicit Digraph(std::size_t num_nodes);
+
+    std::size_t num_nodes() const { return succ_.size(); }
+    std::size_t num_edges() const { return num_edges_; }
+
+    /// Appends a fresh node and returns its id.
+    NodeId add_node();
+
+    /// Adds edge u -> v (no-op if already present).
+    void add_edge(NodeId u, NodeId v);
+
+    bool has_edge(NodeId u, NodeId v) const;
+
+    const std::vector<NodeId>& successors(NodeId u) const { return succ_[u]; }
+    const std::vector<NodeId>& predecessors(NodeId u) const { return pred_[u]; }
+
+    std::size_t out_degree(NodeId u) const { return succ_[u].size(); }
+    std::size_t in_degree(NodeId u) const { return pred_[u].size(); }
+
+    /// A topological order of all nodes, or nullopt if the graph is cyclic.
+    std::optional<std::vector<NodeId>> topological_order() const;
+
+    bool is_acyclic() const { return topological_order().has_value(); }
+
+    /// Strongly connected components (Tarjan). Returns, for each node, its
+    /// component id; component ids are numbered in reverse topological order
+    /// of the condensation (i.e. component 0 has no outgoing inter-component
+    /// edges ... actually Tarjan emits sinks first).
+    std::vector<NodeId> scc_ids(std::size_t* num_components = nullptr) const;
+
+    /// Row `u` of the result has bit `v` set iff there is a nonempty path
+    /// u ->+ v. (Transitive closure, *not* reflexive.)
+    std::vector<Bitset> transitive_closure() const;
+
+    /// Set of nodes reachable from `start` via nonempty paths.
+    Bitset reachable_from(NodeId start) const;
+
+    /// Set of nodes that reach `target` via nonempty paths.
+    Bitset reaching_to(NodeId target) const;
+
+    /// Quotient graph under the node->class map `cls` (classes must be
+    /// 0..num_classes-1). Self loops in the quotient are dropped, matching
+    /// Definition 1's acyclicity condition "after dropping all self-loops".
+    Digraph quotient(const std::vector<NodeId>& cls, std::size_t num_classes) const;
+
+    Digraph transpose() const;
+
+    /// GraphViz text form; `label(u)` supplies node labels (may be empty).
+    std::string to_dot(const std::vector<std::string>& labels = {}) const;
+
+private:
+    std::vector<std::vector<NodeId>> succ_;
+    std::vector<std::vector<NodeId>> pred_;
+    std::size_t num_edges_ = 0;
+};
+
+} // namespace sbd::graph
+
+#endif

@@ -1,0 +1,106 @@
+#include "graph/undirected.hpp"
+
+#include <cassert>
+
+namespace sbd::graph {
+
+void Undirected::add_edge(std::size_t u, std::size_t v) {
+    assert(u != v && u < num_nodes() && v < num_nodes());
+    if (adj_[u][v]) return;
+    adj_[u][v] = adj_[v][u] = true;
+    ++num_edges_;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Undirected::edges() const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (std::size_t u = 0; u < num_nodes(); ++u)
+        for (std::size_t v = u + 1; v < num_nodes(); ++v)
+            if (adj_[u][v]) out.emplace_back(u, v);
+    return out;
+}
+
+bool Undirected::is_clique(const std::vector<std::size_t>& nodes) const {
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        for (std::size_t j = i + 1; j < nodes.size(); ++j)
+            if (!adj_[nodes[i]][nodes[j]]) return false;
+    return true;
+}
+
+namespace {
+
+/// Backtracking search: can the nodes be partitioned into at most k cliques?
+/// Nodes are assigned in index order; node i may open clique min(i, used)
+/// at most (canonical ordering kills clique-permutation symmetry).
+bool partition_with(const Undirected& g, std::size_t k, std::vector<std::size_t>& assign,
+                    std::vector<std::vector<std::size_t>>& cliques, std::size_t node) {
+    if (node == g.num_nodes()) return true;
+    for (std::size_t c = 0; c < cliques.size(); ++c) {
+        bool ok = true;
+        for (std::size_t member : cliques[c])
+            if (!g.has_edge(member, node)) {
+                ok = false;
+                break;
+            }
+        if (!ok) continue;
+        cliques[c].push_back(node);
+        assign[node] = c;
+        if (partition_with(g, k, assign, cliques, node + 1)) return true;
+        cliques[c].pop_back();
+    }
+    if (cliques.size() < k) {
+        cliques.emplace_back(1, node);
+        assign[node] = cliques.size() - 1;
+        if (partition_with(g, k, assign, cliques, node + 1)) return true;
+        cliques.pop_back();
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::size_t> Undirected::min_clique_partition(std::size_t* num_cliques) const {
+    std::vector<std::size_t> assign(num_nodes(), 0);
+    if (num_nodes() == 0) {
+        if (num_cliques != nullptr) *num_cliques = 0;
+        return assign;
+    }
+    for (std::size_t k = 1; k <= num_nodes(); ++k) {
+        std::vector<std::vector<std::size_t>> cliques;
+        if (partition_with(*this, k, assign, cliques, 0)) {
+            if (num_cliques != nullptr) *num_cliques = cliques.size();
+            return assign;
+        }
+    }
+    // Unreachable: k = num_nodes() (all singletons) always succeeds.
+    assert(false);
+    return assign;
+}
+
+std::vector<std::size_t> Undirected::greedy_clique_partition(std::size_t* num_cliques) const {
+    std::vector<std::size_t> assign(num_nodes(), 0);
+    std::vector<std::vector<std::size_t>> cliques;
+    for (std::size_t node = 0; node < num_nodes(); ++node) {
+        bool placed = false;
+        for (std::size_t c = 0; c < cliques.size() && !placed; ++c) {
+            bool ok = true;
+            for (std::size_t member : cliques[c])
+                if (!adj_[member][node]) {
+                    ok = false;
+                    break;
+                }
+            if (ok) {
+                cliques[c].push_back(node);
+                assign[node] = c;
+                placed = true;
+            }
+        }
+        if (!placed) {
+            cliques.emplace_back(1, node);
+            assign[node] = cliques.size() - 1;
+        }
+    }
+    if (num_cliques != nullptr) *num_cliques = cliques.size();
+    return assign;
+}
+
+} // namespace sbd::graph

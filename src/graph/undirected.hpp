@@ -1,0 +1,46 @@
+#ifndef SBD_GRAPH_UNDIRECTED_HPP
+#define SBD_GRAPH_UNDIRECTED_HPP
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace sbd::graph {
+
+/// Undirected simple graph, used for the paper's *mergeability graph* M(G)
+/// (Definition 2) and for the partition-into-cliques side of the NP-hardness
+/// reduction (Proposition 2).
+class Undirected {
+public:
+    Undirected() = default;
+    explicit Undirected(std::size_t num_nodes) : adj_(num_nodes, std::vector<bool>(num_nodes, false)) {}
+
+    std::size_t num_nodes() const { return adj_.size(); }
+    std::size_t num_edges() const { return num_edges_; }
+
+    void add_edge(std::size_t u, std::size_t v);
+    bool has_edge(std::size_t u, std::size_t v) const { return adj_[u][v]; }
+
+    std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+
+    /// True if `nodes` is a clique.
+    bool is_clique(const std::vector<std::size_t>& nodes) const;
+
+    /// Exact minimum number of cliques covering all nodes as a partition
+    /// (NP-hard; branch and bound, intended for graphs of <= ~16 nodes in
+    /// tests of the reduction). Returns the partition as node -> clique id.
+    std::vector<std::size_t> min_clique_partition(std::size_t* num_cliques) const;
+
+    /// Greedy clique partition (sequential, first-fit). Upper bound used as
+    /// a polynomial heuristic baseline.
+    std::vector<std::size_t> greedy_clique_partition(std::size_t* num_cliques) const;
+
+private:
+    std::vector<std::vector<bool>> adj_;
+    std::size_t num_edges_ = 0;
+};
+
+} // namespace sbd::graph
+
+#endif

@@ -1,0 +1,68 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sbd::sat {
+
+Cnf parse_dimacs(std::istream& in) {
+    Cnf cnf;
+    std::string token;
+    bool header_seen = false;
+    std::size_t expected_clauses = 0;
+    Clause current;
+    while (in >> token) {
+        if (token == "c") {
+            std::string line;
+            std::getline(in, line);
+            continue;
+        }
+        if (token == "p") {
+            std::string fmt;
+            long long nv = 0, nc = 0;
+            if (!(in >> fmt >> nv >> nc) || fmt != "cnf" || nv < 0 || nc < 0)
+                throw std::runtime_error("dimacs: malformed problem line");
+            cnf.num_vars = static_cast<std::size_t>(nv);
+            expected_clauses = static_cast<std::size_t>(nc);
+            header_seen = true;
+            continue;
+        }
+        long long v = 0;
+        try {
+            v = std::stoll(token);
+        } catch (const std::exception&) {
+            throw std::runtime_error("dimacs: bad token '" + token + "'");
+        }
+        if (!header_seen) throw std::runtime_error("dimacs: clause before problem line");
+        if (v == 0) {
+            cnf.clauses.push_back(current);
+            current.clear();
+        } else {
+            const auto var = static_cast<Var>(std::llabs(v) - 1);
+            if (static_cast<std::size_t>(var) >= cnf.num_vars)
+                throw std::runtime_error("dimacs: variable out of range");
+            current.push_back(Lit(var, v < 0));
+        }
+    }
+    if (!current.empty()) throw std::runtime_error("dimacs: unterminated clause");
+    if (header_seen && cnf.clauses.size() != expected_clauses)
+        throw std::runtime_error("dimacs: clause count mismatch");
+    return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+    std::istringstream is(text);
+    return parse_dimacs(is);
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+    std::ostringstream os;
+    os << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+    for (const auto& clause : cnf.clauses) {
+        for (const Lit l : clause) os << l.to_dimacs() << ' ';
+        os << "0\n";
+    }
+    return os.str();
+}
+
+} // namespace sbd::sat

@@ -1,0 +1,30 @@
+#ifndef SBD_SAT_DIMACS_HPP
+#define SBD_SAT_DIMACS_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/literal.hpp"
+
+namespace sbd::sat {
+
+/// A CNF formula in memory: variable count plus clause list. Used for
+/// DIMACS interchange and for the brute-force reference solver in tests.
+struct Cnf {
+    std::size_t num_vars = 0;
+    std::vector<Clause> clauses;
+
+    void add(Clause c) { clauses.push_back(std::move(c)); }
+};
+
+/// Parses DIMACS CNF text. Throws std::runtime_error on malformed input.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+
+/// Serializes to DIMACS CNF text.
+std::string to_dimacs(const Cnf& cnf);
+
+} // namespace sbd::sat
+
+#endif

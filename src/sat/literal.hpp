@@ -1,0 +1,57 @@
+#ifndef SBD_SAT_LITERAL_HPP
+#define SBD_SAT_LITERAL_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace sbd::sat {
+
+/// Boolean variable index, 0-based.
+using Var = std::int32_t;
+
+/// A literal is a variable with a sign, packed MiniSat-style as 2*var+neg.
+class Lit {
+public:
+    Lit() = default;
+    Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+    static Lit from_code(std::int32_t code) {
+        Lit l;
+        l.code_ = code;
+        return l;
+    }
+
+    Var var() const { return code_ >> 1; }
+    bool negated() const { return (code_ & 1) != 0; }
+    std::int32_t code() const { return code_; }
+
+    Lit operator~() const { return from_code(code_ ^ 1); }
+    bool operator==(const Lit&) const = default;
+    auto operator<=>(const Lit&) const = default;
+
+    /// DIMACS form: +/-(var+1).
+    std::int64_t to_dimacs() const { return negated() ? -(var() + 1) : (var() + 1); }
+
+private:
+    std::int32_t code_ = -2;
+};
+
+/// Positive literal of variable v.
+inline Lit pos(Var v) { return Lit(v, false); }
+/// Negative literal of variable v.
+inline Lit neg(Var v) { return Lit(v, true); }
+
+/// Ternary truth value.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::True : LBool::False; }
+inline LBool operator^(LBool v, bool flip) {
+    if (v == LBool::Undef || !flip) return v;
+    return v == LBool::True ? LBool::False : LBool::True;
+}
+
+using Clause = std::vector<Lit>;
+
+} // namespace sbd::sat
+
+#endif

@@ -1,0 +1,445 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sbd::sat {
+
+namespace {
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+constexpr std::int64_t kRestartBase = 100;
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+double luby(double y, int x) {
+    int size = 1;
+    int seq = 0;
+    while (size < x + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != x) {
+        size = (size - 1) >> 1;
+        --seq;
+        x = x % size;
+    }
+    return std::pow(y, seq);
+}
+
+} // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+    const Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::Undef);
+    polarity_.push_back(false);
+    level_.push_back(0);
+    reason_.push_back(kNoReason);
+    activity_.push_back(0.0);
+    heap_pos_.push_back(-1);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_insert(v);
+    return v;
+}
+
+bool Solver::add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+    assert(decision_level() == 0);
+    if (!ok_) return false;
+
+    std::vector<Lit> cl(lits.begin(), lits.end());
+    std::sort(cl.begin(), cl.end());
+    // Remove duplicates, detect tautologies, drop level-0-false literals and
+    // discard clauses already satisfied at level 0.
+    std::vector<Lit> out;
+    out.reserve(cl.size());
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+        if (i > 0 && cl[i] == cl[i - 1]) continue;
+        if (i > 0 && cl[i] == ~cl[i - 1]) return true; // tautology
+        const LBool v = value(cl[i]);
+        if (v == LBool::True) return true; // already satisfied
+        if (v == LBool::False) continue;   // falsified at level 0, drop
+        out.push_back(cl[i]);
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoReason);
+        if (propagate() != kNoReason) {
+            ok_ = false;
+            return false;
+        }
+        ++num_problem_clauses_;
+        return true;
+    }
+
+    const ClauseIdx idx = static_cast<ClauseIdx>(clauses_.size());
+    clauses_.push_back(ClauseData{std::move(out), 0.0, false, false});
+    attach_clause(idx);
+    ++num_problem_clauses_;
+    return true;
+}
+
+void Solver::attach_clause(ClauseIdx idx) {
+    const ClauseData& c = clauses_[idx];
+    assert(c.lits.size() >= 2);
+    watches_[(~c.lits[0]).code()].push_back(Watcher{idx, c.lits[1]});
+    watches_[(~c.lits[1]).code()].push_back(Watcher{idx, c.lits[0]});
+}
+
+void Solver::enqueue(Lit l, ClauseIdx reason) {
+    assert(value(l) == LBool::Undef);
+    const Var v = l.var();
+    assigns_[v] = lbool_from(!l.negated());
+    level_[v] = decision_level();
+    reason_[v] = reason;
+    trail_.push_back(l);
+}
+
+Solver::ClauseIdx Solver::propagate() {
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        std::vector<Watcher>& ws = watches_[p.code()];
+        std::size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            const Watcher w = ws[i++];
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = w;
+                continue;
+            }
+            ClauseData& c = clauses_[w.clause];
+            if (c.deleted) continue; // lazily unhook deleted clauses
+            const Lit false_lit = ~p;
+            if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+            assert(c.lits[1] == false_lit);
+            const Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = Watcher{w.clause, first};
+                continue;
+            }
+            bool found_watch = false;
+            for (std::size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[(~c.lits[1]).code()].push_back(Watcher{w.clause, first});
+                    found_watch = true;
+                    break;
+                }
+            }
+            if (found_watch) continue;
+            // Clause is unit or conflicting under the current assignment.
+            ws[j++] = Watcher{w.clause, first};
+            if (value(first) == LBool::False) {
+                // Conflict: flush the remaining watchers and report.
+                while (i < ws.size()) ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead_ = trail_.size();
+                return w.clause;
+            }
+            enqueue(first, w.clause);
+        }
+        ws.resize(j);
+    }
+    return kNoReason;
+}
+
+void Solver::bump_var(Var v) {
+    activity_[v] += var_inc_;
+    if (activity_[v] > kRescaleLimit) {
+        for (auto& a : activity_) a *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+    if (heap_pos_[v] >= 0) heap_update(v);
+}
+
+void Solver::bump_clause(ClauseIdx ci) {
+    ClauseData& c = clauses_[ci];
+    c.activity += cla_inc_;
+    if (c.activity > kRescaleLimit) {
+        for (ClauseIdx l : learnts_) clauses_[l].activity *= 1e-100;
+        cla_inc_ *= 1e-100;
+    }
+}
+
+void Solver::decay_var_activity() {
+    var_inc_ /= kVarDecay;
+    cla_inc_ /= kClauseDecay;
+}
+
+bool Solver::lit_redundant(Lit l) const {
+    const ClauseIdx r = reason_[l.var()];
+    if (r == kNoReason) return false;
+    const ClauseData& c = clauses_[r];
+    for (std::size_t i = 1; i < c.lits.size(); ++i) {
+        const Lit q = c.lits[i];
+        if (!seen_[q.var()] && level_[q.var()] > 0) return false;
+    }
+    return true;
+}
+
+void Solver::analyze(ClauseIdx conflict, std::vector<Lit>& out_learnt, int& out_level) {
+    out_learnt.clear();
+    out_learnt.push_back(Lit()); // slot for the asserting literal
+    int path_count = 0;
+    Lit p;
+    bool have_p = false;
+    std::size_t index = trail_.size();
+    ClauseIdx c = conflict;
+    std::vector<Var> to_clear;
+
+    for (;;) {
+        assert(c != kNoReason);
+        if (clauses_[c].learnt) bump_clause(c);
+        const auto& lits = clauses_[c].lits;
+        for (std::size_t i = have_p ? 1 : 0; i < lits.size(); ++i) {
+            const Lit q = lits[i];
+            if (seen_[q.var()] || level_[q.var()] == 0) continue;
+            bump_var(q.var());
+            seen_[q.var()] = 1;
+            to_clear.push_back(q.var());
+            if (level_[q.var()] >= decision_level())
+                ++path_count;
+            else
+                out_learnt.push_back(q);
+        }
+        // Select the next implication-graph node to expand.
+        while (!seen_[trail_[index - 1].var()]) --index;
+        --index;
+        p = trail_[index];
+        have_p = true;
+        c = reason_[p.var()];
+        seen_[p.var()] = 0;
+        --path_count;
+        if (path_count == 0) break;
+    }
+    out_learnt[0] = ~p;
+
+    // Local conflict-clause minimization (self-subsumption with reasons).
+    std::size_t kept = 1;
+    for (std::size_t i = 1; i < out_learnt.size(); ++i)
+        if (!lit_redundant(out_learnt[i])) out_learnt[kept++] = out_learnt[i];
+    out_learnt.resize(kept);
+
+    // Find backtrack level = max level among out_learnt[1..] and put that
+    // literal at index 1 (second watch).
+    if (out_learnt.size() == 1) {
+        out_level = 0;
+    } else {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < out_learnt.size(); ++i)
+            if (level_[out_learnt[i].var()] > level_[out_learnt[max_i].var()]) max_i = i;
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_level = level_[out_learnt[1].var()];
+    }
+
+    for (Var v : to_clear) seen_[v] = 0;
+}
+
+void Solver::cancel_until(int target_level) {
+    if (decision_level() <= target_level) return;
+    const std::size_t lim = trail_lim_[target_level];
+    for (std::size_t i = trail_.size(); i > lim; --i) {
+        const Var v = trail_[i - 1].var();
+        polarity_[v] = (assigns_[v] == LBool::True);
+        assigns_[v] = LBool::Undef;
+        reason_[v] = kNoReason;
+        if (heap_pos_[v] < 0) heap_insert(v);
+    }
+    trail_.resize(lim);
+    trail_lim_.resize(target_level);
+    qhead_ = lim;
+}
+
+std::optional<Lit> Solver::pick_branch_lit() {
+    while (!heap_empty()) {
+        const Var v = heap_pop();
+        if (assigns_[v] == LBool::Undef) return Lit(v, !polarity_[v]);
+    }
+    return std::nullopt;
+}
+
+void Solver::reduce_db() {
+    // Sort learned clauses by activity ascending and delete the weaker half,
+    // keeping reasons of current assignments.
+    std::sort(learnts_.begin(), learnts_.end(), [this](ClauseIdx a, ClauseIdx b) {
+        return clauses_[a].activity < clauses_[b].activity;
+    });
+    const std::size_t target = learnts_.size() / 2;
+    std::size_t kept = 0;
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < learnts_.size(); ++i) {
+        const ClauseIdx ci = learnts_[i];
+        ClauseData& c = clauses_[ci];
+        const bool locked =
+            value(c.lits[0]) == LBool::True && reason_[c.lits[0].var()] == ci;
+        if (removed < target && !locked && c.lits.size() > 2) {
+            c.deleted = true;
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+            ++removed;
+            ++stats_.deleted_clauses;
+        } else {
+            learnts_[kept++] = ci;
+        }
+    }
+    learnts_.resize(kept);
+}
+
+LBool Solver::search(std::int64_t conflict_limit, std::span<const Lit> assumptions) {
+    std::vector<Lit> learnt;
+    std::int64_t conflicts_here = 0;
+    for (;;) {
+        const ClauseIdx confl = propagate();
+        if (confl != kNoReason) {
+            ++stats_.conflicts;
+            ++conflicts_here;
+            if (conflict_budget_ != 0 && stats_.conflicts > conflict_budget_)
+                throw BudgetExceeded{};
+            if (decision_level() == 0) return LBool::False;
+            int back_level = 0;
+            analyze(confl, learnt, back_level);
+            cancel_until(back_level);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], kNoReason);
+            } else {
+                const ClauseIdx idx = static_cast<ClauseIdx>(clauses_.size());
+                clauses_.push_back(ClauseData{learnt, 0.0, true, false});
+                learnts_.push_back(idx);
+                attach_clause(idx);
+                bump_clause(idx);
+                enqueue(learnt[0], idx);
+            }
+            ++stats_.learned_clauses;
+            stats_.learned_literals += learnt.size();
+            decay_var_activity();
+            continue;
+        }
+        if (conflict_limit >= 0 && conflicts_here >= conflict_limit) {
+            cancel_until(0);
+            ++stats_.restarts;
+            return LBool::Undef;
+        }
+        if (max_learnts_ > 0 && static_cast<double>(learnts_.size()) >= max_learnts_) {
+            reduce_db();
+            max_learnts_ *= 1.1;
+        }
+        // Place assumptions as pseudo-decisions, then branch.
+        Lit next;
+        bool have_next = false;
+        while (decision_level() < static_cast<int>(assumptions.size())) {
+            const Lit a = assumptions[decision_level()];
+            if (value(a) == LBool::True) {
+                trail_lim_.push_back(trail_.size()); // dummy level
+            } else if (value(a) == LBool::False) {
+                return LBool::False; // conflicts with assumptions
+            } else {
+                next = a;
+                have_next = true;
+                break;
+            }
+        }
+        if (!have_next) {
+            const auto picked = pick_branch_lit();
+            if (!picked) return LBool::True; // all variables assigned
+            next = *picked;
+            ++stats_.decisions;
+        }
+        trail_lim_.push_back(trail_.size());
+        enqueue(next, kNoReason);
+    }
+}
+
+bool Solver::solve(std::span<const Lit> assumptions) {
+    model_.clear();
+    if (!ok_) return false;
+    cancel_until(0);
+    if (propagate() != kNoReason) {
+        ok_ = false;
+        return false;
+    }
+    max_learnts_ = 4000.0 + 0.3 * static_cast<double>(num_problem_clauses_);
+    LBool status = LBool::Undef;
+    for (int restart = 0; status == LBool::Undef; ++restart) {
+        const auto limit =
+            static_cast<std::int64_t>(luby(2.0, restart) * kRestartBase);
+        status = search(limit, assumptions);
+    }
+    if (status == LBool::True) {
+        model_.assign(assigns_.begin(), assigns_.end());
+        // Unbranched variables (eliminated from the heap before assignment)
+        // cannot exist here: search() only returns True when every variable
+        // is assigned.
+        cancel_until(0);
+        return true;
+    }
+    cancel_until(0);
+    return false;
+}
+
+// ---- activity-ordered max-heap ------------------------------------------
+
+void Solver::heap_insert(Var v) {
+    heap_pos_[v] = static_cast<std::int32_t>(heap_.size());
+    heap_.push_back(v);
+    heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_update(Var v) {
+    heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
+}
+
+Var Solver::heap_pop() {
+    const Var top = heap_[0];
+    heap_pos_[top] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_pos_[heap_[0]] = 0;
+        heap_sift_down(0);
+    }
+    return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (activity_[heap_[parent]] >= activity_[v]) break;
+        heap_[i] = heap_[parent];
+        heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+        i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+    const Var v = heap_[i];
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= heap_.size()) break;
+        if (child + 1 < heap_.size() && activity_[heap_[child + 1]] > activity_[heap_[child]])
+            ++child;
+        if (activity_[heap_[child]] <= activity_[v]) break;
+        heap_[i] = heap_[child];
+        heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+        i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+} // namespace sbd::sat

@@ -1,0 +1,137 @@
+#ifndef SBD_SAT_SOLVER_HPP
+#define SBD_SAT_SOLVER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sat/literal.hpp"
+
+namespace sbd::sat {
+
+/// Aggregate solver statistics, exposed for the paper's experiment tables.
+struct SolverStats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned_clauses = 0;
+    std::uint64_t learned_literals = 0;
+    std::uint64_t deleted_clauses = 0;
+};
+
+/// Conflict-driven clause-learning SAT solver in the MiniSat lineage:
+/// two-watched-literal propagation, first-UIP learning with local clause
+/// minimization, exponential VSIDS decision heuristic, phase saving, Luby
+/// restarts and activity-based learned-clause deletion.
+///
+/// This is the offline stand-in for the MiniSat instance the paper's
+/// prototype used to decide satisfiability of the clustering formulas F_k.
+class Solver {
+public:
+    Solver();
+
+    /// Creates a fresh variable and returns it.
+    Var new_var();
+    std::size_t num_vars() const { return assigns_.size(); }
+    std::size_t num_clauses() const { return num_problem_clauses_; }
+
+    /// Adds a clause over existing variables. Returns false if the clause
+    /// (together with what is already known at level 0) makes the instance
+    /// trivially unsatisfiable. Tautologies and duplicate literals are
+    /// handled internally.
+    bool add_clause(std::span<const Lit> lits);
+    bool add_clause(std::initializer_list<Lit> lits);
+
+    /// Solves under optional assumptions. Returns true iff satisfiable.
+    bool solve(std::span<const Lit> assumptions = {});
+
+    /// Model access after a satisfiable solve().
+    bool model_value(Var v) const { return model_[v] == LBool::True; }
+    const std::vector<LBool>& model() const { return model_; }
+
+    const SolverStats& stats() const { return stats_; }
+
+    /// Hard bound on conflicts per solve() call; 0 = unlimited. When the
+    /// bound is hit, solve() throws BudgetExceeded.
+    void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+    struct BudgetExceeded {};
+
+private:
+    using ClauseIdx = std::uint32_t;
+    static constexpr ClauseIdx kNoReason = static_cast<ClauseIdx>(-1);
+
+    struct ClauseData {
+        std::vector<Lit> lits;
+        double activity = 0.0;
+        bool learnt = false;
+        bool deleted = false;
+    };
+
+    struct Watcher {
+        ClauseIdx clause;
+        Lit blocker;
+    };
+
+    LBool value(Lit l) const {
+        const LBool v = assigns_[l.var()];
+        return v ^ l.negated();
+    }
+
+    void enqueue(Lit l, ClauseIdx reason);
+    ClauseIdx propagate();
+    void analyze(ClauseIdx conflict, std::vector<Lit>& out_learnt, int& out_level);
+    bool lit_redundant(Lit l) const;
+    void cancel_until(int level);
+    std::optional<Lit> pick_branch_lit();
+    void bump_var(Var v);
+    void bump_clause(ClauseIdx c);
+    void decay_var_activity();
+    void reduce_db();
+    void attach_clause(ClauseIdx idx);
+    int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+    LBool search(std::int64_t conflict_limit, std::span<const Lit> assumptions);
+
+    // Heap keyed on var activity (max-heap).
+    void heap_insert(Var v);
+    void heap_update(Var v);
+    Var heap_pop();
+    bool heap_empty() const { return heap_.empty(); }
+    void heap_sift_up(std::size_t i);
+    void heap_sift_down(std::size_t i);
+
+    std::vector<ClauseData> clauses_;
+    std::vector<ClauseIdx> learnts_;
+    std::vector<std::vector<Watcher>> watches_; // indexed by Lit::code of the *false* literal watched
+    std::vector<LBool> assigns_;
+    std::vector<bool> polarity_; // saved phase; true = last assigned true
+    std::vector<int> level_;
+    std::vector<ClauseIdx> reason_;
+    std::vector<Lit> trail_;
+    std::vector<std::size_t> trail_lim_;
+    std::size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    double cla_inc_ = 1.0;
+
+    std::vector<std::int32_t> heap_;     // heap of vars
+    std::vector<std::int32_t> heap_pos_; // var -> index in heap_, -1 if absent
+
+    std::vector<LBool> model_;
+    bool ok_ = true;
+    std::size_t num_problem_clauses_ = 0;
+    double max_learnts_ = 0;
+    std::uint64_t conflict_budget_ = 0;
+
+    // scratch for analyze()
+    std::vector<char> seen_;
+
+    SolverStats stats_;
+};
+
+} // namespace sbd::sat
+
+#endif

@@ -1,0 +1,29 @@
+#ifndef SBD_SBD_FLATTEN_HPP
+#define SBD_SBD_FLATTEN_HPP
+
+#include <memory>
+
+#include "graph/digraph.hpp"
+#include "sbd/block.hpp"
+
+namespace sbd {
+
+/// Flattens a hierarchical macro block into an equivalent macro block whose
+/// sub-blocks are all atomic (Section 3's flattening procedure). Instance
+/// names of nested blocks are joined with '/'. Pass-through wires (macro
+/// input connected directly to a macro output at any level) are spliced
+/// away; a cycle of pure pass-through wires raises ModelError.
+std::shared_ptr<const MacroBlock> flatten(const MacroBlock& root);
+
+/// Block-based dependency graph of a *flat* diagram (Section 3): one node
+/// per sub-block; an edge A -> B whenever A is not Moore-sequential and some
+/// output of A is connected to an input of B. Used to define acyclicity and
+/// hence whether the diagram has well-defined synchronous semantics.
+graph::Digraph block_dependency_graph(const MacroBlock& flat);
+
+/// True iff the flattened diagram's block-based dependency graph is acyclic.
+bool is_acyclic_diagram(const MacroBlock& root);
+
+} // namespace sbd
+
+#endif

@@ -1,0 +1,48 @@
+#include "sbd/opaque.hpp"
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+
+namespace sbd {
+
+OpaqueBlock::OpaqueBlock(std::string type_name, std::vector<std::string> inputs,
+                         std::vector<std::string> outputs, BlockClass block_class,
+                         std::vector<Function> functions,
+                         std::vector<std::pair<std::size_t, std::size_t>> order)
+    : Block(std::move(type_name), std::move(inputs), std::move(outputs)),
+      class_(block_class),
+      functions_(std::move(functions)),
+      order_(std::move(order)) {
+    std::vector<int> writers(num_outputs(), 0);
+    for (auto& fn : functions_) {
+        std::sort(fn.reads.begin(), fn.reads.end());
+        std::sort(fn.writes.begin(), fn.writes.end());
+        for (const std::size_t r : fn.reads)
+            if (r >= num_inputs())
+                throw ModelError("opaque block '" + this->type_name() +
+                                 "': function reads a nonexistent input port");
+        for (const std::size_t w : fn.writes) {
+            if (w >= num_outputs())
+                throw ModelError("opaque block '" + this->type_name() +
+                                 "': function writes a nonexistent output port");
+            ++writers[w];
+        }
+    }
+    for (std::size_t o = 0; o < num_outputs(); ++o)
+        if (writers[o] != 1)
+            throw ModelError("opaque block '" + this->type_name() + "': output '" +
+                             output_name(o) + "' must be written by exactly one function");
+    graph::Digraph pdg(functions_.size());
+    for (const auto& [a, b] : order_) {
+        if (a >= functions_.size() || b >= functions_.size())
+            throw ModelError("opaque block '" + this->type_name() +
+                             "': order constraint names a nonexistent function");
+        pdg.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+    }
+    if (!pdg.is_acyclic())
+        throw ModelError("opaque block '" + this->type_name() +
+                         "': the declared call-order relation is cyclic");
+}
+
+} // namespace sbd

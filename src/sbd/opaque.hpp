@@ -1,0 +1,50 @@
+#ifndef SBD_SBD_OPAQUE_HPP
+#define SBD_SBD_OPAQUE_HPP
+
+#include <utility>
+#include <vector>
+
+#include "sbd/block.hpp"
+
+namespace sbd {
+
+/// A black-box block known only by its exported interface — the paper's IP
+/// scenario taken literally: "sub-blocks should be seen as black boxes
+/// supplied with some interface information". An opaque block carries the
+/// same information a generated profile exports (interface functions with
+/// their read/written ports, the profile dependency graph, the block
+/// class) and nothing else. Diagrams containing opaque blocks can be
+/// analyzed and modularly compiled, but not simulated or executed.
+class OpaqueBlock final : public Block {
+public:
+    struct Function {
+        std::string name;
+        std::vector<std::size_t> reads;  ///< input ports, sorted
+        std::vector<std::size_t> writes; ///< output ports, sorted
+    };
+
+    /// `order` edges (a, b) mean function a must be called before b within
+    /// each synchronous instant. Throws ModelError if a port index is out
+    /// of range, an output has zero or several writers, or the order
+    /// relation is cyclic.
+    OpaqueBlock(std::string type_name, std::vector<std::string> inputs,
+                std::vector<std::string> outputs, BlockClass block_class,
+                std::vector<Function> functions,
+                std::vector<std::pair<std::size_t, std::size_t>> order);
+
+    bool is_atomic() const override { return true; }
+    bool is_opaque() const override { return true; }
+    BlockClass block_class() const override { return class_; }
+
+    const std::vector<Function>& functions() const { return functions_; }
+    const std::vector<std::pair<std::size_t, std::size_t>>& order() const { return order_; }
+
+private:
+    BlockClass class_;
+    std::vector<Function> functions_;
+    std::vector<std::pair<std::size_t, std::size_t>> order_;
+};
+
+} // namespace sbd
+
+#endif

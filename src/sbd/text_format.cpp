@@ -1,0 +1,449 @@
+#include "sbd/text_format.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "sbd/library.hpp"
+#include "sbd/opaque.hpp"
+
+namespace sbd::text {
+
+namespace {
+
+struct Token {
+    std::string text;
+    int line;
+};
+
+std::vector<Token> tokenize(std::istream& in) {
+    std::vector<Token> out;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.resize(hash);
+        std::istringstream ls(line);
+        std::string tok;
+        while (ls >> tok) {
+            // Allow '{' and '}' to stick to neighbours.
+            std::string cur;
+            for (const char c : tok) {
+                if (c == '{' || c == '}') {
+                    if (!cur.empty()) out.push_back({cur, lineno});
+                    out.push_back({std::string(1, c), lineno});
+                    cur.clear();
+                } else {
+                    cur += c;
+                }
+            }
+            if (!cur.empty()) out.push_back({cur, lineno});
+        }
+    }
+    return out;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+    throw ModelError("sbd:" + std::to_string(line) + ": " + msg);
+}
+
+double num(const Token& t) {
+    std::size_t pos = 0;
+    double v = 0;
+    try {
+        v = std::stod(t.text, &pos);
+    } catch (const std::exception&) {
+        fail(t.line, "expected a number, got '" + t.text + "'");
+    }
+    if (pos != t.text.size()) fail(t.line, "trailing junk in number '" + t.text + "'");
+    return v;
+}
+
+std::size_t natural(const Token& t) {
+    const double v = num(t);
+    if (v < 0 || v != static_cast<double>(static_cast<std::size_t>(v)))
+        fail(t.line, "expected a non-negative integer, got '" + t.text + "'");
+    return static_cast<std::size_t>(v);
+}
+
+/// Builds an atomic block from its type token and parameter tokens.
+BlockPtr make_atomic(const Token& type, std::span<const Token> params) {
+    const auto want = [&](std::size_t n) {
+        if (params.size() != n)
+            fail(type.line, type.text + " expects " + std::to_string(n) + " parameter(s), got " +
+                                std::to_string(params.size()));
+    };
+    const std::string& t = type.text;
+    if (t == "Constant") { want(1); return lib::constant(num(params[0])); }
+    if (t == "Gain") { want(1); return lib::gain(num(params[0])); }
+    if (t == "Sum") { want(1); return lib::sum(params[0].text); }
+    if (t == "Product") { want(1); return lib::product(natural(params[0])); }
+    if (t == "UnitDelay") { want(1); return lib::unit_delay(num(params[0])); }
+    if (t == "Integrator") { want(2); return lib::integrator(num(params[0]), num(params[1])); }
+    if (t == "Fir2") { want(2); return lib::fir2(num(params[0]), num(params[1])); }
+    if (t == "Saturation") { want(2); return lib::saturation(num(params[0]), num(params[1])); }
+    if (t == "Abs") { want(0); return lib::abs_block(); }
+    if (t == "Min") { want(0); return lib::min_block(); }
+    if (t == "Max") { want(0); return lib::max_block(); }
+    if (t == "Relational") { want(1); return lib::relational(params[0].text); }
+    if (t == "Switch") { want(1); return lib::switch_block(num(params[0])); }
+    if (t == "Logic") { want(2); return lib::logic(params[0].text, natural(params[1])); }
+    if (t == "DeadZone") { want(2); return lib::dead_zone(num(params[0]), num(params[1])); }
+    if (t == "MovingAvg") { want(1); return lib::moving_average(natural(params[0])); }
+    if (t == "Filter1") {
+        want(3);
+        return lib::first_order_filter(num(params[0]), num(params[1]), num(params[2]));
+    }
+    if (t == "Counter") { want(0); return lib::counter(); }
+    if (t == "Fanout") { want(1); return lib::fanout(natural(params[0])); }
+    if (t == "SampleHold") { want(1); return lib::sample_hold(num(params[0])); }
+    if (t == "Clock") {
+        want(2);
+        return lib::clock_divider(natural(params[0]), natural(params[1]));
+    }
+    if (t == "Split2") {
+        want(4);
+        return lib::splitter2(num(params[0]), num(params[1]), num(params[2]), num(params[3]));
+    }
+    if (t == "Lookup1D") {
+        std::vector<double> xs, ys;
+        bool after_slash = false;
+        for (const Token& p : params) {
+            if (p.text == "/") { after_slash = true; continue; }
+            (after_slash ? ys : xs).push_back(num(p));
+        }
+        if (!after_slash) fail(type.line, "Lookup1D needs 'x.. / y..'");
+        return lib::lookup1d(std::move(xs), std::move(ys));
+    }
+    fail(type.line, "unknown block type '" + t + "'");
+}
+
+} // namespace
+
+ParsedFile parse_sbd(std::istream& in) {
+    const auto toks = tokenize(in);
+    std::size_t i = 0;
+    const auto peek = [&]() -> const Token& {
+        if (i >= toks.size()) throw ModelError("sbd: unexpected end of file");
+        return toks[i];
+    };
+    const auto next = [&]() -> const Token& {
+        const Token& t = peek();
+        ++i;
+        return t;
+    };
+    const auto expect = [&](const std::string& what) -> const Token& {
+        const Token& t = next();
+        if (t.text != what) fail(t.line, "expected '" + what + "', got '" + t.text + "'");
+        return t;
+    };
+
+    ParsedFile file;
+    const std::vector<std::string> stmt_keywords = {"inputs", "outputs", "sub",    "connect",
+                                                    "trigger", "class",  "function", "order",
+                                                    "}"};
+    const auto is_keyword = [&](const std::string& s) {
+        for (const auto& k : stmt_keywords)
+            if (k == s) return true;
+        return s == "block" || s == "extern";
+    };
+
+    while (i < toks.size()) {
+        bool is_extern = false;
+        if (peek().text == "extern") {
+            next();
+            is_extern = true;
+        }
+        expect("block");
+        const Token name = next();
+        if (file.blocks.contains(name.text)) fail(name.line, "duplicate block '" + name.text + "'");
+        expect("{");
+
+        std::vector<std::string> inputs, outputs;
+        struct SubDecl {
+            Token inst;
+            Token type;
+            std::vector<Token> params;
+        };
+        std::vector<SubDecl> subs;
+        std::vector<std::pair<Token, Token>> wires;    // (src, dst)
+        std::vector<std::pair<Token, Token>> triggers; // (inst, src)
+        // extern-block declarations
+        struct FnDecl {
+            Token name;
+            std::vector<Token> reads;
+            std::vector<Token> writes;
+        };
+        std::vector<FnDecl> fn_decls;
+        std::vector<std::pair<Token, Token>> order_decls; // (before, after)
+        std::optional<Token> class_decl;
+
+        for (;;) {
+            const Token kw = next();
+            if (kw.text == "}") break;
+            if (kw.text == "inputs" || kw.text == "outputs") {
+                auto& dst = kw.text == "inputs" ? inputs : outputs;
+                while (i < toks.size() && !is_keyword(peek().text)) dst.push_back(next().text);
+            } else if (kw.text == "sub") {
+                SubDecl d{next(), next(), {}};
+                while (i < toks.size() && !is_keyword(peek().text)) d.params.push_back(next());
+                subs.push_back(std::move(d));
+            } else if (kw.text == "connect") {
+                const Token src = next();
+                const Token dst = next();
+                wires.emplace_back(src, dst);
+            } else if (kw.text == "trigger") {
+                const Token inst = next();
+                const Token src = next();
+                triggers.emplace_back(inst, src);
+            } else if (kw.text == "class" && is_extern) {
+                class_decl = next();
+            } else if (kw.text == "function" && is_extern) {
+                FnDecl d{next(), {}, {}};
+                while (i < toks.size() &&
+                       (peek().text == "reads" || peek().text == "writes")) {
+                    const bool into_reads = next().text == "reads";
+                    auto& dst = into_reads ? d.reads : d.writes;
+                    while (i < toks.size() && !is_keyword(peek().text) &&
+                           peek().text != "reads" && peek().text != "writes")
+                        dst.push_back(next());
+                }
+                fn_decls.push_back(std::move(d));
+            } else if (kw.text == "order" && is_extern) {
+                const Token before = next();
+                const Token after = next();
+                order_decls.emplace_back(before, after);
+            } else {
+                fail(kw.line, "unexpected token '" + kw.text + "' in block body");
+            }
+        }
+
+        if (is_extern) {
+            if (!subs.empty() || !wires.empty() || !triggers.empty())
+                fail(name.line, "extern blocks declare an interface only (no sub/connect)");
+            BlockClass cls = BlockClass::Combinational;
+            if (class_decl) {
+                if (class_decl->text == "combinational") cls = BlockClass::Combinational;
+                else if (class_decl->text == "sequential") cls = BlockClass::Sequential;
+                else if (class_decl->text == "moore") cls = BlockClass::MooreSequential;
+                else fail(class_decl->line, "class must be combinational|sequential|moore");
+            }
+            const auto port_index = [&](const std::vector<std::string>& names, const Token& t) {
+                for (std::size_t p = 0; p < names.size(); ++p)
+                    if (names[p] == t.text) return p;
+                fail(t.line, "unknown port '" + t.text + "' in extern block");
+            };
+            std::vector<OpaqueBlock::Function> fns;
+            for (const auto& d : fn_decls) {
+                OpaqueBlock::Function fn;
+                fn.name = d.name.text;
+                for (const Token& t : d.reads) fn.reads.push_back(port_index(inputs, t));
+                for (const Token& t : d.writes) fn.writes.push_back(port_index(outputs, t));
+                fns.push_back(std::move(fn));
+            }
+            const auto fn_index = [&](const Token& t) {
+                for (std::size_t f = 0; f < fns.size(); ++f)
+                    if (fns[f].name == t.text) return f;
+                fail(t.line, "unknown function '" + t.text + "' in order constraint");
+            };
+            std::vector<std::pair<std::size_t, std::size_t>> order_edges;
+            for (const auto& [a, b] : order_decls)
+                order_edges.emplace_back(fn_index(a), fn_index(b));
+            try {
+                file.blocks.emplace(name.text,
+                                    std::make_shared<OpaqueBlock>(name.text, inputs, outputs,
+                                                                  cls, std::move(fns),
+                                                                  std::move(order_edges)));
+            } catch (const ModelError& e) {
+                fail(name.line, e.what());
+            }
+            file.order.push_back(name.text);
+            continue; // an extern block cannot be the root
+        }
+
+        auto macro = std::make_shared<MacroBlock>(name.text, inputs, outputs);
+        for (const auto& d : subs) {
+            BlockPtr type;
+            const auto it = file.blocks.find(d.type.text);
+            if (it != file.blocks.end()) {
+                if (!d.params.empty())
+                    fail(d.type.line, "block reference '" + d.type.text + "' takes no parameters");
+                type = it->second;
+            } else {
+                type = make_atomic(d.type, d.params);
+            }
+            try {
+                macro->add_sub(d.inst.text, std::move(type));
+            } catch (const ModelError& e) {
+                fail(d.inst.line, e.what());
+            }
+        }
+        for (const auto& [src, dst] : wires) {
+            try {
+                macro->connect(src.text, dst.text);
+            } catch (const ModelError& e) {
+                fail(src.line, e.what());
+            }
+        }
+        for (const auto& [inst, src] : triggers) {
+            try {
+                macro->set_trigger(inst.text, src.text);
+            } catch (const ModelError& e) {
+                fail(inst.line, e.what());
+            }
+        }
+        try {
+            macro->validate();
+        } catch (const ModelError& e) {
+            fail(name.line, e.what());
+        }
+        file.blocks.emplace(name.text, macro);
+        file.order.push_back(name.text);
+        file.root = macro;
+    }
+    if (!file.root) throw ModelError("sbd: no block definitions found");
+    return file;
+}
+
+ParsedFile parse_sbd_string(const std::string& text) {
+    std::istringstream is(text);
+    return parse_sbd(is);
+}
+
+ParsedFile parse_sbd_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw ModelError("sbd: cannot open '" + path + "'");
+    return parse_sbd(f);
+}
+
+namespace {
+
+std::string endpoint_name(const MacroBlock& m, const Endpoint& e) {
+    switch (e.kind) {
+    case Endpoint::Kind::MacroInput: return m.input_name(e.port);
+    case Endpoint::Kind::MacroOutput: return m.output_name(e.port);
+    case Endpoint::Kind::SubInput:
+        return m.sub(e.sub).name + "." + m.sub(e.sub).type->input_name(e.port);
+    case Endpoint::Kind::SubOutput:
+        return m.sub(e.sub).name + "." + m.sub(e.sub).type->output_name(e.port);
+    }
+    return "?";
+}
+
+void check_token(const std::string& s) {
+    if (s.empty() || s.find_first_of(" \t#{}") != std::string::npos ||
+        (s.find('.') != std::string::npos))
+        throw ModelError("sbd writer: name '" + s + "' is not representable");
+}
+
+void write_block(const MacroBlock& m, std::ostream& os,
+                 std::map<const Block*, std::string>& emitted, int& serial);
+
+std::string fresh_name(const Block& b, std::map<const Block*, std::string>& emitted,
+                       int& serial) {
+    std::string name = b.type_name();
+    for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    for (const auto& [blk, nm] : emitted)
+        if (nm == name) name += "_" + std::to_string(++serial);
+    emitted.emplace(&b, name);
+    return name;
+}
+
+void write_opaque(const OpaqueBlock& b, std::ostream& os,
+                  std::map<const Block*, std::string>& emitted, int& serial) {
+    if (emitted.contains(&b)) return;
+    const std::string name = fresh_name(b, emitted, serial);
+    os << "extern block " << name << " {\n  inputs";
+    for (std::size_t p = 0; p < b.num_inputs(); ++p) {
+        check_token(b.input_name(p));
+        os << " " << b.input_name(p);
+    }
+    os << "\n  outputs";
+    for (std::size_t p = 0; p < b.num_outputs(); ++p) {
+        check_token(b.output_name(p));
+        os << " " << b.output_name(p);
+    }
+    const char* cls = "combinational";
+    if (b.block_class() == BlockClass::Sequential) cls = "sequential";
+    if (b.block_class() == BlockClass::MooreSequential) cls = "moore";
+    os << "\n  class " << cls << "\n";
+    for (const auto& fn : b.functions()) {
+        check_token(fn.name);
+        os << "  function " << fn.name;
+        if (!fn.reads.empty()) {
+            os << " reads";
+            for (const std::size_t p : fn.reads) os << " " << b.input_name(p);
+        }
+        if (!fn.writes.empty()) {
+            os << " writes";
+            for (const std::size_t p : fn.writes) os << " " << b.output_name(p);
+        }
+        os << "\n";
+    }
+    for (const auto& [a, c] : b.order())
+        os << "  order " << b.functions()[a].name << " " << b.functions()[c].name << "\n";
+    os << "}\n\n";
+}
+
+void write_block(const MacroBlock& m, std::ostream& os,
+                 std::map<const Block*, std::string>& emitted, int& serial) {
+    if (emitted.contains(&m)) return;
+    // Inner macro and extern definitions first.
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        const Block& t = *m.sub(s).type;
+        if (t.is_opaque())
+            write_opaque(static_cast<const OpaqueBlock&>(t), os, emitted, serial);
+        else if (!t.is_atomic())
+            write_block(static_cast<const MacroBlock&>(t), os, emitted, serial);
+    }
+
+    const std::string name = fresh_name(m, emitted, serial);
+
+    os << "block " << name << " {\n";
+    os << "  inputs";
+    for (std::size_t p = 0; p < m.num_inputs(); ++p) {
+        check_token(m.input_name(p));
+        os << " " << m.input_name(p);
+    }
+    os << "\n  outputs";
+    for (std::size_t p = 0; p < m.num_outputs(); ++p) {
+        check_token(m.output_name(p));
+        os << " " << m.output_name(p);
+    }
+    os << "\n";
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        check_token(m.sub(s).name);
+        os << "  sub " << m.sub(s).name << " ";
+        if (m.sub(s).type->is_opaque() || !m.sub(s).type->is_atomic()) {
+            os << emitted.at(m.sub(s).type.get());
+        } else {
+            const auto& a = static_cast<const AtomicBlock&>(*m.sub(s).type);
+            if (a.text_spec().empty())
+                throw ModelError("sbd writer: custom atomic block '" + a.type_name() +
+                                 "' has no textual spec");
+            os << a.text_spec();
+        }
+        os << "\n";
+    }
+    for (const Connection& c : m.connections())
+        os << "  connect " << endpoint_name(m, c.src) << " " << endpoint_name(m, c.dst) << "\n";
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        if (m.sub(s).trigger)
+            os << "  trigger " << m.sub(s).name << " " << endpoint_name(m, *m.sub(s).trigger)
+               << "\n";
+    os << "}\n\n";
+}
+
+} // namespace
+
+std::string to_sbd(const MacroBlock& root) {
+    std::ostringstream os;
+    std::map<const Block*, std::string> emitted;
+    int serial = 0;
+    write_block(root, os, emitted, serial);
+    return os.str();
+}
+
+} // namespace sbd::text

@@ -1,0 +1,55 @@
+#ifndef SBD_SBD_TEXT_FORMAT_HPP
+#define SBD_SBD_TEXT_FORMAT_HPP
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sbd/block.hpp"
+
+namespace sbd::text {
+
+/// Result of parsing an .sbd file: every block definition by name, in
+/// definition order, plus the designated root (the last block defined).
+struct ParsedFile {
+    std::map<std::string, BlockPtr> blocks;
+    std::vector<std::string> order;
+    std::shared_ptr<const MacroBlock> root;
+};
+
+/// Parses the textual block-diagram format:
+///
+///   # comment
+///   block P {
+///     inputs  x1 x2
+///     outputs y1 y2
+///     sub A  Gain 2.0
+///     sub U  UnitDelay 0
+///     sub S  Inner            # a block defined earlier in the file
+///     connect x1 A.u
+///     connect A.y U.u
+///     connect U.y y1
+///     trigger U x2            # optional: U fires only when x2 >= 0.5
+///   }
+///
+/// Atomic types: Constant c | Gain k | Sum signs | Product n |
+/// UnitDelay init | Integrator ts init | Fir2 a b | Saturation lo hi |
+/// Abs | Min | Max | Relational op | Switch thresh | Logic op n |
+/// DeadZone lo hi | Lookup1D x.. / y.. | MovingAvg n | Filter1 b0 b1 a1 |
+/// Counter | Fanout m | SampleHold init
+///
+/// Throws ModelError with a line number on malformed input.
+ParsedFile parse_sbd(std::istream& in);
+ParsedFile parse_sbd_string(const std::string& text);
+ParsedFile parse_sbd_file(const std::string& path);
+
+/// Serializes a macro-block hierarchy back to the textual format (inner
+/// block definitions first). Atomic blocks must come from the standard
+/// library (their parameters are recovered from the type name); custom
+/// atomics raise ModelError.
+std::string to_sbd(const MacroBlock& root);
+
+} // namespace sbd::text
+
+#endif

@@ -1,0 +1,119 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+#include "sbd/flatten.hpp"
+
+namespace sbd::sim {
+
+Simulator::Simulator(std::shared_ptr<const MacroBlock> flat) : diagram_(std::move(flat)) {
+    diagram_->validate();
+    const std::size_t n = diagram_->num_subs();
+    states_.resize(n);
+    out_values_.resize(n);
+    input_srcs_.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        const Block& b = *diagram_->sub(s).type;
+        if (!b.is_atomic())
+            throw ModelError("Simulator requires a flat diagram; sub-block '" +
+                             diagram_->sub(s).name + "' is a macro block");
+        if (b.is_opaque())
+            throw ModelError("cannot simulate interface-only (opaque) sub-block '" +
+                             diagram_->sub(s).name + "'");
+        out_values_[s].resize(b.num_outputs(), 0.0);
+        input_srcs_[s].resize(b.num_inputs());
+        for (std::size_t i = 0; i < b.num_inputs(); ++i) {
+            const Connection* c = diagram_->writer_of(
+                Endpoint{Endpoint::Kind::SubInput, static_cast<std::int32_t>(s),
+                         static_cast<std::int32_t>(i)});
+            assert(c != nullptr);
+            input_srcs_[s][i] = c->src;
+        }
+    }
+    output_srcs_.resize(diagram_->num_outputs());
+    for (std::size_t o = 0; o < diagram_->num_outputs(); ++o) {
+        const Connection* c = diagram_->writer_of(
+            Endpoint{Endpoint::Kind::MacroOutput, -1, static_cast<std::int32_t>(o)});
+        assert(c != nullptr);
+        output_srcs_[o] = c->src;
+    }
+
+    // One pass per instant, in topological order of the block-based
+    // dependency graph (data edges into non-Moore blocks, trigger edges
+    // into every triggered block). Untriggered Moore blocks have no
+    // in-edges and fire early; everything else fires once its same-instant
+    // reads are available.
+    const graph::Digraph dep = block_dependency_graph(*diagram_);
+    const auto order = dep.topological_order();
+    if (!order)
+        throw ModelError("diagram '" + diagram_->type_name() +
+                         "' has a cyclic block-based dependency graph");
+    phase1_order_.assign(order->begin(), order->end());
+    fired_.resize(n, true);
+    reset();
+}
+
+void Simulator::reset() {
+    for (std::size_t s = 0; s < diagram_->num_subs(); ++s) {
+        const auto& atomic = static_cast<const AtomicBlock&>(*diagram_->sub(s).type);
+        states_[s] = atomic.initial_state();
+        // Held outputs of triggered blocks start at 0 until the first fire.
+        std::fill(out_values_[s].begin(), out_values_[s].end(), 0.0);
+    }
+    instant_ = 0;
+}
+
+double Simulator::read(const Endpoint& src) const {
+    if (src.kind == Endpoint::Kind::MacroInput) return current_inputs_.at(src.port);
+    assert(src.kind == Endpoint::Kind::SubOutput);
+    return out_values_[src.sub][src.port];
+}
+
+std::vector<double> Simulator::step(std::span<const double> inputs) {
+    if (inputs.size() != diagram_->num_inputs())
+        throw ModelError("Simulator::step: wrong number of inputs");
+    current_inputs_.assign(inputs.begin(), inputs.end());
+
+    // Phase 1: outputs, in dependency order. Untriggered blocks always
+    // fire; a triggered block fires iff its trigger is high, otherwise its
+    // outputs hold and its state will not advance.
+    std::vector<double> in_buf;
+    for (const std::size_t s : phase1_order_) {
+        const auto& b = static_cast<const AtomicBlock&>(*diagram_->sub(s).type);
+        const auto& trig = diagram_->sub(s).trigger;
+        fired_[s] = !trig || read(*trig) >= 0.5;
+        if (!fired_[s]) continue; // outputs hold their previous values
+        if (b.block_class() == BlockClass::MooreSequential) {
+            b.compute_outputs(states_[s], {}, out_values_[s]);
+        } else {
+            in_buf.resize(b.num_inputs());
+            for (std::size_t i = 0; i < b.num_inputs(); ++i) in_buf[i] = read(input_srcs_[s][i]);
+            b.compute_outputs(states_[s], in_buf, out_values_[s]);
+        }
+    }
+    // Phase 2: state updates of the blocks that fired, with every signal of
+    // the instant available.
+    for (std::size_t s = 0; s < diagram_->num_subs(); ++s) {
+        const auto& b = static_cast<const AtomicBlock&>(*diagram_->sub(s).type);
+        if (b.block_class() == BlockClass::Combinational || !fired_[s]) continue;
+        in_buf.resize(b.num_inputs());
+        for (std::size_t i = 0; i < b.num_inputs(); ++i) in_buf[i] = read(input_srcs_[s][i]);
+        b.update_state(states_[s], in_buf);
+    }
+
+    std::vector<double> outs(diagram_->num_outputs());
+    for (std::size_t o = 0; o < outs.size(); ++o) outs[o] = read(output_srcs_[o]);
+    ++instant_;
+    return outs;
+}
+
+std::vector<std::vector<double>> simulate(const MacroBlock& root,
+                                          const std::vector<std::vector<double>>& input_trace) {
+    Simulator sim(flatten(root));
+    std::vector<std::vector<double>> out;
+    out.reserve(input_trace.size());
+    for (const auto& in : input_trace) out.push_back(sim.step(in));
+    return out;
+}
+
+} // namespace sbd::sim

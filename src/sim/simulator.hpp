@@ -1,0 +1,55 @@
+#ifndef SBD_SIM_SIMULATOR_HPP
+#define SBD_SIM_SIMULATOR_HPP
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sbd/block.hpp"
+
+namespace sbd::sim {
+
+/// Reference interpreter of the standard synchronous semantics (Section 3,
+/// plus the triggered-diagram extension) on a *flat, acyclic* diagram. This
+/// is the oracle against which all modularly generated code is checked:
+/// each step() executes one synchronous instant as a topological sweep of
+/// the block-based dependency graph (untriggered Moore blocks first by
+/// construction), followed by the state updates of every block that fired.
+/// Triggered blocks whose trigger is low hold their outputs and skip their
+/// update.
+class Simulator {
+public:
+    /// Throws ModelError if the diagram is not flat or its block-based
+    /// dependency graph is cyclic.
+    explicit Simulator(std::shared_ptr<const MacroBlock> flat);
+
+    /// Executes one synchronous instant and returns the output values.
+    std::vector<double> step(std::span<const double> inputs);
+
+    /// Resets all block states to their initial values.
+    void reset();
+
+    std::size_t instant() const { return instant_; }
+
+private:
+    double read(const Endpoint& src) const;
+
+    std::shared_ptr<const MacroBlock> diagram_;
+    std::vector<std::size_t> phase1_order_; ///< all blocks, dependency order
+    std::vector<bool> fired_;               ///< per sub, this instant
+    std::vector<std::vector<double>> states_;
+    std::vector<std::vector<double>> out_values_;    ///< per sub, per output port
+    std::vector<std::vector<Endpoint>> input_srcs_;  ///< per sub, per input port
+    std::vector<Endpoint> output_srcs_;              ///< per macro output
+    std::vector<double> current_inputs_;
+    std::size_t instant_ = 0;
+};
+
+/// Runs a hierarchical diagram for `trace.size()` instants by flattening
+/// it first; returns one output vector per instant.
+std::vector<std::vector<double>> simulate(const MacroBlock& root,
+                                          const std::vector<std::vector<double>>& input_trace);
+
+} // namespace sbd::sim
+
+#endif

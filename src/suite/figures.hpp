@@ -1,0 +1,44 @@
+#ifndef SBD_SUITE_FIGURES_HPP
+#define SBD_SUITE_FIGURES_HPP
+
+#include <memory>
+
+#include "sbd/block.hpp"
+
+namespace sbd::suite {
+
+/// Figure 1: macro block P with three combinational sub-blocks.
+///   A(x1) -> (z1, z2);  B(z1) -> y1;  C(z2, x2) -> y2.
+/// Monolithic code for P cannot be embedded with the feedback y1 -> x2
+/// (Figure 2) although the flattened diagram allows it.
+std::shared_ptr<const MacroBlock> figure1_p();
+
+/// Figure 2: the context using P of Figure 1, closing the loop y1 -> x2.
+/// `inner` is the block to embed (pass figure1_p()). The context has one
+/// input (x1) and both outputs.
+std::shared_ptr<const MacroBlock> figure2_context(BlockPtr inner);
+
+/// Figure 3: macro block P with sub-blocks A (combinational), U
+/// (Moore-sequential unit delay) and C (combinational):
+///   P_in -> C -> U -> A -> P_out.
+/// The dynamic method clusters its SDG into {U.get, A.step} (P.get) and
+/// {C.step, U.step} (P.step), with P.get before P.step in the PDG.
+std::shared_ptr<const MacroBlock> figure3_p();
+
+/// Figure 4: macro block P with a chain A1 ... An feeding both B and C:
+///   inputs x1, x2, x3; chain driven by x2; An -> (z_b, z_c);
+///   B(x1, z_b) -> y1;  C(z_c, x3) -> y2.
+/// The dynamic method produces 2 overlapping clusters (code of Figure 5,
+/// size ~2n); optimal disjoint clustering produces 3 clusters (code of
+/// Figure 6, size ~n) — the modularity-vs-code-size trade-off.
+std::shared_ptr<const MacroBlock> figure4_chain(std::size_t n);
+
+/// A context wiring `inner`'s output `out` back to its input `in`, exposing
+/// the remaining inputs/outputs. Used to probe reusability of generated
+/// profiles through real embeddings (not just the profile-level check).
+std::shared_ptr<const MacroBlock> feedback_context(BlockPtr inner, std::size_t out,
+                                                   std::size_t in);
+
+} // namespace sbd::suite
+
+#endif

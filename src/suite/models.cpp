@@ -1,0 +1,420 @@
+#include "suite/models.hpp"
+
+#include "sbd/library.hpp"
+#include "suite/figures.hpp"
+
+namespace sbd::suite {
+
+namespace {
+using namespace sbd::lib;
+
+std::shared_ptr<MacroBlock> macro(std::string name, std::vector<std::string> ins,
+                                  std::vector<std::string> outs) {
+    return std::make_shared<MacroBlock>(std::move(name), std::move(ins), std::move(outs));
+}
+
+} // namespace
+
+std::shared_ptr<const MacroBlock> counter_limited() {
+    // Gate subsystem: en_out = enable AND NOT at_limit.
+    auto gate = macro("CounterGate", {"enable", "at_limit"}, {"en_out"});
+    gate->add_sub("Not", logic("NOT"));
+    gate->add_sub("And", logic("AND", 2));
+    gate->connect("at_limit", "Not.u1");
+    gate->connect("enable", "And.u1");
+    gate->connect("Not.y", "And.u2");
+    gate->connect("And.y", "en_out");
+
+    auto top = macro("CounterLimited", {"enable", "limit"}, {"count", "at_limit"});
+    top->add_sub("Core", counter());
+    top->add_sub("Cmp", relational(">="));
+    top->add_sub("Gate", gate);
+    top->connect("Core.y", "Cmp.u1");
+    top->connect("limit", "Cmp.u2");
+    top->connect("enable", "Gate.enable");
+    top->connect("Cmp.y", "Gate.at_limit");
+    top->connect("Gate.en_out", "Core.enable");
+    top->connect("Core.y", "count");
+    top->connect("Cmp.y", "at_limit");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> pi_cruise() {
+    // PI controller: u = kp*err + ki * integral(err).
+    auto pi = macro("PiController", {"err"}, {"u"});
+    pi->add_sub("Kp", gain(5.0));
+    pi->add_sub("Ki", gain(1.0));
+    pi->add_sub("Int", integrator(0.1));
+    pi->add_sub("Add", sum("++"));
+    pi->connect("err", "Kp.u");
+    pi->connect("err", "Int.u");
+    pi->connect("Int.y", "Ki.u");
+    pi->connect("Kp.y", "Add.u1");
+    pi->connect("Ki.y", "Add.u2");
+    pi->connect("Add.y", "u");
+
+    // Plant: v' = (force - drag*v) / m, forward Euler; output v is a state,
+    // so the plant is Moore-sequential.
+    auto plant = macro("Plant", {"force"}, {"v"});
+    plant->add_sub("Drag", gain(1.0));
+    plant->add_sub("Net", sum("+-"));
+    plant->add_sub("InvM", gain(0.05));
+    plant->add_sub("Int", integrator(0.1));
+    plant->connect("force", "Net.u1");
+    plant->connect("Int.y", "Drag.u");
+    plant->connect("Drag.y", "Net.u2");
+    plant->connect("Net.y", "InvM.u");
+    plant->connect("InvM.y", "Int.u");
+    plant->connect("Int.y", "v");
+
+    auto top = macro("PiCruise", {"setpoint"}, {"speed"});
+    top->add_sub("Err", sum("+-"));
+    top->add_sub("Ctrl", pi);
+    top->add_sub("Sat", saturation(-1000.0, 1000.0));
+    top->add_sub("Veh", plant);
+    top->connect("setpoint", "Err.u1");
+    top->connect("Veh.v", "Err.u2"); // feedback through the Moore plant
+    top->connect("Err.y", "Ctrl.err");
+    top->connect("Ctrl.u", "Sat.u");
+    top->connect("Sat.y", "Veh.force");
+    top->connect("Veh.v", "speed");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> fuel_controller() {
+    // Sensor correction: throttle/map -> corrected airflow command; the EGO
+    // sensor is normalized with a (non-Moore) filter and thresholded into a
+    // mode flag.
+    auto sensors = macro("SensorCorrection", {"throttle", "speed", "ego", "map"},
+                         {"air_cmd", "o2_norm", "mode"});
+    sensors->add_sub("ThrMap", lookup1d({0, 20, 40, 60, 80, 100}, {0.0, 0.15, 0.35, 0.6, 0.85, 1.0}));
+    sensors->add_sub("MapGain", gain(0.01));
+    sensors->add_sub("Mix", product(2));
+    sensors->add_sub("EgoFilt", first_order_filter(0.3, 0.2, -0.5));
+    sensors->add_sub("Rich", relational(">="));
+    sensors->add_sub("Half", constant(0.5));
+    sensors->connect("throttle", "ThrMap.u");
+    sensors->connect("map", "MapGain.u");
+    sensors->connect("ThrMap.y", "Mix.u1");
+    sensors->connect("MapGain.y", "Mix.u2");
+    sensors->connect("Mix.y", "air_cmd");
+    sensors->connect("ego", "EgoFilt.u");
+    sensors->connect("EgoFilt.y", "o2_norm");
+    sensors->connect("EgoFilt.y", "Rich.u1");
+    sensors->connect("Half.y", "Rich.u2");
+    sensors->connect("Rich.y", "mode");
+
+    // Airflow estimation: speed-density with a short moving average.
+    auto airflow = macro("AirflowCalc", {"air_cmd", "speed"}, {"est_air"});
+    airflow->add_sub("SpeedNorm", gain(0.002));
+    airflow->add_sub("Density", product(2));
+    airflow->add_sub("Avg", moving_average(3));
+    airflow->connect("air_cmd", "Density.u1");
+    airflow->connect("speed", "SpeedNorm.u");
+    airflow->connect("SpeedNorm.y", "Density.u2");
+    airflow->connect("Density.y", "Avg.u");
+    airflow->connect("Avg.y", "est_air");
+
+    // Closed-loop correction (3rd level): integrating the mixture error.
+    auto corr = macro("ClosedLoopCorr", {"o2_norm", "mode"}, {"corr"});
+    corr->add_sub("Target", constant(0.5));
+    corr->add_sub("MixErr", sum("+-"));
+    corr->add_sub("Int", integrator(0.05));
+    corr->add_sub("Enable", switch_block(0.5));
+    corr->add_sub("Zero", constant(0.0));
+    corr->connect("Target.y", "MixErr.u1");
+    corr->connect("o2_norm", "MixErr.u2");
+    corr->connect("MixErr.y", "Enable.u1");
+    corr->connect("mode", "Enable.ctrl");
+    corr->connect("Zero.y", "Enable.u2");
+    corr->connect("Enable.y", "Int.u");
+    corr->connect("Int.y", "corr");
+
+    // Fuel computation: base fuel plus correction, rate-limited by a filter.
+    auto fuel = macro("FuelCalc", {"est_air", "o2_norm", "mode"}, {"fuel_rate"});
+    fuel->add_sub("Base", gain(1.6));
+    fuel->add_sub("Corr", corr);
+    fuel->add_sub("Apply", sum("++"));
+    fuel->add_sub("Limit", saturation(0.0, 10.0));
+    fuel->connect("est_air", "Base.u");
+    fuel->connect("o2_norm", "Corr.o2_norm");
+    fuel->connect("mode", "Corr.mode");
+    fuel->connect("Base.y", "Apply.u1");
+    fuel->connect("Corr.corr", "Apply.u2");
+    fuel->connect("Apply.y", "Limit.u");
+    fuel->connect("Limit.y", "fuel_rate");
+
+    auto top = macro("FuelController", {"throttle", "speed", "ego", "map"},
+                     {"fuel_rate", "o2_mode"});
+    top->add_sub("Sensors", sensors);
+    top->add_sub("Airflow", airflow);
+    top->add_sub("Fuel", fuel);
+    top->connect("throttle", "Sensors.throttle");
+    top->connect("speed", "Sensors.speed");
+    top->connect("ego", "Sensors.ego");
+    top->connect("map", "Sensors.map");
+    top->connect("Sensors.air_cmd", "Airflow.air_cmd");
+    top->connect("speed", "Airflow.speed");
+    top->connect("Airflow.est_air", "Fuel.est_air");
+    top->connect("Sensors.o2_norm", "Fuel.o2_norm");
+    top->connect("Sensors.mode", "Fuel.mode");
+    top->connect("Fuel.fuel_rate", "fuel_rate");
+    top->connect("Sensors.mode", "o2_mode");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> abs_brake() {
+    auto slip_calc = macro("SlipCalc", {"v", "w"}, {"slip"});
+    slip_calc->add_sub("Diff", sum("+-"));
+    slip_calc->add_sub("Norm", gain(0.02));
+    slip_calc->connect("v", "Diff.u1");
+    slip_calc->connect("w", "Diff.u2");
+    slip_calc->connect("Diff.y", "Norm.u");
+    slip_calc->connect("Norm.y", "slip");
+
+    auto ctrl = macro("BangBang", {"slip"}, {"torque"});
+    ctrl->add_sub("Thresh", constant(0.2));
+    ctrl->add_sub("Over", relational(">"));
+    ctrl->add_sub("Hi", constant(40.0));
+    ctrl->add_sub("Lo", constant(120.0));
+    ctrl->add_sub("Sel", switch_block(0.5));
+    ctrl->add_sub("Smooth", first_order_filter(0.5, 0.25, -0.25));
+    ctrl->connect("slip", "Over.u1");
+    ctrl->connect("Thresh.y", "Over.u2");
+    ctrl->connect("Hi.y", "Sel.u1");
+    ctrl->connect("Over.y", "Sel.ctrl");
+    ctrl->connect("Lo.y", "Sel.u2");
+    ctrl->connect("Sel.y", "Smooth.u");
+    ctrl->connect("Smooth.y", "torque");
+
+    auto top = macro("AbsBrake", {"vehicle_speed", "wheel_speed"}, {"brake_torque", "slip"});
+    top->add_sub("Slip", slip_calc);
+    top->add_sub("Ctrl", ctrl);
+    top->connect("vehicle_speed", "Slip.v");
+    top->connect("wheel_speed", "Slip.w");
+    top->connect("Slip.slip", "Ctrl.slip");
+    top->connect("Ctrl.torque", "brake_torque");
+    top->connect("Slip.slip", "slip");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> aircraft_pitch() {
+    auto top = macro("AircraftPitch", {"elevator"}, {"pitch", "pitch_rate"});
+    top->add_sub("Kd", gain(1.151));
+    top->add_sub("Mix", sum("+-"));
+    top->add_sub("QInt", integrator(0.02));   // pitch rate q
+    top->add_sub("Damp", gain(0.426));
+    top->add_sub("ThetaInt", integrator(0.02)); // pitch angle theta
+    top->connect("elevator", "Kd.u");
+    top->connect("Kd.y", "Mix.u1");
+    top->connect("QInt.y", "Damp.u");
+    top->connect("Damp.y", "Mix.u2");
+    top->connect("Mix.y", "QInt.u");
+    top->connect("QInt.y", "ThetaInt.u");
+    top->connect("ThetaInt.y", "pitch");
+    top->connect("QInt.y", "pitch_rate");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> thermostat() {
+    // Hysteresis relay: on if temp < sp-1, off if temp > sp+1, else hold.
+    auto relay = macro("Relay", {"temp", "setpoint"}, {"on"});
+    relay->add_sub("One", constant(1.0));
+    relay->add_sub("SpLow", sum("+-"));
+    relay->add_sub("SpHigh", sum("++"));
+    relay->add_sub("Below", relational("<"));
+    relay->add_sub("Above", relational(">"));
+    relay->add_sub("Prev", unit_delay(0.0));
+    relay->add_sub("HoldOrOff", switch_block(0.5));
+    relay->add_sub("OnOr", switch_block(0.5));
+    relay->add_sub("OneC", constant(1.0));
+    relay->add_sub("Zero", constant(0.0));
+    relay->connect("setpoint", "SpLow.u1");
+    relay->connect("One.y", "SpLow.u2");
+    relay->connect("setpoint", "SpHigh.u1");
+    relay->connect("One.y", "SpHigh.u2");
+    relay->connect("temp", "Below.u1");
+    relay->connect("SpLow.y", "Below.u2");
+    relay->connect("temp", "Above.u1");
+    relay->connect("SpHigh.y", "Above.u2");
+    // on = Below ? 1 : (Above ? 0 : Prev)
+    relay->connect("Zero.y", "HoldOrOff.u1");
+    relay->connect("Above.y", "HoldOrOff.ctrl");
+    relay->connect("Prev.y", "HoldOrOff.u2");
+    relay->connect("OneC.y", "OnOr.u1");
+    relay->connect("Below.y", "OnOr.ctrl");
+    relay->connect("HoldOrOff.y", "OnOr.u2");
+    relay->connect("OnOr.y", "on");
+    relay->connect("OnOr.y", "Prev.u");
+
+    // Room thermal model: temp' = heater_gain*on + leak*(outside - temp);
+    // the temperature is a state, so the room is Moore-sequential.
+    auto room = macro("RoomModel", {"heater_on", "outside"}, {"temp"});
+    room->add_sub("HeatGain", gain(2.0));
+    room->add_sub("LeakDiff", sum("+-"));
+    room->add_sub("Leak", gain(0.1));
+    room->add_sub("Net", sum("++"));
+    room->add_sub("TempInt", integrator(0.05, 15.0));
+    room->connect("heater_on", "HeatGain.u");
+    room->connect("outside", "LeakDiff.u1");
+    room->connect("TempInt.y", "LeakDiff.u2");
+    room->connect("LeakDiff.y", "Leak.u");
+    room->connect("HeatGain.y", "Net.u1");
+    room->connect("Leak.y", "Net.u2");
+    room->connect("Net.y", "TempInt.u");
+    room->connect("TempInt.y", "temp");
+
+    auto top = macro("Thermostat", {"setpoint", "outside_temp"}, {"room_temp", "heater_on"});
+    top->add_sub("Relay", relay);
+    top->add_sub("Room", room);
+    top->connect("Room.temp", "Relay.temp"); // feedback through the Moore room
+    top->connect("setpoint", "Relay.setpoint");
+    top->connect("Relay.on", "Room.heater_on");
+    top->connect("outside_temp", "Room.outside");
+    top->connect("Room.temp", "room_temp");
+    top->connect("Relay.on", "heater_on");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> gear_logic() {
+    auto top = macro("GearLogic", {"speed", "throttle"}, {"gear", "shifting"});
+    top->add_sub("UpTh", lookup1d({1, 2, 3, 4, 5}, {12, 25, 40, 60, 1e9}));
+    top->add_sub("DownTh", lookup1d({1, 2, 3, 4, 5}, {-1e9, 8, 18, 32, 50}));
+    top->add_sub("Hold", unit_delay(1.0));
+    top->add_sub("Up", relational(">"));
+    top->add_sub("Down", relational("<"));
+    top->add_sub("ThrBias", gain(0.08));
+    top->add_sub("EffSpeed", sum("+-"));
+    top->add_sub("One", constant(1.0));
+    top->add_sub("IncGear", sum("++"));
+    top->add_sub("DecGear", sum("+-"));
+    top->add_sub("SelUp", switch_block(0.5));
+    top->add_sub("SelDown", switch_block(0.5));
+    top->add_sub("AnyShift", logic("OR", 2));
+    // effective speed = speed - bias(throttle)
+    top->connect("speed", "EffSpeed.u1");
+    top->connect("throttle", "ThrBias.u");
+    top->connect("ThrBias.y", "EffSpeed.u2");
+    // thresholds from held gear
+    top->connect("Hold.y", "UpTh.u");
+    top->connect("Hold.y", "DownTh.u");
+    top->connect("EffSpeed.y", "Up.u1");
+    top->connect("UpTh.y", "Up.u2");
+    top->connect("EffSpeed.y", "Down.u1");
+    top->connect("DownTh.y", "Down.u2");
+    // next gear = up ? gear+1 : (down ? gear-1 : gear)
+    top->connect("Hold.y", "IncGear.u1");
+    top->connect("One.y", "IncGear.u2");
+    top->connect("Hold.y", "DecGear.u1");
+    top->connect("One.y", "DecGear.u2");
+    top->connect("DecGear.y", "SelDown.u1");
+    top->connect("Down.y", "SelDown.ctrl");
+    top->connect("Hold.y", "SelDown.u2");
+    top->connect("IncGear.y", "SelUp.u1");
+    top->connect("Up.y", "SelUp.ctrl");
+    top->connect("SelDown.y", "SelUp.u2");
+    top->connect("SelUp.y", "Hold.u");
+    top->connect("Hold.y", "gear");
+    top->connect("Up.y", "AnyShift.u1");
+    top->connect("Down.y", "AnyShift.u2");
+    top->connect("AnyShift.y", "shifting");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> shared_chain_sensor(std::size_t chain_length) {
+    auto top = macro("SharedChainSensor", {"raw", "trim1", "trim2"}, {"chan1", "chan2"});
+    for (std::size_t i = 1; i < chain_length; ++i)
+        top->add_sub("F" + std::to_string(i),
+                     i % 2 == 0 ? lib::saturation(-50.0, 50.0) : lib::gain(0.95));
+    top->add_sub("Split", lib::splitter2(1.0, 0.0, 0.5, 0.0));
+    top->add_sub("B", sum("++"));
+    top->add_sub("C", product(2));
+    top->connect("raw", chain_length > 1 ? "F1.u" : "Split.x");
+    for (std::size_t i = 1; i + 1 < chain_length; ++i)
+        top->connect("F" + std::to_string(i) + ".y", "F" + std::to_string(i + 1) + ".u");
+    if (chain_length > 1)
+        top->connect("F" + std::to_string(chain_length - 1) + ".y", "Split.x");
+    top->connect("trim1", "B.u1");
+    top->connect("Split.z1", "B.u2");
+    top->connect("Split.z2", "C.u1");
+    top->connect("trim2", "C.u2");
+    top->connect("B.y", "chan1");
+    top->connect("C.y", "chan2");
+    return top;
+}
+
+std::shared_ptr<const MacroBlock> signal_selector() {
+    // Median of three: med = max(min(a,b), min(max(a,b), c)).
+    auto median = macro("Median3", {"a", "b", "c"}, {"med"});
+    median->add_sub("MinAB", min_block());
+    median->add_sub("MaxAB", max_block());
+    median->add_sub("MinMC", min_block());
+    median->add_sub("MaxOut", max_block());
+    median->connect("a", "MinAB.u1");
+    median->connect("b", "MinAB.u2");
+    median->connect("a", "MaxAB.u1");
+    median->connect("b", "MaxAB.u2");
+    median->connect("MaxAB.y", "MinMC.u1");
+    median->connect("c", "MinMC.u2");
+    median->connect("MinAB.y", "MaxOut.u1");
+    median->connect("MinMC.y", "MaxOut.u2");
+    median->connect("MaxOut.y", "med");
+
+    auto monitor = macro("Monitor", {"a", "b", "med"}, {"dev", "latched"});
+    monitor->add_sub("DevA", sum("+-"));
+    monitor->add_sub("AbsA", abs_block());
+    monitor->add_sub("DevB", sum("+-"));
+    monitor->add_sub("AbsB", abs_block());
+    monitor->add_sub("Worst", max_block());
+    monitor->add_sub("Tol", constant(5.0));
+    monitor->add_sub("Bad", relational(">"));
+    monitor->add_sub("Faults", counter());
+    monitor->connect("a", "DevA.u1");
+    monitor->connect("med", "DevA.u2");
+    monitor->connect("DevA.y", "AbsA.u");
+    monitor->connect("b", "DevB.u1");
+    monitor->connect("med", "DevB.u2");
+    monitor->connect("DevB.y", "AbsB.u");
+    monitor->connect("AbsA.y", "Worst.u1");
+    monitor->connect("AbsB.y", "Worst.u2");
+    monitor->connect("Worst.y", "Bad.u1");
+    monitor->connect("Tol.y", "Bad.u2");
+    monitor->connect("Bad.y", "Faults.enable");
+    monitor->connect("Worst.y", "dev");
+    monitor->connect("Faults.y", "latched");
+
+    auto top = macro("SignalSelector", {"s1", "s2", "s3"}, {"selected", "deviation", "faults"});
+    top->add_sub("Vote", median);
+    top->add_sub("Mon", monitor);
+    top->connect("s1", "Vote.a");
+    top->connect("s2", "Vote.b");
+    top->connect("s3", "Vote.c");
+    top->connect("s1", "Mon.a");
+    top->connect("s2", "Mon.b");
+    top->connect("Vote.med", "Mon.med");
+    top->connect("Vote.med", "selected");
+    top->connect("Mon.dev", "deviation");
+    top->connect("Mon.latched", "faults");
+    return top;
+}
+
+std::vector<NamedModel> demo_suite() {
+    std::vector<NamedModel> suite;
+    suite.push_back({"fig1", "paper Figure 1 (A/B/C splitter)", figure1_p()});
+    suite.push_back({"fig3", "paper Figure 3 (Moore feedback interface)", figure3_p()});
+    suite.push_back({"fig4_n8", "paper Figure 4 chain, n=8", figure4_chain(8)});
+    suite.push_back({"counter_limited", "gated saturating counter", counter_limited()});
+    suite.push_back({"pi_cruise", "PI cruise control with Moore plant", pi_cruise()});
+    suite.push_back({"fuel_controller", "sldemo_fuelsys-style fuel rate controller",
+                     fuel_controller()});
+    suite.push_back({"abs_brake", "anti-lock brake bang-bang controller", abs_brake()});
+    suite.push_back({"aircraft_pitch", "pitch dynamics (Moore macro block)", aircraft_pitch()});
+    suite.push_back({"thermostat", "hysteresis thermostat with room model", thermostat()});
+    suite.push_back({"gear_logic", "gear shift logic with lookup thresholds", gear_logic()});
+    suite.push_back({"shared_chain", "shared sensor chain (Figure 10 pattern)",
+                     shared_chain_sensor()});
+    suite.push_back({"signal_selector", "triplex redundancy voter", signal_selector()});
+    return suite;
+}
+
+} // namespace sbd::suite

@@ -1,0 +1,64 @@
+#ifndef SBD_SUITE_MODELS_HPP
+#define SBD_SUITE_MODELS_HPP
+
+#include <string>
+#include <vector>
+
+#include "sbd/block.hpp"
+
+namespace sbd::suite {
+
+/// A model of the experiment suite. These models are the offline stand-in
+/// for the paper's Simulink-demo-suite and industrial automotive examples:
+/// each reproduces a structural signature that motivates one of the
+/// clustering methods (see DESIGN.md, substitutions table).
+struct NamedModel {
+    std::string name;
+    std::string description;
+    BlockPtr block;
+};
+
+/// Gated saturating counter (2 levels; Moore feedback; three distinct
+/// input-dependency classes, so even the dynamic method needs 3 functions).
+std::shared_ptr<const MacroBlock> counter_limited();
+
+/// Cruise control: PI controller + first-order plant closed at the top
+/// level through a Moore plant (2 levels).
+std::shared_ptr<const MacroBlock> pi_cruise();
+
+/// Fuel-rate controller in the style of sldemo_fuelsys: sensor correction,
+/// airflow estimation and fuel computation subsystems (3 levels; mixed
+/// Moore/non-Moore; distinct In-classes for its two outputs).
+std::shared_ptr<const MacroBlock> fuel_controller();
+
+/// Anti-lock braking: slip computation + bang-bang controller with a
+/// smoothing filter (2 levels; both outputs share one In-class).
+std::shared_ptr<const MacroBlock> abs_brake();
+
+/// Aircraft pitch dynamics: chain of integrators; a Moore-sequential macro
+/// block (outputs independent of current input).
+std::shared_ptr<const MacroBlock> aircraft_pitch();
+
+/// Thermostat with hysteresis relay and first-order room model (2 levels;
+/// Moore feedback loop at the top level).
+std::shared_ptr<const MacroBlock> thermostat();
+
+/// Shared preprocessing chain feeding two trimmed output channels: the
+/// Figure 4 / Figure 10 pattern as it "actually occurs in practice" —
+/// the dynamic method replicates the chain, disjoint clustering does not.
+std::shared_ptr<const MacroBlock> shared_chain_sensor(std::size_t chain_length = 6);
+
+/// Gear-shift logic: lookup-table thresholds and a unit-delay-held gear
+/// state (flat; outputs in different In-classes).
+std::shared_ptr<const MacroBlock> gear_logic();
+
+/// Triplex signal selector with fault latching (avionics-flavored
+/// redundancy management; median voting plus a Moore fault counter).
+std::shared_ptr<const MacroBlock> signal_selector();
+
+/// The whole suite (all of the above plus the paper's figure models).
+std::vector<NamedModel> demo_suite();
+
+} // namespace sbd::suite
+
+#endif

@@ -1,0 +1,74 @@
+#include "suite/npred.hpp"
+
+namespace sbd::suite {
+
+using codegen::Sdg;
+using codegen::SdgNode;
+
+namespace {
+
+graph::NodeId add_node(Sdg& sdg, SdgNode::Kind kind, std::int32_t port) {
+    const auto v = sdg.graph.add_node();
+    SdgNode n;
+    n.kind = kind;
+    n.port = port;
+    // Non-pass-through internal marker (sub/fn unused by clustering code,
+    // set to synthetic ids so labels stay distinct).
+    if (kind == SdgNode::Kind::Internal) {
+        n.sub = static_cast<std::int32_t>(v);
+        n.fn = 0;
+    }
+    sdg.nodes.push_back(n);
+    switch (kind) {
+    case SdgNode::Kind::Input: sdg.input_nodes.push_back(v); break;
+    case SdgNode::Kind::Output: sdg.output_nodes.push_back(v); break;
+    case SdgNode::Kind::Internal: sdg.internal_nodes.push_back(v); break;
+    }
+    return v;
+}
+
+} // namespace
+
+Sdg reduction_sdg(const graph::Undirected& g) {
+    Sdg sdg;
+    const std::size_t n = g.num_nodes();
+    const auto edges = g.edges();
+
+    // Per vertex v of G: internal node v, input v_i, output v_o,
+    // edges v_i -> v -> v_o.
+    std::vector<graph::NodeId> vert(n), vert_in(n), vert_out(n);
+    std::int32_t in_port = 0, out_port = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+        vert[v] = add_node(sdg, SdgNode::Kind::Internal, -1);
+        vert_in[v] = add_node(sdg, SdgNode::Kind::Input, in_port++);
+        vert_out[v] = add_node(sdg, SdgNode::Kind::Output, out_port++);
+        sdg.graph.add_edge(vert_in[v], vert[v]);
+        sdg.graph.add_edge(vert[v], vert_out[v]);
+    }
+    // Per edge (u, v) of G: internal nodes e'_u, e'_v with private
+    // input/output pairs, plus the cross wires u_i -> e'_u -> v_o and
+    // v_i -> e'_v -> u_o that make u, v mergeable exactly when adjacent.
+    for (const auto& [u, v] : edges) {
+        const auto epu = add_node(sdg, SdgNode::Kind::Internal, -1);
+        const auto epu_in = add_node(sdg, SdgNode::Kind::Input, in_port++);
+        const auto epu_out = add_node(sdg, SdgNode::Kind::Output, out_port++);
+        const auto epv = add_node(sdg, SdgNode::Kind::Internal, -1);
+        const auto epv_in = add_node(sdg, SdgNode::Kind::Input, in_port++);
+        const auto epv_out = add_node(sdg, SdgNode::Kind::Output, out_port++);
+        sdg.graph.add_edge(epu_in, epu);
+        sdg.graph.add_edge(epu, epu_out);
+        sdg.graph.add_edge(epv_in, epv);
+        sdg.graph.add_edge(epv, epv_out);
+        sdg.graph.add_edge(vert_in[u], epu);
+        sdg.graph.add_edge(epu, vert_out[v]);
+        sdg.graph.add_edge(vert_in[v], epv);
+        sdg.graph.add_edge(epv, vert_out[u]);
+    }
+    return sdg;
+}
+
+std::size_t reduction_expected_clusters(const graph::Undirected& g, std::size_t clique_count) {
+    return clique_count + 2 * g.num_edges();
+}
+
+} // namespace sbd::suite

@@ -1,0 +1,25 @@
+#ifndef SBD_SUITE_NPRED_HPP
+#define SBD_SUITE_NPRED_HPP
+
+#include "core/sdg.hpp"
+#include "graph/undirected.hpp"
+
+namespace sbd::suite {
+
+/// The NP-hardness construction of Proposition 2 / Figure 7: builds the
+/// flat SDG G_f of an undirected graph G such that
+///   G can be partitioned into k cliques
+///     <=>  G_f admits a valid disjoint clustering with k + 2|E| clusters.
+///
+/// Node layout of the returned SDG's internal nodes: first the |V| "vertex"
+/// nodes v (one per node of G, in order), then for each edge (u, v) of G
+/// (in Undirected::edges() order) the two "edge" nodes e'_u, e'_v.
+codegen::Sdg reduction_sdg(const graph::Undirected& g);
+
+/// Expected optimal cluster count for reduction_sdg(g): the minimum clique
+/// partition size of g plus 2|E(g)|.
+std::size_t reduction_expected_clusters(const graph::Undirected& g, std::size_t clique_count);
+
+} // namespace sbd::suite
+
+#endif

@@ -1,0 +1,174 @@
+#include "suite/random_models.hpp"
+
+#include <algorithm>
+
+#include "sbd/library.hpp"
+
+namespace sbd::suite {
+
+namespace {
+
+using codegen::Sdg;
+using codegen::SdgNode;
+
+BlockPtr random_atomic(std::mt19937_64& rng, double moore_probability) {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    if (unit(rng) < moore_probability) {
+        switch (std::uniform_int_distribution<int>(0, 2)(rng)) {
+        case 0: return lib::unit_delay(unit(rng));
+        case 1: return lib::integrator(0.1, unit(rng));
+        default: return lib::sample_hold(unit(rng));
+        }
+    }
+    switch (std::uniform_int_distribution<int>(0, 9)(rng)) {
+    case 0: return lib::gain(0.25 + unit(rng));
+    case 1: return lib::sum("++");
+    case 2: return lib::sum("+-");
+    case 3: return lib::product(2);
+    case 4: return lib::saturation(-20.0, 20.0);
+    case 5: return lib::abs_block();
+    case 6: return lib::min_block();
+    case 7: return lib::max_block();
+    case 8: return lib::fir2(0.5 + unit(rng), 0.25);
+    default: return lib::moving_average(3);
+    }
+}
+
+BlockPtr gen_block(std::mt19937_64& rng, const RandomModelParams& p, std::size_t level,
+                   int& serial) {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::vector<std::string> ins, outs;
+    for (std::size_t i = 0; i < p.inputs; ++i) ins.push_back("i" + std::to_string(i));
+    for (std::size_t o = 0; o < p.outputs; ++o) outs.push_back("o" + std::to_string(o));
+    auto m = std::make_shared<MacroBlock>("Rnd" + std::to_string(serial++) + "_L" +
+                                              std::to_string(level),
+                                          ins, outs);
+
+    // Sub-blocks: nested macros while depth remains, atomics otherwise.
+    for (std::size_t s = 0; s < p.subs_per_level; ++s) {
+        BlockPtr sub;
+        if (level + 1 < p.depth && unit(rng) < p.macro_probability)
+            sub = gen_block(rng, p, level + 1, serial);
+        else
+            sub = random_atomic(rng, p.moore_probability);
+        m->add_sub("s" + std::to_string(s), sub);
+    }
+
+    // Wire every sub input. Forward sources (macro inputs + outputs of
+    // earlier subs) always keep the flattened diagram acyclic; outputs of
+    // Moore-classed subs are additionally allowed as backward sources
+    // (feedback through state), which is exactly the pattern SCADE-style
+    // same-level delay rules forbid and this framework supports.
+    std::vector<std::size_t> moore_subs;
+    for (std::size_t s = 0; s < m->num_subs(); ++s)
+        if (m->sub(s).type->block_class() == BlockClass::MooreSequential &&
+            m->sub(s).type->num_outputs() > 0)
+            moore_subs.push_back(s);
+
+    const auto random_source = [&](std::size_t consumer) -> Endpoint {
+        std::uniform_real_distribution<double> u01(0.0, 1.0);
+        if (!moore_subs.empty() && u01(rng) < p.backward_wire_probability) {
+            const std::size_t s =
+                moore_subs[std::uniform_int_distribution<std::size_t>(0, moore_subs.size() - 1)(
+                    rng)];
+            const auto port = std::uniform_int_distribution<std::int32_t>(
+                0, static_cast<std::int32_t>(m->sub(s).type->num_outputs()) - 1)(rng);
+            return Endpoint{Endpoint::Kind::SubOutput, static_cast<std::int32_t>(s), port};
+        }
+        // Forward pool: macro inputs + outputs of subs with index < consumer.
+        std::vector<Endpoint> pool;
+        for (std::size_t i = 0; i < m->num_inputs(); ++i)
+            pool.push_back(Endpoint{Endpoint::Kind::MacroInput, -1, static_cast<std::int32_t>(i)});
+        for (std::size_t s = 0; s < consumer; ++s)
+            for (std::size_t o = 0; o < m->sub(s).type->num_outputs(); ++o)
+                pool.push_back(Endpoint{Endpoint::Kind::SubOutput, static_cast<std::int32_t>(s),
+                                        static_cast<std::int32_t>(o)});
+        return pool[std::uniform_int_distribution<std::size_t>(0, pool.size() - 1)(rng)];
+    };
+
+    for (std::size_t s = 0; s < m->num_subs(); ++s)
+        for (std::size_t i = 0; i < m->sub(s).type->num_inputs(); ++i)
+            m->connect(random_source(s),
+                       Endpoint{Endpoint::Kind::SubInput, static_cast<std::int32_t>(s),
+                                static_cast<std::int32_t>(i)});
+
+    // Macro outputs from any sub output (or a pass-through occasionally).
+    std::vector<Endpoint> out_pool;
+    for (std::size_t s = 0; s < m->num_subs(); ++s)
+        for (std::size_t o = 0; o < m->sub(s).type->num_outputs(); ++o)
+            out_pool.push_back(Endpoint{Endpoint::Kind::SubOutput, static_cast<std::int32_t>(s),
+                                        static_cast<std::int32_t>(o)});
+    for (std::size_t o = 0; o < m->num_outputs(); ++o) {
+        Endpoint src;
+        if (out_pool.empty() || unit(rng) < 0.05)
+            src = Endpoint{Endpoint::Kind::MacroInput, -1,
+                           std::uniform_int_distribution<std::int32_t>(
+                               0, static_cast<std::int32_t>(m->num_inputs()) - 1)(rng)};
+        else
+            src = out_pool[std::uniform_int_distribution<std::size_t>(0, out_pool.size() - 1)(
+                rng)];
+        m->connect(src, Endpoint{Endpoint::Kind::MacroOutput, -1, static_cast<std::int32_t>(o)});
+    }
+    m->validate();
+    return m;
+}
+
+} // namespace
+
+std::shared_ptr<const MacroBlock> random_model(std::mt19937_64& rng,
+                                               const RandomModelParams& params) {
+    int serial = 0;
+    auto b = gen_block(rng, params, 0, serial);
+    return std::static_pointer_cast<const MacroBlock>(b);
+}
+
+Sdg random_flat_sdg(std::mt19937_64& rng, std::size_t inputs, std::size_t outputs,
+                    std::size_t internals, double edge_probability) {
+    Sdg sdg;
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (std::size_t i = 0; i < inputs; ++i) {
+        const auto v = sdg.graph.add_node();
+        sdg.nodes.push_back(SdgNode{SdgNode::Kind::Input, static_cast<std::int32_t>(i), -1, -1, -1});
+        sdg.input_nodes.push_back(v);
+    }
+    for (std::size_t o = 0; o < outputs; ++o) {
+        const auto v = sdg.graph.add_node();
+        sdg.nodes.push_back(
+            SdgNode{SdgNode::Kind::Output, static_cast<std::int32_t>(o), -1, -1, -1});
+        sdg.output_nodes.push_back(v);
+    }
+    for (std::size_t b = 0; b < internals; ++b) {
+        const auto v = sdg.graph.add_node();
+        sdg.nodes.push_back(SdgNode{SdgNode::Kind::Internal, -1, static_cast<std::int32_t>(v), 0,
+                                    -1});
+        sdg.internal_nodes.push_back(v);
+    }
+    // DAG edges between internal nodes (index order).
+    for (std::size_t a = 0; a < internals; ++a)
+        for (std::size_t b = a + 1; b < internals; ++b)
+            if (unit(rng) < edge_probability)
+                sdg.graph.add_edge(sdg.internal_nodes[a], sdg.internal_nodes[b]);
+    // Each input feeds 1..3 internal nodes (biased to early ones).
+    for (std::size_t i = 0; i < inputs; ++i) {
+        const int fanout = std::uniform_int_distribution<int>(1, 3)(rng);
+        for (int f = 0; f < fanout; ++f) {
+            const std::size_t target = std::min<std::size_t>(
+                internals - 1,
+                static_cast<std::size_t>(unit(rng) * unit(rng) * static_cast<double>(internals)));
+            sdg.graph.add_edge(sdg.input_nodes[i], sdg.internal_nodes[target]);
+        }
+    }
+    // Each output reads exactly one internal node (unique writer), biased
+    // to late ones.
+    for (std::size_t o = 0; o < outputs; ++o) {
+        const std::size_t writer = internals - 1 -
+                                   std::min<std::size_t>(
+                                       internals - 1, static_cast<std::size_t>(
+                                                          unit(rng) * unit(rng) *
+                                                          static_cast<double>(internals)));
+        sdg.graph.add_edge(sdg.internal_nodes[writer], sdg.output_nodes[o]);
+    }
+    return sdg;
+}
+
+} // namespace sbd::suite

@@ -1,0 +1,42 @@
+#ifndef SBD_SUITE_RANDOM_MODELS_HPP
+#define SBD_SUITE_RANDOM_MODELS_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "core/sdg.hpp"
+#include "sbd/block.hpp"
+
+namespace sbd::suite {
+
+/// Parameters of the random hierarchical model generator. The generator is
+/// the stand-in for the paper's proprietary industrial models: it produces
+/// structurally diverse, always-well-formed, always-acyclic hierarchies.
+struct RandomModelParams {
+    std::size_t depth = 2;           ///< hierarchy levels (1 = flat)
+    std::size_t subs_per_level = 5;  ///< sub-blocks per macro block
+    std::size_t inputs = 2;          ///< ports per macro block
+    std::size_t outputs = 2;
+    double macro_probability = 0.35; ///< chance a sub-block is a nested macro
+    double moore_probability = 0.3;  ///< chance an atomic sub is Moore-sequential
+    double backward_wire_probability = 0.25; ///< feedback through Moore subs
+};
+
+/// Builds a random, validated, flattenable, acyclic hierarchical model.
+/// All atomic blocks come from the standard library (with C++ semantics),
+/// so the result works with the simulator, the interpreter and the C++
+/// emitter alike.
+std::shared_ptr<const MacroBlock> random_model(std::mt19937_64& rng,
+                                               const RandomModelParams& params);
+
+/// Builds a random *flat SDG* directly (for clustering-only tests and
+/// benchmarks): layered DAG over `internals` internal nodes with the given
+/// edge probability; inputs feed early layers, outputs read late layers.
+/// Every output has a unique writer and no input-output edge exists, so the
+/// result satisfies all Section 6 assumptions.
+codegen::Sdg random_flat_sdg(std::mt19937_64& rng, std::size_t inputs, std::size_t outputs,
+                             std::size_t internals, double edge_probability);
+
+} // namespace sbd::suite
+
+#endif

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/exec.hpp"
+#include "sbd/library.hpp"
+#include "suite/figures.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+TEST(Codegen, Figure3ProfileAndCodeMatchPaper) {
+    const auto p = suite::figure3_p();
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const CompiledBlock& cb = sys.at(*p);
+    const Profile& prof = cb.profile;
+    ASSERT_EQ(prof.functions.size(), 2u);
+    // get(): reads nothing (U is Moore), returns P_out.
+    EXPECT_EQ(prof.functions[0].name, "get");
+    EXPECT_TRUE(prof.functions[0].reads.empty());
+    EXPECT_EQ(prof.functions[0].writes, (std::vector<std::size_t>{0}));
+    // step(P_in): reads the input, returns nothing.
+    EXPECT_EQ(prof.functions[1].name, "step");
+    EXPECT_EQ(prof.functions[1].reads, (std::vector<std::size_t>{0}));
+    EXPECT_TRUE(prof.functions[1].writes.empty());
+    // PDG: P.step depends on P.get (paper Figure 3, bottom right).
+    ASSERT_EQ(prof.pdg_edges.size(), 1u);
+    EXPECT_EQ(prof.pdg_edges[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+    EXPECT_TRUE(prof.sequential);
+
+    const std::string code = cb.code->to_pseudocode();
+    // The paper's generated bodies: get calls U.get then A.step; step calls
+    // C.step then U.step.
+    EXPECT_NE(code.find("U.get()"), std::string::npos);
+    EXPECT_NE(code.find("A.step(U_y)"), std::string::npos);
+    EXPECT_NE(code.find("C.step(P_in)"), std::string::npos);
+    EXPECT_NE(code.find("U.step(C_y)"), std::string::npos);
+    // No guard counters: clusters are disjoint here.
+    EXPECT_EQ(code.find("mod"), std::string::npos);
+}
+
+TEST(Codegen, Figure4DynamicUsesGuardCounters) {
+    const auto p = suite::figure4_chain(4);
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const CodeUnit& code = *sys.at(*p).code;
+    ASSERT_EQ(code.functions.size(), 2u);
+    ASSERT_EQ(code.counter_mods.size(), 1u);
+    EXPECT_EQ(code.counter_mods[0], 2); // the paper's modulo-2 counter
+    const std::string text = code.to_pseudocode();
+    EXPECT_NE(text.find("if (c0 == 0)"), std::string::npos);
+    EXPECT_NE(text.find("c0 := (c0 + 1) mod 2"), std::string::npos);
+    // Both functions replicate the chain; the bump appears in each.
+    std::size_t bumps = 0;
+    for (std::size_t pos = 0; (pos = text.find("mod 2", pos)) != std::string::npos; ++pos)
+        ++bumps;
+    EXPECT_EQ(bumps, 2u);
+}
+
+TEST(Codegen, Figure4DisjointHasNoCountersAndSmallerCode) {
+    const auto p = suite::figure4_chain(8);
+    const auto dyn = compile_hierarchy(p, Method::Dynamic);
+    const auto dis = compile_hierarchy(p, Method::DisjointSat);
+    const CodeUnit& dyn_code = *dyn.at(*p).code;
+    const CodeUnit& dis_code = *dis.at(*p).code;
+    EXPECT_TRUE(dis_code.counter_mods.empty());
+    EXPECT_FALSE(dyn_code.counter_mods.empty());
+    // Section 5: the disjoint code is smaller (no replicated chain) and
+    // avoids the counter.
+    EXPECT_LT(dis_code.line_count(), dyn_code.line_count());
+    EXPECT_LT(dis_code.call_count(), dyn_code.call_count());
+    // Dynamic replicates the chain in both functions: 8 extra calls.
+    EXPECT_EQ(dyn_code.call_count() - dis_code.call_count(), 8u);
+}
+
+TEST(Codegen, MonolithicSingleStepFunction) {
+    const auto p = suite::figure1_p();
+    const auto sys = compile_hierarchy(p, Method::Monolithic);
+    const Profile& prof = sys.at(*p).profile;
+    ASSERT_EQ(prof.functions.size(), 1u);
+    EXPECT_EQ(prof.functions[0].name, "step");
+    EXPECT_EQ(prof.functions[0].reads, (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(prof.functions[0].writes, (std::vector<std::size_t>{0, 1}));
+    EXPECT_TRUE(prof.pdg_edges.empty());
+}
+
+TEST(Codegen, PassThroughEmitsAssignment) {
+    auto m = std::make_shared<MacroBlock>("PT", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{"y", "z"});
+    m->add_sub("G", lib::gain(2.0));
+    m->connect("x", "G.u");
+    m->connect("G.y", "y");
+    m->connect("x", "z");
+    const auto sys = compile_hierarchy(std::static_pointer_cast<const Block>(m),
+                                       Method::Dynamic);
+    const std::string code = sys.at(*m).code->to_pseudocode();
+    EXPECT_NE(code.find("pass_z := x"), std::string::npos);
+    // Executing it: z mirrors x, y doubles it.
+    Instance inst(sys, m);
+    const auto out = inst.step_instant(std::vector<double>{3.0});
+    EXPECT_EQ(out[0], 6.0);
+    EXPECT_EQ(out[1], 3.0);
+}
+
+TEST(Codegen, SequentialSubsListedForInit) {
+    const auto p = suite::figure3_p();
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const CodeUnit& code = *sys.at(*p).code;
+    ASSERT_EQ(code.sequential_subs.size(), 1u);
+    EXPECT_EQ(p->sub(code.sequential_subs[0]).name, "U");
+}
+
+TEST(Codegen, GeneratedFunctionNamesAreStable) {
+    const auto p = suite::figure1_p();
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const Profile& prof = sys.at(*p).profile;
+    ASSERT_EQ(prof.functions.size(), 2u);
+    EXPECT_EQ(prof.functions[0].name, "get1");
+    EXPECT_EQ(prof.functions[1].name, "get2");
+}
+
+TEST(Codegen, LineCountCountsEveryStatementOnce) {
+    const auto p = suite::figure3_p();
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const CodeUnit& code = *sys.at(*p).code;
+    // get: sig + U.get + A.step + return + close = 5; step: sig + C.step +
+    // U.step + close = 4.
+    EXPECT_EQ(code.line_count(), 9u);
+}
+
+TEST(Codegen, RejectsNonBackwardClosedSharedCluster) {
+    // Hand-build an invalid overlapping clustering: a shared node whose
+    // producer is missing from one cluster must be rejected (guard-counter
+    // invariant).
+    const auto p = suite::figure4_chain(2);
+    std::vector<Profile> profiles;
+    std::vector<const Profile*> ptrs;
+    for (std::size_t s = 0; s < p->num_subs(); ++s)
+        profiles.push_back(atomic_profile(static_cast<const AtomicBlock&>(*p->sub(s).type)));
+    for (const auto& pr : profiles) ptrs.push_back(&pr);
+    const Sdg sdg = build_sdg(*p, ptrs);
+
+    // Find the chain nodes A1 -> A2(split) and outputs' nodes B, C.
+    Clustering bad;
+    bad.method = Method::Dynamic;
+    const auto a1 = sdg.internal_nodes[0];
+    const auto a2 = sdg.internal_nodes[1];
+    const auto b = sdg.internal_nodes[2];
+    const auto c = sdg.internal_nodes[3];
+    // a2 shared, but cluster 2 lacks its producer a1.
+    bad.clusters = {{a1, a2, b}, {a2, c}};
+    EXPECT_THROW((void)generate_code(*p, ptrs, sdg, bad), std::logic_error);
+}
+
+TEST(Codegen, HierarchicalCompilationSharesBlockTypes) {
+    // The same block type used twice is compiled once.
+    auto m = std::make_shared<MacroBlock>("Twice", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{"y"});
+    const auto inner = suite::figure3_p();
+    m->add_sub("P1", inner);
+    m->add_sub("P2", inner);
+    m->connect("x", "P1.P_in");
+    m->connect("P1.P_out", "P2.P_in");
+    m->connect("P2.P_out", "y");
+    const auto sys = compile_hierarchy(std::static_pointer_cast<const Block>(m),
+                                       Method::Dynamic);
+    // order: atomic blocks of P (3) + P + Twice = 5 entries.
+    EXPECT_EQ(sys.order().size(), 5u);
+    EXPECT_EQ(sys.total_functions(), 2u + 2u); // P has 2, Twice has 2
+}
+
+TEST(Codegen, TotalsAggregateOverHierarchy) {
+    const auto model = suite::fuel_controller();
+    const auto sys = compile_hierarchy(model, Method::Dynamic);
+    EXPECT_GT(sys.total_lines(), 20u);
+    EXPECT_GT(sys.total_functions(), 4u);
+}
+
+TEST(Codegen, PseudocodeShowsSignatureAndReturns) {
+    const auto p = suite::figure1_p();
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const std::string code = sys.at(*p).code->to_pseudocode();
+    EXPECT_NE(code.find("P_fig1.get1(x1) returns (y1)"), std::string::npos);
+    EXPECT_NE(code.find("P_fig1.get2(x1, x2) returns (y2)"), std::string::npos);
+    EXPECT_NE(code.find("return (B_y);"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/bitset.hpp"
+#include "graph/digraph.hpp"
+#include "graph/undirected.hpp"
+
+namespace {
+
+using sbd::graph::Bitset;
+using sbd::graph::Digraph;
+using sbd::graph::NodeId;
+using sbd::graph::Undirected;
+
+TEST(Bitset, SetTestReset) {
+    Bitset b(130);
+    EXPECT_TRUE(b.none());
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_EQ(b.count(), 3u);
+    b.reset(64);
+    EXPECT_FALSE(b.test(64));
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, IndicesRoundTrip) {
+    Bitset b(200);
+    const std::vector<std::size_t> want = {0, 7, 63, 64, 65, 128, 199};
+    for (const auto i : want) b.set(i);
+    EXPECT_EQ(b.to_indices(), want);
+}
+
+TEST(Bitset, SubsetAndIntersect) {
+    Bitset a(70), b(70);
+    a.set(3);
+    a.set(68);
+    b.set(3);
+    b.set(68);
+    b.set(10);
+    EXPECT_TRUE(a.is_subset_of(b));
+    EXPECT_FALSE(b.is_subset_of(a));
+    EXPECT_TRUE(a.intersects(b));
+    Bitset c(70);
+    c.set(11);
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_TRUE(c.is_subset_of(b) == false);
+}
+
+TEST(Bitset, OrAndEquality) {
+    Bitset a(10), b(10);
+    a.set(1);
+    b.set(2);
+    a |= b;
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+    Bitset c(10);
+    c.set(1);
+    c.set(2);
+    EXPECT_EQ(a, c);
+    a &= b;
+    EXPECT_FALSE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+}
+
+TEST(Digraph, TopologicalOrderOfDag) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 3);
+    g.add_edge(3, 2);
+    const auto order = g.topological_order();
+    ASSERT_TRUE(order.has_value());
+    std::vector<std::size_t> pos(4);
+    for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+    EXPECT_LT(pos[0], pos[1]);
+    EXPECT_LT(pos[1], pos[2]);
+    EXPECT_LT(pos[3], pos[2]);
+}
+
+TEST(Digraph, CycleDetected) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    EXPECT_FALSE(g.topological_order().has_value());
+    EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Digraph, SelfLoopIsCycle) {
+    Digraph g(2);
+    g.add_edge(0, 0);
+    EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Digraph, ParallelEdgesCollapsed) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    g.add_edge(0, 1);
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_EQ(g.successors(0).size(), 1u);
+}
+
+TEST(Digraph, SccComponents) {
+    Digraph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0); // {0,1,2}
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    g.add_edge(4, 3); // {3,4}
+    std::size_t n = 0;
+    const auto comp = g.scc_ids(&n);
+    EXPECT_EQ(n, 3u); // {0,1,2}, {3,4}, {5}
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_NE(comp[0], comp[3]);
+    EXPECT_NE(comp[0], comp[5]);
+    EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(Digraph, ReachabilityIsNonReflexiveByDefault) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    const auto r = g.reachable_from(0);
+    EXPECT_FALSE(r.test(0));
+    EXPECT_TRUE(r.test(1));
+    EXPECT_FALSE(r.test(2));
+    const auto t = g.reaching_to(1);
+    EXPECT_TRUE(t.test(0));
+    EXPECT_FALSE(t.test(1));
+}
+
+TEST(Digraph, ReachableThroughCycleIncludesSelf) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    EXPECT_TRUE(g.reachable_from(0).test(0));
+}
+
+// Property: DAG transitive closure agrees with Floyd-Warshall on random
+// graphs.
+TEST(Digraph, ClosureMatchesFloydWarshall) {
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int iter = 0; iter < 25; ++iter) {
+        const std::size_t n = 2 + static_cast<std::size_t>(unit(rng) * 14);
+        Digraph g(n);
+        for (NodeId a = 0; a < n; ++a)
+            for (NodeId b = a + 1; b < n; ++b)
+                if (unit(rng) < 0.3) g.add_edge(a, b);
+        std::vector<std::vector<bool>> fw(n, std::vector<bool>(n, false));
+        for (NodeId a = 0; a < n; ++a)
+            for (const auto b : g.successors(a)) fw[a][b] = true;
+        for (std::size_t k = 0; k < n; ++k)
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    if (fw[i][k] && fw[k][j]) fw[i][j] = true;
+        const auto closure = g.transitive_closure();
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                EXPECT_EQ(closure[i].test(j), fw[i][j]) << i << "->" << j;
+    }
+}
+
+TEST(Digraph, QuotientDropsSelfLoops) {
+    Digraph g(4);
+    g.add_edge(0, 1); // same class -> dropped
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    const std::vector<NodeId> cls = {0, 0, 1, 1};
+    const Digraph q = g.quotient(cls, 2);
+    EXPECT_EQ(q.num_nodes(), 2u);
+    EXPECT_TRUE(q.has_edge(0, 1));
+    EXPECT_FALSE(q.has_edge(0, 0));
+    EXPECT_FALSE(q.has_edge(1, 1));
+    EXPECT_EQ(q.num_edges(), 1u);
+}
+
+TEST(Digraph, TransposeReversesEdges) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    const auto t = g.transpose();
+    EXPECT_TRUE(t.has_edge(1, 0));
+    EXPECT_TRUE(t.has_edge(2, 1));
+    EXPECT_FALSE(t.has_edge(0, 1));
+}
+
+TEST(Digraph, DotContainsNodesAndEdges) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    const auto dot = g.to_dot({"alpha", "beta"});
+    EXPECT_NE(dot.find("alpha"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Undirected, CliqueBasics) {
+    Undirected g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    EXPECT_TRUE(g.is_clique({0, 1, 2}));
+    EXPECT_FALSE(g.is_clique({0, 1, 3}));
+    EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Undirected, MinCliquePartitionTrianglePlusIsolated) {
+    Undirected g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(0, 2);
+    std::size_t k = 0;
+    g.min_clique_partition(&k);
+    EXPECT_EQ(k, 2u); // {0,1,2} and {3}
+}
+
+TEST(Undirected, MinCliquePartitionPath) {
+    // Path a-b-c-d: two cliques {a,b}, {c,d}.
+    Undirected g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    std::size_t k = 0;
+    g.min_clique_partition(&k);
+    EXPECT_EQ(k, 2u);
+}
+
+TEST(Undirected, MinCliquePartitionEmptyGraphIsSingletons) {
+    Undirected g(3);
+    std::size_t k = 0;
+    const auto assign = g.min_clique_partition(&k);
+    EXPECT_EQ(k, 3u);
+    EXPECT_EQ(assign.size(), 3u);
+}
+
+TEST(Undirected, GreedyIsValidPartitionAndUpperBound) {
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::size_t n = 3 + static_cast<std::size_t>(unit(rng) * 7);
+        Undirected g(n);
+        for (std::size_t a = 0; a < n; ++a)
+            for (std::size_t b = a + 1; b < n; ++b)
+                if (unit(rng) < 0.5) g.add_edge(a, b);
+        std::size_t kg = 0, ko = 0;
+        const auto greedy = g.greedy_clique_partition(&kg);
+        g.min_clique_partition(&ko);
+        EXPECT_GE(kg, ko);
+        // Each greedy class is a clique.
+        std::vector<std::vector<std::size_t>> classes(kg);
+        for (std::size_t v = 0; v < n; ++v) classes[greedy[v]].push_back(v);
+        for (const auto& cl : classes) EXPECT_TRUE(g.is_clique(cl));
+    }
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "sbd/block.hpp"
+#include "sbd/flatten.hpp"
+#include "sbd/library.hpp"
+#include "suite/figures.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+
+TEST(Block, PortNamesAndIndices) {
+    const auto b = lib::sum("+-");
+    EXPECT_EQ(b->num_inputs(), 2u);
+    EXPECT_EQ(b->num_outputs(), 1u);
+    EXPECT_EQ(b->input_index("u2"), 1u);
+    EXPECT_EQ(b->output_index("y"), 0u);
+    EXPECT_THROW((void)b->input_index("nope"), ModelError);
+}
+
+TEST(Block, AtomicClassInvariants) {
+    EXPECT_EQ(lib::gain(2.0)->block_class(), BlockClass::Combinational);
+    EXPECT_EQ(lib::unit_delay()->block_class(), BlockClass::MooreSequential);
+    EXPECT_EQ(lib::fir2(1.0, 0.5)->block_class(), BlockClass::Sequential);
+    // A combinational block must not carry state.
+    EXPECT_THROW(AtomicBlock("bad", {}, {}, BlockClass::Combinational, {1.0}, {}, {}),
+                 ModelError);
+    // A sequential block must have an update function.
+    EXPECT_THROW(AtomicBlock("bad", {"u"}, {"y"}, BlockClass::Sequential, {0.0},
+                             [](auto, auto, auto) {}, {}),
+                 ModelError);
+}
+
+TEST(Macro, DuplicateSubNameRejected) {
+    MacroBlock m("M", {"x"}, {"y"});
+    m.add_sub("G", lib::gain(1.0));
+    EXPECT_THROW(m.add_sub("G", lib::gain(2.0)), ModelError);
+}
+
+TEST(Macro, DoubleWriterRejected) {
+    MacroBlock m("M", {"x"}, {"y"});
+    m.add_sub("G", lib::gain(1.0));
+    m.connect("x", "G.u");
+    EXPECT_THROW(m.connect("x", "G.u"), ModelError);
+}
+
+TEST(Macro, BadEndpointsRejected) {
+    MacroBlock m("M", {"x"}, {"y"});
+    const auto g = m.add_sub("G", lib::gain(1.0));
+    EXPECT_THROW(m.connect(Endpoint{Endpoint::Kind::SubOutput, g, 5},
+                           Endpoint{Endpoint::Kind::MacroOutput, -1, 0}),
+                 ModelError);
+    EXPECT_THROW(m.connect(Endpoint{Endpoint::Kind::SubOutput, 7, 0},
+                           Endpoint{Endpoint::Kind::MacroOutput, -1, 0}),
+                 ModelError);
+    // Source used as destination.
+    EXPECT_THROW(m.connect(Endpoint{Endpoint::Kind::MacroOutput, -1, 0},
+                           Endpoint{Endpoint::Kind::SubInput, g, 0}),
+                 ModelError);
+}
+
+TEST(Macro, ValidateReportsUnconnected) {
+    MacroBlock m("M", {"x"}, {"y"});
+    m.add_sub("G", lib::gain(1.0));
+    EXPECT_THROW(m.validate(), ModelError); // G.u and y unconnected
+    m.connect("x", "G.u");
+    EXPECT_THROW(m.validate(), ModelError); // y unconnected
+    m.connect("G.y", "y");
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Macro, NameBasedConnectParsesBothForms) {
+    MacroBlock m("M", {"x"}, {"y"});
+    m.add_sub("G", lib::gain(1.0));
+    m.connect("x", "G.u");
+    m.connect("G.y", "y");
+    const auto* w = m.writer_of(Endpoint{Endpoint::Kind::MacroOutput, -1, 0});
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->src.kind, Endpoint::Kind::SubOutput);
+}
+
+TEST(Flatten, FlatDiagramIsUnchangedStructurally) {
+    const auto p = sbd::suite::figure1_p();
+    const auto flat = flatten(*p);
+    EXPECT_EQ(flat->num_subs(), 3u);
+    EXPECT_EQ(flat->num_inputs(), 2u);
+    EXPECT_EQ(flat->num_outputs(), 2u);
+    for (std::size_t s = 0; s < flat->num_subs(); ++s)
+        EXPECT_TRUE(flat->sub(s).type->is_atomic());
+}
+
+TEST(Flatten, TwoLevelsSpliced) {
+    // inner: x -> gain -> y ; outer: x -> inner -> gain -> y
+    auto inner = std::make_shared<MacroBlock>("Inner", std::vector<std::string>{"x"},
+                                              std::vector<std::string>{"y"});
+    inner->add_sub("G1", lib::gain(2.0));
+    inner->connect("x", "G1.u");
+    inner->connect("G1.y", "y");
+    auto outer = std::make_shared<MacroBlock>("Outer", std::vector<std::string>{"x"},
+                                              std::vector<std::string>{"y"});
+    outer->add_sub("I", inner);
+    outer->add_sub("G2", lib::gain(3.0));
+    outer->connect("x", "I.x");
+    outer->connect("I.y", "G2.u");
+    outer->connect("G2.y", "y");
+
+    const auto flat = flatten(*outer);
+    ASSERT_EQ(flat->num_subs(), 2u);
+    EXPECT_EQ(flat->sub(0).name, "I/G1");
+    EXPECT_EQ(flat->sub(1).name, "G2");
+    // Wire x -> I/G1 -> G2 -> y must be re-instituted.
+    const auto* w = flat->writer_of(Endpoint{Endpoint::Kind::SubInput, 1, 0});
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->src.kind, Endpoint::Kind::SubOutput);
+    EXPECT_EQ(w->src.sub, 0);
+}
+
+TEST(Flatten, PassThroughSpliced) {
+    // inner passes its input straight to its output.
+    auto inner = std::make_shared<MacroBlock>("Wire", std::vector<std::string>{"x"},
+                                              std::vector<std::string>{"y"});
+    inner->connect("x", "y");
+    auto outer = std::make_shared<MacroBlock>("Outer", std::vector<std::string>{"x"},
+                                              std::vector<std::string>{"y"});
+    outer->add_sub("W", inner);
+    outer->add_sub("G", lib::gain(2.0));
+    outer->connect("x", "W.x");
+    outer->connect("W.y", "G.u");
+    outer->connect("G.y", "y");
+    const auto flat = flatten(*outer);
+    ASSERT_EQ(flat->num_subs(), 1u);
+    const auto* w = flat->writer_of(Endpoint{Endpoint::Kind::SubInput, 0, 0});
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->src.kind, Endpoint::Kind::MacroInput); // spliced through
+}
+
+TEST(Flatten, PassThroughCycleDetected) {
+    // Two pure wire blocks feeding each other: a wire cycle with no blocks.
+    auto wire = std::make_shared<MacroBlock>("Wire", std::vector<std::string>{"x"},
+                                             std::vector<std::string>{"y"});
+    wire->connect("x", "y");
+    auto outer = std::make_shared<MacroBlock>("Outer", std::vector<std::string>{},
+                                              std::vector<std::string>{"y"});
+    outer->add_sub("W1", wire);
+    outer->add_sub("W2", wire);
+    outer->connect("W1.y", "W2.x");
+    outer->connect("W2.y", "W1.x");
+    outer->connect("W1.y", "y");
+    EXPECT_THROW((void)flatten(*outer), ModelError);
+}
+
+TEST(Flatten, ThreeLevelFuelControllerFlattens) {
+    const auto top = sbd::suite::fuel_controller();
+    const auto flat = flatten(*top);
+    EXPECT_GT(flat->num_subs(), 15u);
+    for (std::size_t s = 0; s < flat->num_subs(); ++s)
+        EXPECT_TRUE(flat->sub(s).type->is_atomic());
+    // Nested instance naming includes the full path.
+    bool found_nested = false;
+    for (std::size_t s = 0; s < flat->num_subs(); ++s)
+        if (flat->sub(s).name.find("Fuel/Corr/") == 0) found_nested = true;
+    EXPECT_TRUE(found_nested);
+}
+
+TEST(BlockClass, MacroCombinational) {
+    const auto p = sbd::suite::figure1_p();
+    EXPECT_EQ(p->block_class(), BlockClass::Combinational);
+}
+
+TEST(BlockClass, MacroSequentialNonMoore) {
+    // Figure 3's P: its output depends on the delay only, so it is Moore?
+    // P_out <- A <- U(delay) <- C <- P_in: no combinational input-to-output
+    // path, so P is Moore-sequential.
+    EXPECT_EQ(sbd::suite::figure3_p()->block_class(), BlockClass::MooreSequential);
+}
+
+TEST(BlockClass, MacroMooreAircraft) {
+    EXPECT_EQ(sbd::suite::aircraft_pitch()->block_class(), BlockClass::MooreSequential);
+}
+
+TEST(BlockClass, MacroSequentialWithFeedthrough) {
+    // Thermostat: heater_on depends combinationally on setpoint.
+    EXPECT_EQ(sbd::suite::thermostat()->block_class(), BlockClass::Sequential);
+}
+
+TEST(DependencyGraph, AcyclicForWholeSuite) {
+    for (const auto& model : sbd::suite::demo_suite())
+        EXPECT_TRUE(is_acyclic_diagram(static_cast<const MacroBlock&>(*model.block)))
+            << model.name;
+}
+
+TEST(DependencyGraph, CombinationalLoopDetected) {
+    // gain -> gain loop with no delay: block-based dependency cycle.
+    auto m = std::make_shared<MacroBlock>("Loop", std::vector<std::string>{},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("G1", lib::gain(1.0));
+    m->add_sub("G2", lib::gain(1.0));
+    m->connect("G1.y", "G2.u");
+    m->connect("G2.y", "G1.u");
+    m->connect("G1.y", "y");
+    EXPECT_FALSE(is_acyclic_diagram(*m));
+}
+
+TEST(DependencyGraph, DelayBreaksLoop) {
+    auto m = std::make_shared<MacroBlock>("DelayLoop", std::vector<std::string>{},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("G", lib::gain(0.5));
+    m->add_sub("D", lib::unit_delay(1.0));
+    m->connect("G.y", "D.u");
+    m->connect("D.y", "G.u");
+    m->connect("G.y", "y");
+    EXPECT_TRUE(is_acyclic_diagram(*m));
+}
+
+TEST(Suite, AllModelsValidate) {
+    for (const auto& model : sbd::suite::demo_suite()) {
+        const auto& m = static_cast<const MacroBlock&>(*model.block);
+        EXPECT_NO_THROW(m.validate()) << model.name;
+    }
+}
+
+} // namespace

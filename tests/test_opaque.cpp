@@ -1,0 +1,211 @@
+// Tests for interface-only (opaque) blocks: the paper's IP scenario — a
+// macro block is compiled against sub-block *profiles* with zero knowledge
+// of their internals, which opaque blocks enforce by construction.
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/exec.hpp"
+#include "core/reuse.hpp"
+#include "sbd/library.hpp"
+#include "sbd/opaque.hpp"
+#include "sbd/text_format.hpp"
+#include "core/emit_cpp.hpp"
+#include "sbd/flatten.hpp"
+#include "sim/simulator.hpp"
+#include "suite/figures.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+/// An opaque stand-in for the paper's Figure 3 block P: get() -> P_out,
+/// step(P_in), get before step, Moore-sequential.
+BlockPtr opaque_fig3_profile() {
+    return std::make_shared<OpaqueBlock>(
+        "VendorP", std::vector<std::string>{"P_in"}, std::vector<std::string>{"P_out"},
+        BlockClass::MooreSequential,
+        std::vector<OpaqueBlock::Function>{{"get", {}, {0}}, {"step", {0}, {}}},
+        std::vector<std::pair<std::size_t, std::size_t>>{{0, 1}});
+}
+
+TEST(Opaque, ConstructionValidation) {
+    using Fn = OpaqueBlock::Function;
+    // Output with no writer.
+    EXPECT_THROW(OpaqueBlock("B", {"a"}, {"y"}, BlockClass::Combinational,
+                             {Fn{"f", {0}, {}}}, {}),
+                 ModelError);
+    // Output with two writers.
+    EXPECT_THROW(OpaqueBlock("B", {"a"}, {"y"}, BlockClass::Combinational,
+                             {Fn{"f", {}, {0}}, Fn{"g", {}, {0}}}, {}),
+                 ModelError);
+    // Port out of range.
+    EXPECT_THROW(OpaqueBlock("B", {"a"}, {"y"}, BlockClass::Combinational,
+                             {Fn{"f", {3}, {0}}}, {}),
+                 ModelError);
+    // Cyclic order.
+    EXPECT_THROW(OpaqueBlock("B", {"a"}, {"y", "z"}, BlockClass::Combinational,
+                             {Fn{"f", {0}, {0}}, Fn{"g", {0}, {1}}}, {{0, 1}, {1, 0}}),
+                 ModelError);
+    EXPECT_NO_THROW(OpaqueBlock("B", {"a"}, {"y"}, BlockClass::Combinational,
+                                {Fn{"f", {0}, {0}}}, {}));
+}
+
+TEST(Opaque, CompilesInsideFeedbackContextWithoutInternals) {
+    // Embed the opaque P with the feedback y -> x: P is Moore per its
+    // declared profile, so the embedding must be accepted and code
+    // generated — purely from the interface.
+    auto ctx = std::make_shared<MacroBlock>("Ctx", std::vector<std::string>{},
+                                            std::vector<std::string>{"y"});
+    const auto p = ctx->add_sub("P", opaque_fig3_profile());
+    ctx->connect(Endpoint{Endpoint::Kind::SubOutput, p, 0},
+                 Endpoint{Endpoint::Kind::SubInput, p, 0});
+    ctx->connect(Endpoint{Endpoint::Kind::SubOutput, p, 0},
+                 Endpoint{Endpoint::Kind::MacroOutput, -1, 0});
+    const auto sys = compile_hierarchy(std::static_pointer_cast<const Block>(ctx),
+                                       Method::Dynamic);
+    const auto& cb = sys.at(*ctx);
+    const std::string code = cb.code->to_pseudocode();
+    EXPECT_NE(code.find("P.get()"), std::string::npos);
+    EXPECT_NE(code.find("P.step(P_P_out)"), std::string::npos); // fed by its own output slot
+    EXPECT_TRUE(cb.profile.sequential);
+}
+
+TEST(Opaque, MonolithicOpaqueProfileIsRejectedInFeedback) {
+    // Same context but the vendor shipped a single step(P_in)->P_out
+    // function: the embedding must be rejected — demonstrating that the
+    // trade-off is about interfaces, not implementations.
+    auto mono = std::make_shared<OpaqueBlock>(
+        "VendorMono", std::vector<std::string>{"P_in"}, std::vector<std::string>{"P_out"},
+        BlockClass::Sequential,
+        std::vector<OpaqueBlock::Function>{{"step", {0}, {0}}},
+        std::vector<std::pair<std::size_t, std::size_t>>{});
+    auto ctx = std::make_shared<MacroBlock>("Ctx", std::vector<std::string>{},
+                                            std::vector<std::string>{"y"});
+    const auto p = ctx->add_sub("P", mono);
+    ctx->connect(Endpoint{Endpoint::Kind::SubOutput, p, 0},
+                 Endpoint{Endpoint::Kind::SubInput, p, 0});
+    ctx->connect(Endpoint{Endpoint::Kind::SubOutput, p, 0},
+                 Endpoint{Endpoint::Kind::MacroOutput, -1, 0});
+    EXPECT_THROW(
+        (void)compile_hierarchy(std::static_pointer_cast<const Block>(ctx), Method::Dynamic),
+        SdgCycleError);
+}
+
+TEST(Opaque, CannotBeExecutedOrSimulatedOrEmitted) {
+    auto m = std::make_shared<MacroBlock>("M", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("P", opaque_fig3_profile());
+    m->connect("x", "P.P_in");
+    m->connect("P.P_out", "y");
+    const auto sys =
+        compile_hierarchy(std::static_pointer_cast<const Block>(m), Method::Dynamic);
+    EXPECT_THROW(Instance inst(sys, m), std::logic_error);
+    EXPECT_THROW((void)emit_cpp(sys), std::runtime_error);
+    EXPECT_THROW(sim::Simulator s(flatten(*m)), ModelError);
+}
+
+TEST(Opaque, ExternBlockParsesFromSbd) {
+    const auto file = text::parse_sbd_string(R"(
+extern block VendorP {
+  inputs P_in
+  outputs P_out
+  class moore
+  function get writes P_out
+  function step reads P_in
+  order get step
+}
+block Top {
+  inputs x
+  outputs y
+  sub P VendorP
+  sub G Gain 2
+  connect x P.P_in
+  connect P.P_out G.u
+  connect G.y y
+}
+)");
+    EXPECT_EQ(file.root->type_name(), "Top");
+    const auto& p = *file.root->sub(0).type;
+    EXPECT_TRUE(p.is_opaque());
+    EXPECT_EQ(p.block_class(), BlockClass::MooreSequential);
+    // Compiles against the declared interface.
+    const auto sys = compile_hierarchy(file.root, Method::DisjointSat);
+    EXPECT_EQ(sys.at(*file.root).profile.functions.size(), 2u);
+}
+
+TEST(Opaque, ExternBlockErrors) {
+    // Extern block with internals is rejected.
+    EXPECT_THROW((void)text::parse_sbd_string(R"(
+extern block E {
+  inputs a
+  outputs y
+  sub G Gain 1
+  function f reads a writes y
+})"),
+                 ModelError);
+    // Unknown port in a function declaration.
+    EXPECT_THROW((void)text::parse_sbd_string(R"(
+extern block E {
+  inputs a
+  outputs y
+  function f reads nope writes y
+})"),
+                 ModelError);
+    // File whose only definition is extern: no root.
+    EXPECT_THROW((void)text::parse_sbd_string(R"(
+extern block E {
+  inputs a
+  outputs y
+  function f reads a writes y
+})"),
+                 ModelError);
+}
+
+TEST(Opaque, RoundTripsThroughSbd) {
+    auto m = std::make_shared<MacroBlock>("Top", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("P", opaque_fig3_profile());
+    m->add_sub("G", lib::gain(2.0));
+    m->connect("x", "P.P_in");
+    m->connect("P.P_out", "G.u");
+    m->connect("G.y", "y");
+    const std::string once = text::to_sbd(*m);
+    EXPECT_NE(once.find("extern block VendorP"), std::string::npos);
+    EXPECT_NE(once.find("order get step"), std::string::npos);
+    const auto back = text::parse_sbd_string(once);
+    EXPECT_EQ(text::to_sbd(*back.root), once);
+}
+
+TEST(Opaque, ReplacingOpaqueByRealImplementationPreservesProfiles) {
+    // The modularity contract: swapping the opaque vendor block for a real
+    // implementation with the same profile changes nothing in the parent's
+    // generated interface.
+    auto build_top = [](BlockPtr p) {
+        auto m = std::make_shared<MacroBlock>("Top", std::vector<std::string>{"x"},
+                                              std::vector<std::string>{"y"});
+        m->add_sub("P", std::move(p));
+        m->add_sub("G", lib::gain(2.0));
+        m->connect("x", "P.P_in");
+        m->connect("P.P_out", "G.u");
+        m->connect("G.y", "y");
+        return m;
+    };
+    const auto with_opaque = build_top(opaque_fig3_profile());
+    const auto with_real = build_top(sbd::suite::figure3_p());
+    const auto sys_o = compile_hierarchy(std::static_pointer_cast<const Block>(with_opaque),
+                                         Method::Dynamic);
+    const auto sys_r =
+        compile_hierarchy(std::static_pointer_cast<const Block>(with_real), Method::Dynamic);
+    const Profile& po = sys_o.at(*with_opaque).profile;
+    const Profile& pr = sys_r.at(*with_real).profile;
+    ASSERT_EQ(po.functions.size(), pr.functions.size());
+    for (std::size_t f = 0; f < po.functions.size(); ++f) {
+        EXPECT_EQ(po.functions[f].reads, pr.functions[f].reads);
+        EXPECT_EQ(po.functions[f].writes, pr.functions[f].writes);
+    }
+    EXPECT_EQ(po.pdg_edges, pr.pdg_edges);
+}
+
+} // namespace

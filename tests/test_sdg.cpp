@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/sdg.hpp"
+#include "sbd/library.hpp"
+#include "suite/figures.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+std::vector<const Profile*> atomic_profiles(const MacroBlock& m,
+                                            std::vector<Profile>& storage) {
+    storage.clear();
+    storage.reserve(m.num_subs());
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        storage.push_back(atomic_profile(static_cast<const AtomicBlock&>(*m.sub(s).type)));
+    std::vector<const Profile*> ptrs;
+    for (const auto& p : storage) ptrs.push_back(&p);
+    return ptrs;
+}
+
+TEST(Profile, AtomicCombinational) {
+    const Profile p = atomic_profile(static_cast<const AtomicBlock&>(*lib::sum("++")));
+    ASSERT_EQ(p.functions.size(), 1u);
+    EXPECT_EQ(p.functions[0].name, "step");
+    EXPECT_EQ(p.functions[0].reads, (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(p.functions[0].writes, (std::vector<std::size_t>{0}));
+    EXPECT_FALSE(p.sequential);
+    EXPECT_TRUE(p.pdg_edges.empty());
+}
+
+TEST(Profile, AtomicMooreHasGetBeforeStep) {
+    const Profile p = atomic_profile(static_cast<const AtomicBlock&>(*lib::unit_delay()));
+    ASSERT_EQ(p.functions.size(), 2u);
+    EXPECT_EQ(p.functions[0].name, "get");
+    EXPECT_TRUE(p.functions[0].reads.empty());
+    EXPECT_EQ(p.functions[0].writes, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(p.functions[1].name, "step");
+    EXPECT_EQ(p.functions[1].reads, (std::vector<std::size_t>{0}));
+    EXPECT_TRUE(p.functions[1].writes.empty());
+    ASSERT_EQ(p.pdg_edges.size(), 1u);
+    EXPECT_EQ(p.pdg_edges[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+    EXPECT_TRUE(p.sequential);
+}
+
+TEST(Profile, AtomicSequentialNonMooreSingleStep) {
+    const Profile p = atomic_profile(static_cast<const AtomicBlock&>(*lib::fir2(1.0, 2.0)));
+    ASSERT_EQ(p.functions.size(), 1u);
+    EXPECT_TRUE(p.sequential);
+    EXPECT_EQ(p.functions[0].reads.size(), 1u);
+    EXPECT_EQ(p.functions[0].writes.size(), 1u);
+}
+
+TEST(Profile, WriterAndReaderLookups) {
+    Profile p;
+    p.functions.push_back({"f", {0, 2}, {1}});
+    p.functions.push_back({"g", {1}, {0}});
+    EXPECT_EQ(p.writer_of_output(1), 0);
+    EXPECT_EQ(p.writer_of_output(0), 1);
+    EXPECT_EQ(p.writer_of_output(5), -1);
+    EXPECT_EQ(p.readers_of_input(1), (std::vector<std::size_t>{1}));
+    EXPECT_EQ(p.readers_of_input(2), (std::vector<std::size_t>{0}));
+}
+
+TEST(Sdg, Figure3StructureMatchesPaper) {
+    // SDG of Figure 3: P_in -> C.step -> U.step; U.get -> U.step (PDG);
+    // U.get -> A.step -> P_out.
+    const auto p = suite::figure3_p();
+    std::vector<Profile> storage;
+    const auto profiles = atomic_profiles(*p, storage);
+    const Sdg sdg = build_sdg(*p, profiles);
+
+    // Nodes: 1 input + 1 output + A.step + U.get + U.step + C.step.
+    EXPECT_EQ(sdg.input_nodes.size(), 1u);
+    EXPECT_EQ(sdg.output_nodes.size(), 1u);
+    EXPECT_EQ(sdg.internal_nodes.size(), 4u);
+
+    // Locate nodes by (sub, fn).
+    const auto node_of = [&](std::int32_t sub, std::int32_t fn) -> graph::NodeId {
+        for (const auto v : sdg.internal_nodes)
+            if (sdg.nodes[v].sub == sub && sdg.nodes[v].fn == fn) return v;
+        ADD_FAILURE() << "node not found";
+        return 0;
+    };
+    const auto a_step = node_of(p->sub_index("A"), 0);
+    const auto u_get = node_of(p->sub_index("U"), 0);
+    const auto u_step = node_of(p->sub_index("U"), 1);
+    const auto c_step = node_of(p->sub_index("C"), 0);
+
+    EXPECT_TRUE(sdg.graph.has_edge(sdg.input_nodes[0], c_step));
+    EXPECT_TRUE(sdg.graph.has_edge(c_step, u_step));
+    EXPECT_TRUE(sdg.graph.has_edge(u_get, u_step)); // lifted PDG edge
+    EXPECT_TRUE(sdg.graph.has_edge(u_get, a_step));
+    EXPECT_TRUE(sdg.graph.has_edge(a_step, sdg.output_nodes[0]));
+    EXPECT_FALSE(sdg.graph.has_edge(sdg.input_nodes[0], sdg.output_nodes[0]));
+    EXPECT_EQ(sdg.graph.num_edges(), 5u);
+}
+
+TEST(Sdg, Figure3HasNoTrueIoDependency) {
+    // U is Moore, so P_out does not depend on P_in within an instant.
+    const auto p = suite::figure3_p();
+    std::vector<Profile> storage;
+    const Sdg sdg = build_sdg(*p, atomic_profiles(*p, storage));
+    EXPECT_TRUE(sdg.io_dependencies().empty());
+}
+
+TEST(Sdg, Figure1IoDependencies) {
+    const auto p = suite::figure1_p();
+    std::vector<Profile> storage;
+    const Sdg sdg = build_sdg(*p, atomic_profiles(*p, storage));
+    // y1 <- x1; y2 <- x1, x2. No dependency x2 -> y1.
+    const auto deps = sdg.io_dependencies();
+    const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+        {0, 0}, {0, 1}, {1, 1}};
+    EXPECT_EQ(deps, expected);
+}
+
+TEST(Sdg, PassThroughInsertsDummyNode) {
+    auto m = std::make_shared<MacroBlock>("PT", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{"y", "z"});
+    m->add_sub("G", lib::gain(2.0));
+    m->connect("x", "G.u");
+    m->connect("G.y", "y");
+    m->connect("x", "z"); // direct feed-through
+    std::vector<Profile> storage;
+    const Sdg sdg = build_sdg(*m, atomic_profiles(*m, storage));
+    ASSERT_EQ(sdg.internal_nodes.size(), 2u);
+    bool has_pass = false;
+    for (const auto v : sdg.internal_nodes)
+        if (sdg.nodes[v].is_passthrough()) {
+            has_pass = true;
+            EXPECT_EQ(sdg.nodes[v].pt_input, 0);
+            EXPECT_EQ(sdg.nodes[v].port, 1);
+            // in -> dummy -> out, no direct in -> out edge.
+            EXPECT_TRUE(sdg.graph.has_edge(sdg.input_nodes[0], v));
+            EXPECT_TRUE(sdg.graph.has_edge(v, sdg.output_nodes[1]));
+        }
+    EXPECT_TRUE(has_pass);
+    EXPECT_FALSE(sdg.graph.has_edge(sdg.input_nodes[0], sdg.output_nodes[1]));
+}
+
+TEST(Sdg, CyclicSdgRejected) {
+    // Two combinational blocks in a tight loop: modular codegen must reject.
+    auto m = std::make_shared<MacroBlock>("Cyc", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("G1", lib::sum("++"));
+    m->add_sub("G2", lib::gain(1.0));
+    m->connect("x", "G1.u1");
+    m->connect("G2.y", "G1.u2");
+    m->connect("G1.y", "G2.u");
+    m->connect("G1.y", "y");
+    std::vector<Profile> storage;
+    const auto profiles = atomic_profiles(*m, storage);
+    EXPECT_THROW((void)build_sdg(*m, profiles), SdgCycleError);
+    bool cyclic = false;
+    (void)build_sdg_unchecked(*m, profiles, &cyclic);
+    EXPECT_TRUE(cyclic);
+}
+
+TEST(Sdg, SelfLoopOnCombinationalBlockRejected) {
+    auto m = std::make_shared<MacroBlock>("SelfLoop", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("S", lib::sum("++"));
+    m->connect("x", "S.u1");
+    m->connect("S.y", "S.u2");
+    m->connect("S.y", "y");
+    std::vector<Profile> storage;
+    const auto profiles = atomic_profiles(*m, storage);
+    EXPECT_THROW((void)build_sdg(*m, profiles), SdgCycleError);
+}
+
+TEST(Sdg, MooreSelfLoopAccepted) {
+    // delay fed by itself through its own output is fine: U.get -> U.step.
+    auto m = std::make_shared<MacroBlock>("DelayLoop", std::vector<std::string>{},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("D", lib::unit_delay(1.0));
+    m->connect("D.y", "D.u");
+    m->connect("D.y", "y");
+    std::vector<Profile> storage;
+    EXPECT_NO_THROW((void)build_sdg(*m, atomic_profiles(*m, storage)));
+}
+
+TEST(Sdg, LabelsAreHumanReadable) {
+    const auto p = suite::figure3_p();
+    std::vector<Profile> storage;
+    const auto profiles = atomic_profiles(*p, storage);
+    const Sdg sdg = build_sdg(*p, profiles);
+    bool found = false;
+    for (const auto v : sdg.internal_nodes)
+        if (node_label(sdg, *p, profiles, v) == "U.get") found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Sdg, HierarchicalSdgUsesSubProfilesOnly) {
+    // Compile Figure 3 and embed it: the parent SDG must have exactly one
+    // node per interface function of P's profile, not per atomic block.
+    const auto p = suite::figure3_p();
+    const auto sys = compile_hierarchy(p, Method::Dynamic);
+    const Profile& prof = sys.at(*p).profile;
+    ASSERT_EQ(prof.functions.size(), 2u);
+
+    const auto ctx = suite::feedback_context(p, 0, 0);
+    const auto ctx_sys = compile_hierarchy(ctx, Method::Dynamic);
+    const Sdg& sdg = *ctx_sys.at(*ctx).sdg;
+    EXPECT_EQ(sdg.internal_nodes.size(), 2u); // P.get and P.step only
+}
+
+} // namespace

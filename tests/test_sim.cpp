@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sbd/flatten.hpp"
+#include "sbd/library.hpp"
+#include "sim/simulator.hpp"
+#include "suite/figures.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+
+std::shared_ptr<MacroBlock> wrap_single(const BlockPtr& b, const std::string& name) {
+    std::vector<std::string> ins, outs;
+    for (std::size_t i = 0; i < b->num_inputs(); ++i) ins.push_back(b->input_name(i));
+    for (std::size_t o = 0; o < b->num_outputs(); ++o) outs.push_back("o_" + b->output_name(o));
+    auto m = std::make_shared<MacroBlock>(name, ins, outs);
+    const auto s = m->add_sub("B", b);
+    for (std::size_t i = 0; i < b->num_inputs(); ++i)
+        m->connect(Endpoint{Endpoint::Kind::MacroInput, -1, static_cast<std::int32_t>(i)},
+                   Endpoint{Endpoint::Kind::SubInput, s, static_cast<std::int32_t>(i)});
+    for (std::size_t o = 0; o < b->num_outputs(); ++o)
+        m->connect(Endpoint{Endpoint::Kind::SubOutput, s, static_cast<std::int32_t>(o)},
+                   Endpoint{Endpoint::Kind::MacroOutput, -1, static_cast<std::int32_t>(o)});
+    return m;
+}
+
+std::vector<double> run1(const BlockPtr& b, const std::vector<std::vector<double>>& trace) {
+    std::vector<double> out;
+    for (const auto& row : sim::simulate(*wrap_single(b, "W"), trace)) out.push_back(row[0]);
+    return out;
+}
+
+TEST(AtomicSemantics, GainSumProduct) {
+    EXPECT_EQ(run1(lib::gain(2.5), {{4.0}}), std::vector<double>{10.0});
+    EXPECT_EQ(run1(lib::sum("+-"), {{7.0, 3.0}}), std::vector<double>{4.0});
+    EXPECT_EQ(run1(lib::product(2), {{6.0, 7.0}}), std::vector<double>{42.0});
+}
+
+TEST(AtomicSemantics, UnitDelayShiftsByOne) {
+    const auto out = run1(lib::unit_delay(9.0), {{1.0}, {2.0}, {3.0}});
+    EXPECT_EQ(out, (std::vector<double>{9.0, 1.0, 2.0}));
+}
+
+TEST(AtomicSemantics, IntegratorAccumulates) {
+    const auto out = run1(lib::integrator(0.5, 1.0), {{2.0}, {2.0}, {2.0}});
+    EXPECT_EQ(out, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(AtomicSemantics, Fir2UsesCurrentAndPreviousInput) {
+    // y(k) = 2 x(k) + 3 x(k-1), x(-1) = 0.
+    const auto out = run1(lib::fir2(2.0, 3.0), {{1.0}, {10.0}, {100.0}});
+    EXPECT_EQ(out, (std::vector<double>{2.0, 23.0, 230.0}));
+}
+
+TEST(AtomicSemantics, SaturationClamps) {
+    const auto out = run1(lib::saturation(-1.0, 1.0), {{-5.0}, {0.25}, {2.0}});
+    EXPECT_EQ(out, (std::vector<double>{-1.0, 0.25, 1.0}));
+}
+
+TEST(AtomicSemantics, SwitchSelects) {
+    const auto out = run1(lib::switch_block(0.5), {{1.0, 1.0, 2.0}, {1.0, 0.0, 2.0}});
+    EXPECT_EQ(out, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(AtomicSemantics, RelationalAndLogic) {
+    EXPECT_EQ(run1(lib::relational("<"), {{1.0, 2.0}, {2.0, 1.0}}),
+              (std::vector<double>{1.0, 0.0}));
+    EXPECT_EQ(run1(lib::logic("AND", 2), {{1.0, 1.0}, {1.0, 0.0}}),
+              (std::vector<double>{1.0, 0.0}));
+    EXPECT_EQ(run1(lib::logic("NOT"), {{0.0}}), std::vector<double>{1.0});
+    EXPECT_EQ(run1(lib::logic("XOR", 2), {{1.0, 1.0}, {0.0, 1.0}}),
+              (std::vector<double>{0.0, 1.0}));
+}
+
+TEST(AtomicSemantics, Lookup1dInterpolatesAndClamps) {
+    const auto lut = lib::lookup1d({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+    const auto out = run1(lut, {{-1.0}, {0.5}, {1.5}, {3.0}});
+    EXPECT_EQ(out, (std::vector<double>{0.0, 5.0, 25.0, 40.0}));
+}
+
+TEST(AtomicSemantics, MovingAverage) {
+    const auto out = run1(lib::moving_average(3), {{3.0}, {6.0}, {9.0}, {12.0}});
+    EXPECT_EQ(out, (std::vector<double>{1.0, 3.0, 6.0, 9.0}));
+}
+
+TEST(AtomicSemantics, CounterCountsEnabledInstants) {
+    const auto out = run1(lib::counter(), {{1.0}, {1.0}, {0.0}, {1.0}});
+    EXPECT_EQ(out, (std::vector<double>{0.0, 1.0, 2.0, 2.0}));
+}
+
+TEST(AtomicSemantics, SampleHoldLatchesOnTrigger) {
+    const auto out =
+        run1(lib::sample_hold(5.0), {{1.0, 0.0}, {2.0, 1.0}, {3.0, 0.0}, {4.0, 1.0}});
+    EXPECT_EQ(out, (std::vector<double>{5.0, 5.0, 2.0, 2.0}));
+}
+
+TEST(AtomicSemantics, DeadZone) {
+    const auto out = run1(lib::dead_zone(-1.0, 1.0), {{-3.0}, {0.5}, {2.5}});
+    EXPECT_EQ(out, (std::vector<double>{-2.0, 0.0, 1.5}));
+}
+
+TEST(Simulator, RequiresFlatDiagram) {
+    const auto nested = wrap_single(sbd::suite::figure3_p(), "Outer");
+    EXPECT_THROW(sim::Simulator s(nested), ModelError);
+    EXPECT_NO_THROW(sim::Simulator s(flatten(*nested)));
+}
+
+TEST(Simulator, Figure3IsADelayedScaledSignal) {
+    // P of Figure 3: out = 3 * delay(0.5 * in).
+    const auto p = sbd::suite::figure3_p();
+    const auto out = sim::simulate(*p, {{2.0}, {4.0}, {6.0}});
+    EXPECT_EQ(out[0][0], 0.0);
+    EXPECT_EQ(out[1][0], 3.0);
+    EXPECT_EQ(out[2][0], 6.0);
+}
+
+TEST(Simulator, DelayFeedbackLoopAccumulates) {
+    // y = g(0.5 * delay(y) ) ... build: D holds y, G = 0.5*D + 1 via sum with
+    // constant: y(k) = 0.5*y(k-1) + 1.
+    auto m = std::make_shared<MacroBlock>("Acc", std::vector<std::string>{},
+                                          std::vector<std::string>{"y"});
+    m->add_sub("D", lib::unit_delay(0.0));
+    m->add_sub("Half", lib::gain(0.5));
+    m->add_sub("One", lib::constant(1.0));
+    m->add_sub("Add", lib::sum("++"));
+    m->connect("D.y", "Half.u");
+    m->connect("Half.y", "Add.u1");
+    m->connect("One.y", "Add.u2");
+    m->connect("Add.y", "D.u");
+    m->connect("Add.y", "y");
+    const auto out = sim::simulate(*m, {{}, {}, {}, {}});
+    EXPECT_EQ(out[0][0], 1.0);
+    EXPECT_EQ(out[1][0], 1.5);
+    EXPECT_EQ(out[2][0], 1.75);
+    EXPECT_EQ(out[3][0], 1.875);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+    sim::Simulator s(flatten(*wrap_single(lib::integrator(1.0, 0.0), "W")));
+    (void)s.step(std::vector<double>{5.0});
+    (void)s.step(std::vector<double>{5.0});
+    EXPECT_EQ(s.instant(), 2u);
+    s.reset();
+    EXPECT_EQ(s.instant(), 0u);
+    const auto out = s.step(std::vector<double>{1.0});
+    EXPECT_EQ(out[0], 0.0);
+}
+
+TEST(Simulator, WrongInputArityThrows) {
+    sim::Simulator s(flatten(*wrap_single(lib::gain(1.0), "W")));
+    EXPECT_THROW((void)s.step(std::vector<double>{1.0, 2.0}), ModelError);
+}
+
+TEST(Simulator, ThermostatRegulatesAroundSetpoint) {
+    const auto t = sbd::suite::thermostat();
+    std::vector<std::vector<double>> trace(2000, {20.0, 5.0});
+    const auto out = sim::simulate(*t, trace);
+    // After settling, temperature stays within the hysteresis band.
+    for (std::size_t k = 1500; k < out.size(); ++k) {
+        EXPECT_GT(out[k][0], 17.5) << k;
+        EXPECT_LT(out[k][0], 22.5) << k;
+        EXPECT_TRUE(out[k][1] == 0.0 || out[k][1] == 1.0);
+    }
+}
+
+TEST(Simulator, CruiseControlConvergesToSetpoint) {
+    const auto c = sbd::suite::pi_cruise();
+    std::vector<std::vector<double>> trace(8000, {30.0});
+    const auto out = sim::simulate(*c, trace);
+    EXPECT_NEAR(out.back()[0], 30.0, 1.0);
+}
+
+TEST(Simulator, GearLogicStaysInRange) {
+    const auto g = sbd::suite::gear_logic();
+    std::vector<std::vector<double>> trace;
+    for (int k = 0; k < 300; ++k)
+        trace.push_back({std::fabs(std::sin(k * 0.02)) * 70.0, 30.0});
+    for (const auto& row : sim::simulate(*g, trace)) {
+        EXPECT_GE(row[0], 1.0);
+        EXPECT_LE(row[0], 5.0);
+    }
+}
+
+TEST(Simulator, SuiteModelsRunWithoutNaN) {
+    for (const auto& model : sbd::suite::demo_suite()) {
+        const auto& m = static_cast<const MacroBlock&>(*model.block);
+        std::vector<std::vector<double>> trace(50, std::vector<double>(m.num_inputs(), 0.75));
+        for (const auto& row : sim::simulate(m, trace))
+            for (const double v : row) EXPECT_TRUE(std::isfinite(v)) << model.name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+// Larger-scale soak tests: the paper's scalability claims exercised at
+// sizes well beyond the unit tests, plus adversarial shapes for each
+// subsystem. These run in a few seconds total and guard against
+// superlinear blowups and stack-depth assumptions.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "sbd/library.hpp"
+#include "sbd/text_format.hpp"
+#include "suite/figures.hpp"
+#include "suite/random_models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+TEST(Stress, LongChainCompilesAndRunsAllMethods) {
+    // A 300-stage chain: deep topological orders, long cones, big guard
+    // regions. (Also exercises the iterative Tarjan/closure code paths.)
+    const auto p = suite::figure4_chain(300);
+    for (const Method method : {Method::Dynamic, Method::DisjointSat, Method::StepGet}) {
+        sbd::testing::expect_equivalent(p, method,
+                                        sbd::testing::random_trace(3, 5, 90210));
+    }
+    const auto dyn = compile_hierarchy(p, Method::Dynamic);
+    EXPECT_EQ(dyn.at(*p).clustering->replicated_nodes(*dyn.at(*p).sdg), 300u);
+}
+
+TEST(Stress, DeepHierarchy) {
+    // 12 levels of single-sub nesting around a delay core.
+    BlockPtr core = suite::figure3_p();
+    for (int level = 0; level < 12; ++level) {
+        auto wrap = std::make_shared<MacroBlock>("L" + std::to_string(level),
+                                                 std::vector<std::string>{"x"},
+                                                 std::vector<std::string>{"y"});
+        wrap->add_sub("inner", core);
+        wrap->connect(Endpoint{Endpoint::Kind::MacroInput, -1, 0},
+                      Endpoint{Endpoint::Kind::SubInput, 0, 0});
+        wrap->connect(Endpoint{Endpoint::Kind::SubOutput, 0, 0},
+                      Endpoint{Endpoint::Kind::MacroOutput, -1, 0});
+        core = wrap;
+    }
+    const auto root = std::static_pointer_cast<const MacroBlock>(core);
+    sbd::testing::expect_equivalent(root, Method::Dynamic,
+                                    sbd::testing::random_trace(1, 20, 11));
+    // Moore-ness must survive all 12 levels of profile synthesis.
+    const auto sys = compile_hierarchy(root, Method::Dynamic);
+    const Profile& prof = sys.at(*root).profile;
+    const std::int32_t writer = prof.writer_of_output(0);
+    ASSERT_GE(writer, 0);
+    EXPECT_TRUE(prof.functions[writer].reads.empty());
+}
+
+TEST(Stress, WideFanoutModel) {
+    // One producer feeding 64 independent output paths: 64 In-classes in
+    // one SDG; dynamic must stay at <= n+1 = 65 and SAT must agree.
+    auto m = std::make_shared<MacroBlock>("Wide", std::vector<std::string>{"x"},
+                                          std::vector<std::string>{});
+    m->add_sub("Src", lib::fanout(64));
+    m->connect("x", "Src.u");
+    std::vector<std::string> outs;
+    for (int i = 0; i < 64; ++i) {
+        const std::string g = "G" + std::to_string(i);
+        m->add_sub(g, lib::gain(static_cast<double>(i)));
+        m->connect("Src.y" + std::to_string(i + 1), g + ".u");
+    }
+    // Rebuild with outputs (MacroBlock ports are fixed at construction).
+    auto m2 = std::make_shared<MacroBlock>("Wide", std::vector<std::string>{"x"}, [] {
+        std::vector<std::string> o;
+        for (int i = 0; i < 64; ++i) o.push_back("y" + std::to_string(i));
+        return o;
+    }());
+    m2->add_sub("Src", lib::fanout(64));
+    m2->connect("x", "Src.u");
+    for (int i = 0; i < 64; ++i) {
+        const std::string g = "G" + std::to_string(i);
+        m2->add_sub(g, lib::gain(1.0 + i));
+        m2->connect("Src.y" + std::to_string(i + 1), g + ".u");
+        m2->connect(g + ".y", "y" + std::to_string(i));
+    }
+    const auto sys = compile_hierarchy(std::static_pointer_cast<const Block>(m2),
+                                       Method::Dynamic);
+    // All outputs share In = {x}: one get function suffices.
+    EXPECT_EQ(sys.at(*m2).profile.functions.size(), 1u);
+    sbd::testing::expect_equivalent(m2, Method::Dynamic,
+                                    sbd::testing::random_trace(1, 10, 77));
+}
+
+TEST(Stress, ManyRandomModelsSoak) {
+    std::mt19937_64 rng(123456);
+    suite::RandomModelParams params;
+    params.depth = 3;
+    params.subs_per_level = 6;
+    params.macro_probability = 0.4;
+    for (int iter = 0; iter < 20; ++iter) {
+        const auto m = suite::random_model(rng, params);
+        sbd::testing::expect_equivalent(m, Method::Dynamic,
+                                        sbd::testing::random_trace(m->num_inputs(), 15,
+                                                                   1000 + iter));
+    }
+}
+
+TEST(Stress, BigRandomSdgAllPolynomialMethods) {
+    std::mt19937_64 rng(777777);
+    const Sdg sdg = suite::random_flat_sdg(rng, 8, 8, 250, 0.03);
+    const Clustering dyn = cluster_dynamic(sdg);
+    const Clustering sg = cluster_stepget(sdg);
+    const Clustering fine = cluster_singletons(sdg);
+    EXPECT_TRUE(false_io_dependencies(sdg, dyn).empty());
+    EXPECT_LE(dyn.num_clusters(), 9u);
+    EXPECT_LE(sg.num_clusters(), 2u);
+    EXPECT_EQ(fine.num_clusters(), 250u);
+    EXPECT_TRUE(check_validity(sdg, fine).valid());
+}
+
+TEST(Stress, SbdRoundTripOnLargeGeneratedModel) {
+    std::mt19937_64 rng(31);
+    suite::RandomModelParams params;
+    params.depth = 3;
+    params.subs_per_level = 7;
+    const auto m = suite::random_model(rng, params);
+    const std::string once = text::to_sbd(*m);
+    const auto back = text::parse_sbd_string(once);
+    EXPECT_EQ(text::to_sbd(*back.root), once);
+    const auto trace = sbd::testing::random_trace(m->num_inputs(), 10, 5);
+    EXPECT_EQ(sim::simulate(*m, trace), sim::simulate(*back.root, trace));
+}
+
+} // namespace
