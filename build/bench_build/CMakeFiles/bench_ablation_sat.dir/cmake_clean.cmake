@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sat"
+  "../bench/bench_ablation_sat.pdb"
+  "CMakeFiles/bench_ablation_sat.dir/bench_ablation_sat.cpp.o"
+  "CMakeFiles/bench_ablation_sat.dir/bench_ablation_sat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

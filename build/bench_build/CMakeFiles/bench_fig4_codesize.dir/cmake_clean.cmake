@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_codesize"
+  "../bench/bench_fig4_codesize.pdb"
+  "CMakeFiles/bench_fig4_codesize.dir/bench_fig4_codesize.cpp.o"
+  "CMakeFiles/bench_fig4_codesize.dir/bench_fig4_codesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_np_reduction"
+  "../bench/bench_np_reduction.pdb"
+  "CMakeFiles/bench_np_reduction.dir/bench_np_reduction.cpp.o"
+  "CMakeFiles/bench_np_reduction.dir/bench_np_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_np_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

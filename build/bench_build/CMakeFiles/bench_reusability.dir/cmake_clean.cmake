@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reusability"
+  "../bench/bench_reusability.pdb"
+  "CMakeFiles/bench_reusability.dir/bench_reusability.cpp.o"
+  "CMakeFiles/bench_reusability.dir/bench_reusability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reusability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

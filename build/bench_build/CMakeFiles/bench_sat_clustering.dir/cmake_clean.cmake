@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sat_clustering"
+  "../bench/bench_sat_clustering.pdb"
+  "CMakeFiles/bench_sat_clustering.dir/bench_sat_clustering.cpp.o"
+  "CMakeFiles/bench_sat_clustering.dir/bench_sat_clustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sat_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

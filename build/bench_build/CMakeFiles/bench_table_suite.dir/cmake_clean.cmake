@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_suite"
+  "../bench/bench_table_suite.pdb"
+  "CMakeFiles/bench_table_suite.dir/bench_table_suite.cpp.o"
+  "CMakeFiles/bench_table_suite.dir/bench_table_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_fuel.dir/automotive_fuel.cpp.o"
+  "CMakeFiles/automotive_fuel.dir/automotive_fuel.cpp.o.d"
+  "automotive_fuel"
+  "automotive_fuel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_fuel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

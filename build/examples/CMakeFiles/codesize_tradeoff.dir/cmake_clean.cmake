@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesize_tradeoff.dir/codesize_tradeoff.cpp.o"
+  "CMakeFiles/codesize_tradeoff.dir/codesize_tradeoff.cpp.o.d"
+  "codesize_tradeoff"
+  "codesize_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesize_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

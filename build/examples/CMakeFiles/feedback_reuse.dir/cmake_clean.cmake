@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_reuse.dir/feedback_reuse.cpp.o"
+  "CMakeFiles/feedback_reuse.dir/feedback_reuse.cpp.o.d"
+  "feedback_reuse"
+  "feedback_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_sat.cpp" "src/core/CMakeFiles/sbd_core.dir/cluster_sat.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/cluster_sat.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/sbd_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/codegen.cpp" "src/core/CMakeFiles/sbd_core.dir/codegen.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/core/compiler.cpp" "src/core/CMakeFiles/sbd_core.dir/compiler.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/compiler.cpp.o.d"
+  "/root/repo/src/core/emit_cpp.cpp" "src/core/CMakeFiles/sbd_core.dir/emit_cpp.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/emit_cpp.cpp.o.d"
+  "/root/repo/src/core/exec.cpp" "src/core/CMakeFiles/sbd_core.dir/exec.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/exec.cpp.o.d"
+  "/root/repo/src/core/ir.cpp" "src/core/CMakeFiles/sbd_core.dir/ir.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/ir.cpp.o.d"
+  "/root/repo/src/core/methods.cpp" "src/core/CMakeFiles/sbd_core.dir/methods.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/methods.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/sbd_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/reuse.cpp" "src/core/CMakeFiles/sbd_core.dir/reuse.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/reuse.cpp.o.d"
+  "/root/repo/src/core/sdg.cpp" "src/core/CMakeFiles/sbd_core.dir/sdg.cpp.o" "gcc" "src/core/CMakeFiles/sbd_core.dir/sdg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sbd/CMakeFiles/sbd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sbd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sbd_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbd_core.dir/cluster_sat.cpp.o"
+  "CMakeFiles/sbd_core.dir/cluster_sat.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/clustering.cpp.o"
+  "CMakeFiles/sbd_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/codegen.cpp.o"
+  "CMakeFiles/sbd_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/compiler.cpp.o"
+  "CMakeFiles/sbd_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/emit_cpp.cpp.o"
+  "CMakeFiles/sbd_core.dir/emit_cpp.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/exec.cpp.o"
+  "CMakeFiles/sbd_core.dir/exec.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/ir.cpp.o"
+  "CMakeFiles/sbd_core.dir/ir.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/methods.cpp.o"
+  "CMakeFiles/sbd_core.dir/methods.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/profile.cpp.o"
+  "CMakeFiles/sbd_core.dir/profile.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/reuse.cpp.o"
+  "CMakeFiles/sbd_core.dir/reuse.cpp.o.d"
+  "CMakeFiles/sbd_core.dir/sdg.cpp.o"
+  "CMakeFiles/sbd_core.dir/sdg.cpp.o.d"
+  "libsbd_core.a"
+  "libsbd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

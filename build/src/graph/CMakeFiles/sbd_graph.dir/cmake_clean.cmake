@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbd_graph.dir/bitset.cpp.o"
+  "CMakeFiles/sbd_graph.dir/bitset.cpp.o.d"
+  "CMakeFiles/sbd_graph.dir/digraph.cpp.o"
+  "CMakeFiles/sbd_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/sbd_graph.dir/undirected.cpp.o"
+  "CMakeFiles/sbd_graph.dir/undirected.cpp.o.d"
+  "libsbd_graph.a"
+  "libsbd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbd_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/sbd_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/sbd_sat.dir/solver.cpp.o"
+  "CMakeFiles/sbd_sat.dir/solver.cpp.o.d"
+  "libsbd_sat.a"
+  "libsbd_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbd_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

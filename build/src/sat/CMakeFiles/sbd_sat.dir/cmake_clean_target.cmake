@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbd_sat.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sbd/block.cpp" "src/sbd/CMakeFiles/sbd_model.dir/block.cpp.o" "gcc" "src/sbd/CMakeFiles/sbd_model.dir/block.cpp.o.d"
+  "/root/repo/src/sbd/flatten.cpp" "src/sbd/CMakeFiles/sbd_model.dir/flatten.cpp.o" "gcc" "src/sbd/CMakeFiles/sbd_model.dir/flatten.cpp.o.d"
+  "/root/repo/src/sbd/library.cpp" "src/sbd/CMakeFiles/sbd_model.dir/library.cpp.o" "gcc" "src/sbd/CMakeFiles/sbd_model.dir/library.cpp.o.d"
+  "/root/repo/src/sbd/opaque.cpp" "src/sbd/CMakeFiles/sbd_model.dir/opaque.cpp.o" "gcc" "src/sbd/CMakeFiles/sbd_model.dir/opaque.cpp.o.d"
+  "/root/repo/src/sbd/text_format.cpp" "src/sbd/CMakeFiles/sbd_model.dir/text_format.cpp.o" "gcc" "src/sbd/CMakeFiles/sbd_model.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sbd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbd_model.dir/block.cpp.o"
+  "CMakeFiles/sbd_model.dir/block.cpp.o.d"
+  "CMakeFiles/sbd_model.dir/flatten.cpp.o"
+  "CMakeFiles/sbd_model.dir/flatten.cpp.o.d"
+  "CMakeFiles/sbd_model.dir/library.cpp.o"
+  "CMakeFiles/sbd_model.dir/library.cpp.o.d"
+  "CMakeFiles/sbd_model.dir/opaque.cpp.o"
+  "CMakeFiles/sbd_model.dir/opaque.cpp.o.d"
+  "CMakeFiles/sbd_model.dir/text_format.cpp.o"
+  "CMakeFiles/sbd_model.dir/text_format.cpp.o.d"
+  "libsbd_model.a"
+  "libsbd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbd_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sbd_sim.dir/simulator.cpp.o.d"
+  "libsbd_sim.a"
+  "libsbd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/figures.cpp" "src/suite/CMakeFiles/sbd_suite.dir/figures.cpp.o" "gcc" "src/suite/CMakeFiles/sbd_suite.dir/figures.cpp.o.d"
+  "/root/repo/src/suite/models.cpp" "src/suite/CMakeFiles/sbd_suite.dir/models.cpp.o" "gcc" "src/suite/CMakeFiles/sbd_suite.dir/models.cpp.o.d"
+  "/root/repo/src/suite/npred.cpp" "src/suite/CMakeFiles/sbd_suite.dir/npred.cpp.o" "gcc" "src/suite/CMakeFiles/sbd_suite.dir/npred.cpp.o.d"
+  "/root/repo/src/suite/random_models.cpp" "src/suite/CMakeFiles/sbd_suite.dir/random_models.cpp.o" "gcc" "src/suite/CMakeFiles/sbd_suite.dir/random_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbd/CMakeFiles/sbd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sbd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sbd_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbd_suite.dir/figures.cpp.o"
+  "CMakeFiles/sbd_suite.dir/figures.cpp.o.d"
+  "CMakeFiles/sbd_suite.dir/models.cpp.o"
+  "CMakeFiles/sbd_suite.dir/models.cpp.o.d"
+  "CMakeFiles/sbd_suite.dir/npred.cpp.o"
+  "CMakeFiles/sbd_suite.dir/npred.cpp.o.d"
+  "CMakeFiles/sbd_suite.dir/random_models.cpp.o"
+  "CMakeFiles/sbd_suite.dir/random_models.cpp.o.d"
+  "libsbd_suite.a"
+  "libsbd_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbd_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emit_cpp.dir/test_emit_cpp.cpp.o"
+  "CMakeFiles/test_emit_cpp.dir/test_emit_cpp.cpp.o.d"
+  "test_emit_cpp"
+  "test_emit_cpp.pdb"
+  "test_emit_cpp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emit_cpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

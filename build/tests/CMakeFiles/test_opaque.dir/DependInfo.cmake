@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_opaque.cpp" "tests/CMakeFiles/test_opaque.dir/test_opaque.cpp.o" "gcc" "tests/CMakeFiles/test_opaque.dir/test_opaque.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/sbd_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sbd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sbd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbd/CMakeFiles/sbd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/sbd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sbd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

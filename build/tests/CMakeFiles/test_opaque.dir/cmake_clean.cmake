@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opaque.dir/test_opaque.cpp.o"
+  "CMakeFiles/test_opaque.dir/test_opaque.cpp.o.d"
+  "test_opaque"
+  "test_opaque.pdb"
+  "test_opaque[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opaque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

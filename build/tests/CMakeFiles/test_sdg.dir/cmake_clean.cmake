@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdg.dir/test_sdg.cpp.o"
+  "CMakeFiles/test_sdg.dir/test_sdg.cpp.o.d"
+  "test_sdg"
+  "test_sdg.pdb"
+  "test_sdg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triggered.dir/test_triggered.cpp.o"
+  "CMakeFiles/test_triggered.dir/test_triggered.cpp.o.d"
+  "test_triggered"
+  "test_triggered.pdb"
+  "test_triggered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

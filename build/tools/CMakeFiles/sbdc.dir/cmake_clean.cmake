@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbdc.dir/sbdc.cpp.o"
+  "CMakeFiles/sbdc.dir/sbdc.cpp.o.d"
+  "sbdc"
+  "sbdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
