@@ -1,0 +1,180 @@
+// Throughput of the concurrent runtime engine: instance-instants per second
+// when hosting a large pool of independent instances of one compiled model,
+// single- vs multi-threaded, across clustering methods.
+//
+// Also verifies the engine's core guarantee before timing anything: the
+// multi-threaded engine's output traces are bit-identical to the
+// single-threaded run and to the reference simulator on the flattened
+// diagram, for every method measured.
+//
+// Machine-readable output: BENCH_engine.json in the working directory, one
+// record per (model, method, threads) cell, so the perf trajectory can be
+// tracked across PRs.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/compiler.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/trace.hpp"
+#include "suite/figures.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+struct Cell {
+    std::string model;
+    std::string method;
+    std::size_t threads = 0;
+    std::size_t instances = 0;
+    std::size_t instants = 0;
+    double instants_per_sec = 0.0; ///< instance-instants per wall second
+};
+
+/// Runs `instances` copies for `instants` ticks with per-instance seeded
+/// inputs re-filled every tick, recording every instance; returns all
+/// traces in instance order.
+std::vector<runtime::Trace> traced_run(const CompiledSystem& sys,
+                                       const std::shared_ptr<const MacroBlock>& root,
+                                       std::size_t instances, std::size_t instants,
+                                       std::size_t threads) {
+    runtime::EngineConfig cfg;
+    cfg.capacity = instances;
+    cfg.threads = threads;
+    runtime::Engine engine(sys, root, cfg);
+    const auto ids = engine.create(instances);
+    std::vector<runtime::LcgInputSource> sources;
+    std::vector<runtime::TraceRecorder> recorders;
+    for (std::size_t i = 0; i < instances; ++i) {
+        sources.emplace_back(1 + i);
+        recorders.emplace_back(root->num_inputs(), root->num_outputs());
+    }
+    for (std::size_t t = 0; t < instants; ++t) {
+        for (std::size_t i = 0; i < instances; ++i)
+            sources[i].fill(engine.pool().inputs(ids[i]));
+        engine.tick();
+        for (std::size_t i = 0; i < instances; ++i)
+            recorders[i].record(engine.pool().inputs(ids[i]), engine.pool().outputs(ids[i]));
+    }
+    std::vector<runtime::Trace> traces;
+    traces.reserve(instances);
+    for (auto& r : recorders) traces.push_back(r.take());
+    return traces;
+}
+
+/// Multi-threaded output == single-threaded output == reference simulator,
+/// bitwise, on a small pool.
+bool verify_bit_exact(const CompiledSystem& sys, const std::shared_ptr<const MacroBlock>& root,
+                      std::size_t threads) {
+    const std::size_t instances = 16;
+    const std::size_t instants = 25;
+    const auto single = traced_run(sys, root, instances, instants, 1);
+    const auto multi = traced_run(sys, root, instances, instants, threads);
+    for (std::size_t i = 0; i < instances; ++i) {
+        if (!runtime::bit_equal(single[i], multi[i])) return false;
+        if (!runtime::bit_equal(runtime::simulate_reference(*root, single[i]), single[i]))
+            return false;
+    }
+    return true;
+}
+
+double measure_instants_per_sec(const CompiledSystem& sys,
+                                const std::shared_ptr<const MacroBlock>& root,
+                                std::size_t instances, std::size_t instants,
+                                std::size_t threads) {
+    runtime::EngineConfig cfg;
+    cfg.capacity = instances;
+    cfg.threads = threads;
+    runtime::Engine engine(sys, root, cfg);
+    const auto ids = engine.create(instances);
+    // One seeded fill, held constant across ticks: the timing isolates the
+    // batched stepping itself from the single-threaded input generation.
+    std::vector<runtime::LcgInputSource> sources;
+    for (std::size_t i = 0; i < instances; ++i) sources.emplace_back(1 + i);
+    for (std::size_t i = 0; i < instances; ++i)
+        sources[i].fill(engine.pool().inputs(ids[i]));
+    engine.tick(3); // warm-up: faults the arenas, sizes every scratch buffer
+    const double ms = sbd::bench::time_ms([&] { engine.tick(instants); });
+    return static_cast<double>(instances) * static_cast<double>(instants) / (ms / 1000.0);
+}
+
+void write_json(const std::vector<Cell>& cells, bool bit_exact) {
+    std::FILE* f = std::fopen("BENCH_engine.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_engine.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"bit_exact\": %s,\n  \"cells\": [\n", bit_exact ? "true" : "false");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        std::fprintf(f,
+                     "    {\"model\": \"%s\", \"method\": \"%s\", \"threads\": %zu, "
+                     "\"instances\": %zu, \"instants\": %zu, \"instants_per_sec\": %.0f}%s\n",
+                     c.model.c_str(), c.method.c_str(), c.threads, c.instances, c.instants,
+                     c.instants_per_sec, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_engine.json\n");
+}
+
+} // namespace
+
+int main() {
+    struct Row {
+        std::string name;
+        std::shared_ptr<const MacroBlock> block;
+    };
+    const std::vector<Row> rows = {{"fuel_controller", suite::fuel_controller()},
+                                   {"fig4_chain_n32", suite::figure4_chain(32)}};
+    const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+    const std::size_t instances = 1000;
+    const std::size_t instants = 100;
+
+    std::printf("Concurrent runtime engine: instance-instants/second "
+                "(%zu instances, %zu instants, %u hardware threads)\n",
+                instances, instants, std::thread::hardware_concurrency());
+    sbd::bench::rule('-', 100);
+    std::printf("%-18s | %-14s", "model", "method");
+    for (const std::size_t k : thread_counts) std::printf(" | %8zu thr", k);
+    std::printf(" | %7s\n", "8t/1t");
+    sbd::bench::rule('-', 100);
+
+    std::vector<Cell> cells;
+    bool all_bit_exact = true;
+    for (const Row& row : rows) {
+        for (const Method method : {Method::Dynamic, Method::DisjointSat, Method::Singletons}) {
+            const auto sys = compile_hierarchy(row.block, method);
+            if (!verify_bit_exact(sys, row.block, thread_counts.back())) {
+                all_bit_exact = false;
+                std::printf("%-18s | %-14s | BIT-EXACTNESS FAILED\n", row.name.c_str(),
+                            to_string(method));
+                continue;
+            }
+            std::printf("%-18s | %-14s", row.name.c_str(), to_string(method));
+            double first = 0.0, last = 0.0;
+            for (const std::size_t k : thread_counts) {
+                const double ips = measure_instants_per_sec(sys, row.block, instances,
+                                                            instants, k);
+                if (k == thread_counts.front()) first = ips;
+                last = ips;
+                cells.push_back({row.name, to_string(method), k, instances, instants, ips});
+                std::printf(" | %12.0f", ips);
+            }
+            std::printf(" | %6.2fx\n", first > 0 ? last / first : 0.0);
+        }
+    }
+    sbd::bench::rule('-', 100);
+    std::printf("bit-exactness (K threads == 1 thread == reference simulator): %s\n",
+                all_bit_exact ? "PASS" : "FAIL");
+    write_json(cells, all_bit_exact);
+    return all_bit_exact ? 0 : 1;
+}

@@ -11,6 +11,8 @@ Instance::Instance(const CompiledSystem& sys, BlockPtr block)
     if (block_->is_opaque())
         throw std::logic_error("cannot execute interface-only (opaque) block '" +
                                block_->type_name() + "'");
+    std::size_t max_call_args = 0;
+    std::size_t max_call_results = 0;
     if (!block_->is_atomic()) {
         const auto& macro = static_cast<const MacroBlock&>(*block_);
         const CodeUnit& code = *compiled_->code;
@@ -19,6 +21,12 @@ Instance::Instance(const CompiledSystem& sys, BlockPtr block)
         subs_.reserve(macro.num_subs());
         for (std::size_t s = 0; s < macro.num_subs(); ++s)
             subs_.push_back(std::make_unique<Instance>(sys, macro.sub(s).type));
+        for (const GenFunction& gen : code.functions)
+            for (const Stmt& s : gen.body)
+                if (const auto* call = std::get_if<CallStmt>(&s)) {
+                    max_call_args = std::max(max_call_args, call->args.size());
+                    max_call_results = std::max(max_call_results, call->results.size());
+                }
     }
     // Precompute a PDG-consistent call order for step_instant().
     const Profile& p = compiled_->profile;
@@ -28,6 +36,19 @@ Instance::Instance(const CompiledSystem& sys, BlockPtr block)
     const auto order = pdg.topological_order();
     assert(order.has_value());
     pdg_order_.assign(order->begin(), order->end());
+    // Size every scratch buffer once so that call_into()/step_instant_into()
+    // never allocate: vectors keep their capacity across the resize() calls
+    // in the hot path below.
+    std::size_t max_fn_reads = 0;
+    std::size_t max_fn_writes = 0;
+    for (const InterfaceFunction& f : p.functions) {
+        max_fn_reads = std::max(max_fn_reads, f.reads.size());
+        max_fn_writes = std::max(max_fn_writes, f.writes.size());
+    }
+    scratch_args_.reserve(max_call_args);
+    scratch_results_.reserve(std::max(max_call_results, block_->num_outputs()));
+    step_args_.reserve(max_fn_reads);
+    step_results_.reserve(std::max(max_fn_writes, block_->num_outputs()));
     init();
 }
 
@@ -41,40 +62,52 @@ void Instance::init() {
     for (const auto& sub : subs_) sub->init();
 }
 
+std::size_t Instance::results_size(std::size_t fn) const {
+    return compiled_->profile.functions.at(fn).writes.size();
+}
+
 std::vector<double> Instance::call(std::size_t fn, std::span<const double> args) {
+    std::vector<double> results(results_size(fn));
+    call_into(fn, args, results);
+    return results;
+}
+
+void Instance::call_into(std::size_t fn, std::span<const double> args,
+                         std::span<double> results) {
     const InterfaceFunction& sig = compiled_->profile.functions.at(fn);
     if (args.size() != sig.reads.size())
         throw std::invalid_argument("Instance::call: wrong argument count for " + sig.name);
-    return block_->is_atomic() ? call_atomic(fn, args) : call_macro(fn, args);
+    if (results.size() != sig.writes.size())
+        throw std::invalid_argument("Instance::call: wrong result count for " + sig.name);
+    if (block_->is_atomic())
+        call_atomic_into(fn, args, results);
+    else
+        call_macro_into(fn, args, results);
 }
 
-std::vector<double> Instance::call_atomic(std::size_t fn, std::span<const double> args) {
+void Instance::call_atomic_into(std::size_t fn, std::span<const double> args,
+                                std::span<double> results) {
     const auto& atomic = static_cast<const AtomicBlock&>(*block_);
     switch (atomic.block_class()) {
-    case BlockClass::Combinational: {
-        std::vector<double> out(atomic.num_outputs());
-        atomic.compute_outputs(state_, args, out);
-        return out;
-    }
-    case BlockClass::Sequential: {
-        std::vector<double> out(atomic.num_outputs());
-        atomic.compute_outputs(state_, args, out);
+    case BlockClass::Combinational:
+        atomic.compute_outputs(state_, args, results);
+        return;
+    case BlockClass::Sequential:
+        atomic.compute_outputs(state_, args, results);
         atomic.update_state(state_, args);
-        return out;
-    }
+        return;
     case BlockClass::MooreSequential:
         if (fn == 0) { // get(): outputs from state only
-            std::vector<double> out(atomic.num_outputs());
-            atomic.compute_outputs(state_, {}, out);
-            return out;
+            atomic.compute_outputs(state_, {}, results);
+            return;
         }
         atomic.update_state(state_, args); // step(): state update
-        return {};
+        return;
     }
-    return {};
 }
 
-std::vector<double> Instance::call_macro(std::size_t fn, std::span<const double> args) {
+void Instance::call_macro_into(std::size_t fn, std::span<const double> args,
+                               std::span<double> results) {
     const GenFunction& gen = compiled_->code->functions[fn];
     const auto& reads = gen.sig.reads;
     const auto value = [&](const ValueRef& v) -> double {
@@ -86,7 +119,6 @@ std::vector<double> Instance::call_macro(std::size_t fn, std::span<const double>
         return args[static_cast<std::size_t>(it - reads.begin())];
     };
 
-    std::vector<double> call_args;
     for (std::size_t idx = 0; idx < gen.body.size(); ++idx) {
         const Stmt& s = gen.body[idx];
         if (const auto* gb = std::get_if<GuardBegin>(&s)) {
@@ -108,22 +140,41 @@ std::vector<double> Instance::call_macro(std::size_t fn, std::span<const double>
         const auto& call = std::get<CallStmt>(s);
         if (call.trigger && value(*call.trigger) < 0.5)
             continue; // hold: result slots keep their previous values
-        call_args.clear();
-        for (const ValueRef& a : call.args) call_args.push_back(value(a));
-        const std::vector<double> results =
-            subs_[call.sub]->call(static_cast<std::size_t>(call.fn), call_args);
-        assert(results.size() == call.results.size());
-        for (std::size_t r = 0; r < results.size(); ++r) slots_[call.results[r]] = results[r];
+        scratch_args_.clear();
+        for (const ValueRef& a : call.args) scratch_args_.push_back(value(a));
+        scratch_results_.resize(call.results.size());
+        subs_[call.sub]->call_into(static_cast<std::size_t>(call.fn), scratch_args_,
+                                   scratch_results_);
+        for (std::size_t r = 0; r < call.results.size(); ++r)
+            slots_[call.results[r]] = scratch_results_[r];
     }
 
-    std::vector<double> out;
-    out.reserve(gen.returns.size());
-    for (const ValueRef& r : gen.returns) out.push_back(value(r));
-    return out;
+    assert(results.size() == gen.returns.size());
+    for (std::size_t r = 0; r < gen.returns.size(); ++r) results[r] = value(gen.returns[r]);
 }
 
 std::vector<double> Instance::step_instant(std::span<const double> inputs) {
-    return step_instant_ordered(inputs, pdg_order_);
+    std::vector<double> outputs(block_->num_outputs(), 0.0);
+    step_instant_into(inputs, outputs);
+    return outputs;
+}
+
+void Instance::step_instant_into(std::span<const double> inputs, std::span<double> outputs) {
+    const Profile& p = compiled_->profile;
+    if (inputs.size() != block_->num_inputs())
+        throw std::invalid_argument("step_instant: wrong number of inputs");
+    if (outputs.size() != block_->num_outputs())
+        throw std::invalid_argument("step_instant: wrong number of outputs");
+    std::fill(outputs.begin(), outputs.end(), 0.0);
+    for (const std::size_t f : pdg_order_) {
+        const InterfaceFunction& sig = p.functions[f];
+        step_args_.clear();
+        for (const std::size_t port : sig.reads) step_args_.push_back(inputs[port]);
+        step_results_.resize(sig.writes.size());
+        call_into(f, step_args_, step_results_);
+        for (std::size_t w = 0; w < sig.writes.size(); ++w)
+            outputs[sig.writes[w]] = step_results_[w];
+    }
 }
 
 std::vector<double> Instance::step_instant_ordered(std::span<const double> inputs,

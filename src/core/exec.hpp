@@ -28,10 +28,25 @@ public:
     /// order); the result carries its written ports (writes order).
     std::vector<double> call(std::size_t fn, std::span<const double> args);
 
+    /// Allocation-free form of call(): writes the function's results into
+    /// `results`, which must have exactly results_size(fn) elements. All
+    /// scratch space lives in per-instance buffers sized at construction,
+    /// so repeated calls never touch the allocator — the contract the
+    /// runtime engine's hot path relies on.
+    void call_into(std::size_t fn, std::span<const double> args, std::span<double> results);
+
+    /// Number of values written by interface function `fn`.
+    std::size_t results_size(std::size_t fn) const;
+
     /// Executes one full synchronous instant: calls every interface function
     /// exactly once in a PDG-consistent order, feeding each from `inputs`
     /// (all input port values) and collecting all output port values.
     std::vector<double> step_instant(std::span<const double> inputs);
+
+    /// Allocation-free form of step_instant(): `outputs` must have exactly
+    /// num_outputs() elements. Uses the precomputed PDG-consistent order
+    /// (no per-call order validation).
+    void step_instant_into(std::span<const double> inputs, std::span<double> outputs);
 
     /// As step_instant but with an explicit call order (function indices,
     /// a permutation). Throws std::invalid_argument if the order violates
@@ -44,8 +59,9 @@ public:
     const Block& block() const { return *block_; }
 
 private:
-    std::vector<double> call_atomic(std::size_t fn, std::span<const double> args);
-    std::vector<double> call_macro(std::size_t fn, std::span<const double> args);
+    void call_atomic_into(std::size_t fn, std::span<const double> args,
+                          std::span<double> results);
+    void call_macro_into(std::size_t fn, std::span<const double> args, std::span<double> results);
 
     const CompiledSystem* sys_;
     BlockPtr block_;
@@ -56,6 +72,13 @@ private:
     std::vector<std::int32_t> counters_;
     std::vector<std::unique_ptr<Instance>> subs_;
     std::vector<std::size_t> pdg_order_;
+
+    // Scratch buffers for the allocation-free paths; capacities are fixed in
+    // the constructor and never grow afterwards.
+    std::vector<double> scratch_args_;    ///< args of one sub-block call
+    std::vector<double> scratch_results_; ///< results of one sub-block call
+    std::vector<double> step_args_;       ///< per-function argument gather in step_instant
+    std::vector<double> step_results_;    ///< per-function result buffer in step_instant
 };
 
 } // namespace sbd::codegen

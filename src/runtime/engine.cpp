@@ -1,0 +1,101 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+
+namespace sbd::runtime {
+
+Engine::Engine(const codegen::CompiledSystem& sys, BlockPtr root, EngineConfig cfg)
+    : pool_(sys, std::move(root), cfg.capacity), cfg_(cfg) {
+    cfg_.threads = std::max<std::size_t>(1, cfg_.threads);
+    cfg_.chunk = std::max<std::size_t>(1, cfg_.chunk);
+    workers_.reserve(cfg_.threads - 1);
+    for (std::size_t t = 1; t < cfg_.threads; ++t)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+Engine::~Engine() {
+    {
+        std::lock_guard lk(m_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+std::vector<InstanceId> Engine::create(std::size_t n) {
+    std::vector<InstanceId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ids.push_back(pool_.create());
+    return ids;
+}
+
+void Engine::run_chunks() {
+    const std::vector<std::uint32_t>& live = pool_.live_slots();
+    const std::size_t n = live.size();
+    try {
+        for (;;) {
+            const std::size_t begin = next_chunk_.fetch_add(cfg_.chunk, std::memory_order_relaxed);
+            if (begin >= n) break;
+            const std::size_t end = std::min(n, begin + cfg_.chunk);
+            for (std::size_t i = begin; i < end; ++i) pool_.step_slot(live[i]);
+        }
+    } catch (...) {
+        std::lock_guard lk(m_);
+        if (!error_) error_ = std::current_exception();
+        // Drain the remaining work so the other threads finish the tick.
+        next_chunk_.store(n, std::memory_order_relaxed);
+    }
+}
+
+void Engine::tick() {
+    if (pool_.size() == 0) {
+        ++ticks_;
+        return;
+    }
+    if (workers_.empty()) {
+        for (const std::uint32_t slot : pool_.live_slots()) pool_.step_slot(slot);
+        ++ticks_;
+        return;
+    }
+    {
+        std::lock_guard lk(m_);
+        next_chunk_.store(0, std::memory_order_relaxed);
+        done_ = 0;
+        ++epoch_;
+    }
+    cv_start_.notify_all();
+    run_chunks();
+    {
+        std::unique_lock lk(m_);
+        cv_done_.wait(lk, [this] { return done_ == workers_.size(); });
+        if (error_) {
+            const std::exception_ptr e = error_;
+            error_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+    ++ticks_;
+}
+
+void Engine::tick(std::size_t n) {
+    for (std::size_t t = 0; t < n; ++t) tick();
+}
+
+void Engine::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock lk(m_);
+            cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+            if (stop_) return;
+            seen = epoch_;
+        }
+        run_chunks();
+        {
+            std::lock_guard lk(m_);
+            if (++done_ == workers_.size()) cv_done_.notify_one();
+        }
+    }
+}
+
+} // namespace sbd::runtime

@@ -1,0 +1,69 @@
+#include "runtime/pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sbd::runtime {
+
+InstancePool::InstancePool(const codegen::CompiledSystem& sys, BlockPtr root,
+                           std::size_t capacity)
+    : sys_(&sys), root_(std::move(root)), slots_(capacity), nin_(root_->num_inputs()),
+      nout_(root_->num_outputs()), stride_(nin_ + nout_) {
+    if (capacity == 0) throw std::invalid_argument("InstancePool: capacity must be > 0");
+    if (capacity > UINT32_MAX) throw std::length_error("InstancePool: capacity too large");
+    arena_.assign(capacity * stride_, 0.0);
+    free_.reserve(capacity);
+    live_.reserve(capacity);
+    for (std::size_t s = capacity; s > 0; --s) free_.push_back(static_cast<std::uint32_t>(s - 1));
+}
+
+InstanceId InstancePool::create() {
+    if (free_.empty()) throw std::length_error("InstancePool: pool is full");
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    Slot& s = slots_[slot];
+    if (s.inst)
+        s.inst->init(); // recycled slot: reset persistent state
+    else
+        s.inst = std::make_unique<codegen::Instance>(*sys_, root_);
+    std::fill_n(arena_.data() + slot * stride_, stride_, 0.0);
+    s.live = true;
+    s.live_pos = static_cast<std::uint32_t>(live_.size());
+    live_.push_back(slot);
+    return {slot, s.generation};
+}
+
+void InstancePool::destroy(InstanceId id) {
+    const std::uint32_t slot = check(id);
+    Slot& s = slots_[slot];
+    s.live = false;
+    ++s.generation; // stale handles now fail check()
+    // Swap-remove from the dense live list.
+    const std::uint32_t last = live_.back();
+    live_[s.live_pos] = last;
+    slots_[last].live_pos = s.live_pos;
+    live_.pop_back();
+    free_.push_back(slot);
+}
+
+void InstancePool::reset(InstanceId id) {
+    const std::uint32_t slot = check(id);
+    slots_[slot].inst->init();
+    std::fill_n(arena_.data() + slot * stride_, stride_, 0.0);
+}
+
+bool InstancePool::alive(InstanceId id) const {
+    return id.slot < slots_.size() && slots_[id.slot].live &&
+           slots_[id.slot].generation == id.generation;
+}
+
+std::uint32_t InstancePool::check(InstanceId id) const {
+    if (!alive(id)) throw std::invalid_argument("InstancePool: stale or invalid instance id");
+    return id.slot;
+}
+
+void InstancePool::step_slot(std::uint32_t slot) {
+    slots_[slot].inst->step_instant_into(inputs_of(slot), outputs_of(slot));
+}
+
+} // namespace sbd::runtime

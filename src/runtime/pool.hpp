@@ -1,0 +1,109 @@
+#ifndef SBD_RUNTIME_POOL_HPP
+#define SBD_RUNTIME_POOL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/exec.hpp"
+
+namespace sbd::runtime {
+
+/// Generational handle to a pooled instance. A handle goes stale when its
+/// slot is destroyed: the pool bumps the slot's generation, so a later
+/// create() reusing the same slot yields a distinguishable id and stale
+/// accesses throw instead of silently touching the new occupant.
+struct InstanceId {
+    std::uint32_t slot = UINT32_MAX;
+    std::uint32_t generation = 0;
+
+    bool operator==(const InstanceId&) const = default;
+};
+
+/// A pool of executable instances of one compiled block, with contiguous
+/// reusable slots and arena-allocated per-instance input/output buffers.
+///
+/// Capacity is fixed at construction: the I/O arena is a single contiguous
+/// array (slot-strided), and the spans handed out by inputs()/outputs()
+/// stay valid for the pool's lifetime — which is what lets the engine's
+/// worker threads step disjoint slot ranges without any synchronization.
+///
+/// Destroyed slots go on a free list and are recycled by the next create();
+/// recycling re-initializes the instance state and zeroes its I/O buffers,
+/// so a recycled slot is indistinguishable from a fresh one.
+class InstancePool {
+public:
+    InstancePool(const codegen::CompiledSystem& sys, BlockPtr root, std::size_t capacity);
+
+    /// Creates (or recycles) an instance; throws std::length_error when the
+    /// pool is full.
+    InstanceId create();
+    /// Destroys a live instance; its slot becomes reusable. Throws
+    /// std::invalid_argument on a stale or invalid id.
+    void destroy(InstanceId id);
+    /// Re-initializes a live instance's state and zeroes its I/O buffers.
+    void reset(InstanceId id);
+
+    bool alive(InstanceId id) const;
+    std::size_t size() const { return live_.size(); }
+    std::size_t capacity() const { return slots_.size(); }
+
+    codegen::Instance& instance(InstanceId id) { return *slots_[check(id)].inst; }
+    std::span<double> inputs(InstanceId id) { return inputs_of(check(id)); }
+    std::span<double> outputs(InstanceId id) { return outputs_of(check(id)); }
+    std::span<const double> inputs(InstanceId id) const { return inputs_of(check(id)); }
+    std::span<const double> outputs(InstanceId id) const { return outputs_of(check(id)); }
+
+    std::size_t num_inputs() const { return nin_; }
+    std::size_t num_outputs() const { return nout_; }
+
+    /// Dense list of live slot indices, in creation order (destroy()
+    /// swap-removes). The engine chunks this list across worker threads.
+    const std::vector<std::uint32_t>& live_slots() const { return live_; }
+
+    /// Advances the instance in `slot` one synchronous instant, reading its
+    /// input buffer and writing its output buffer. Allocation-free; safe to
+    /// call concurrently for distinct slots.
+    void step_slot(std::uint32_t slot);
+
+    /// The id currently occupying `slot` (live slots only).
+    InstanceId id_of(std::uint32_t slot) const { return {slot, slots_[slot].generation}; }
+
+    const codegen::CompiledSystem& system() const { return *sys_; }
+    BlockPtr root() const { return root_; }
+
+private:
+    struct Slot {
+        std::unique_ptr<codegen::Instance> inst; ///< built on first use, then reused
+        std::uint32_t generation = 0;
+        std::uint32_t live_pos = 0; ///< position in live_, valid while live
+        bool live = false;
+    };
+
+    std::uint32_t check(InstanceId id) const;
+    std::span<double> inputs_of(std::uint32_t slot) { return {arena_.data() + slot * stride_, nin_}; }
+    std::span<double> outputs_of(std::uint32_t slot) {
+        return {arena_.data() + slot * stride_ + nin_, nout_};
+    }
+    std::span<const double> inputs_of(std::uint32_t slot) const {
+        return {arena_.data() + slot * stride_, nin_};
+    }
+    std::span<const double> outputs_of(std::uint32_t slot) const {
+        return {arena_.data() + slot * stride_ + nin_, nout_};
+    }
+
+    const codegen::CompiledSystem* sys_;
+    BlockPtr root_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_; ///< reusable slot indices (LIFO)
+    std::vector<std::uint32_t> live_;
+    std::vector<double> arena_; ///< capacity * (num_inputs + num_outputs)
+    std::size_t nin_;
+    std::size_t nout_;
+    std::size_t stride_;
+};
+
+} // namespace sbd::runtime
+
+#endif

@@ -1,0 +1,213 @@
+#include "runtime/trace.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/exec.hpp"
+#include "sim/simulator.hpp"
+
+namespace sbd::runtime {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'B', 'D', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+bool rows_bit_equal(const std::vector<std::vector<double>>& a,
+                    const std::vector<std::vector<double>>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size()) return false;
+        if (!a[i].empty() &&
+            std::memcmp(a[i].data(), b[i].data(), a[i].size() * sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+template <typename T> void write_pod(std::ostream& os, const T& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T> T read_pod(std::istream& is) {
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!is) throw std::runtime_error("trace: truncated binary file");
+    return v;
+}
+
+void save_binary(const Trace& t, std::ostream& os) {
+    os.write(kMagic, sizeof kMagic);
+    write_pod(os, kVersion);
+    write_pod(os, static_cast<std::uint64_t>(t.num_inputs));
+    write_pod(os, static_cast<std::uint64_t>(t.num_outputs));
+    write_pod(os, static_cast<std::uint64_t>(t.instants()));
+    for (std::size_t k = 0; k < t.instants(); ++k) {
+        os.write(reinterpret_cast<const char*>(t.inputs[k].data()),
+                 static_cast<std::streamsize>(t.num_inputs * sizeof(double)));
+        os.write(reinterpret_cast<const char*>(t.outputs[k].data()),
+                 static_cast<std::streamsize>(t.num_outputs * sizeof(double)));
+    }
+}
+
+Trace load_binary(std::istream& is) {
+    char magic[4];
+    is.read(magic, sizeof magic);
+    if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+        throw std::runtime_error("trace: not an SBDT binary trace");
+    const auto version = read_pod<std::uint32_t>(is);
+    if (version != kVersion)
+        throw std::runtime_error("trace: unsupported version " + std::to_string(version));
+    Trace t;
+    t.num_inputs = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    t.num_outputs = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    const auto n = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    t.inputs.assign(n, std::vector<double>(t.num_inputs));
+    t.outputs.assign(n, std::vector<double>(t.num_outputs));
+    for (std::size_t k = 0; k < n; ++k) {
+        is.read(reinterpret_cast<char*>(t.inputs[k].data()),
+                static_cast<std::streamsize>(t.num_inputs * sizeof(double)));
+        is.read(reinterpret_cast<char*>(t.outputs[k].data()),
+                static_cast<std::streamsize>(t.num_outputs * sizeof(double)));
+        if (!is) throw std::runtime_error("trace: truncated binary file");
+    }
+    return t;
+}
+
+void save_csv(const Trace& t, std::ostream& os) {
+    os << "t";
+    for (std::size_t i = 0; i < t.num_inputs; ++i) os << ",in" << i;
+    for (std::size_t o = 0; o < t.num_outputs; ++o) os << ",out" << o;
+    os << "\n";
+    char buf[40];
+    for (std::size_t k = 0; k < t.instants(); ++k) {
+        os << k;
+        for (const double v : t.inputs[k]) {
+            std::snprintf(buf, sizeof buf, ",%.17g", v);
+            os << buf;
+        }
+        for (const double v : t.outputs[k]) {
+            std::snprintf(buf, sizeof buf, ",%.17g", v);
+            os << buf;
+        }
+        os << "\n";
+    }
+}
+
+Trace load_csv(std::istream& is) {
+    std::string line;
+    if (!std::getline(is, line)) throw std::runtime_error("trace: empty CSV file");
+    // Count the in*/out* columns of the header.
+    Trace t;
+    {
+        std::stringstream header(line);
+        std::string col;
+        bool first = true;
+        while (std::getline(header, col, ',')) {
+            if (first) {
+                if (col != "t") throw std::runtime_error("trace: malformed CSV header");
+                first = false;
+            } else if (col.rfind("in", 0) == 0) {
+                ++t.num_inputs;
+            } else if (col.rfind("out", 0) == 0) {
+                ++t.num_outputs;
+            } else {
+                throw std::runtime_error("trace: unknown CSV column '" + col + "'");
+            }
+        }
+    }
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        std::stringstream row(line);
+        std::string cell;
+        std::getline(row, cell, ','); // the instant index; implicit by position
+        std::vector<double> in(t.num_inputs), out(t.num_outputs);
+        for (double& v : in) {
+            if (!std::getline(row, cell, ','))
+                throw std::runtime_error("trace: short CSV row");
+            v = std::strtod(cell.c_str(), nullptr);
+        }
+        for (double& v : out) {
+            if (!std::getline(row, cell, ','))
+                throw std::runtime_error("trace: short CSV row");
+            v = std::strtod(cell.c_str(), nullptr);
+        }
+        t.inputs.push_back(std::move(in));
+        t.outputs.push_back(std::move(out));
+    }
+    return t;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+bool bit_equal(const Trace& a, const Trace& b) {
+    return a.num_inputs == b.num_inputs && a.num_outputs == b.num_outputs &&
+           rows_bit_equal(a.inputs, b.inputs) && rows_bit_equal(a.outputs, b.outputs);
+}
+
+TraceRecorder::TraceRecorder(std::size_t num_inputs, std::size_t num_outputs) {
+    trace_.num_inputs = num_inputs;
+    trace_.num_outputs = num_outputs;
+}
+
+void TraceRecorder::record(std::span<const double> inputs, std::span<const double> outputs) {
+    if (inputs.size() != trace_.num_inputs || outputs.size() != trace_.num_outputs)
+        throw std::invalid_argument("TraceRecorder: row width mismatch");
+    trace_.inputs.emplace_back(inputs.begin(), inputs.end());
+    trace_.outputs.emplace_back(outputs.begin(), outputs.end());
+}
+
+void save_trace(const Trace& t, const std::string& path) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("trace: cannot write '" + path + "'");
+    if (has_suffix(path, ".csv"))
+        save_csv(t, f);
+    else
+        save_binary(t, f);
+    if (!f) throw std::runtime_error("trace: write failed for '" + path + "'");
+}
+
+Trace load_trace(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("trace: cannot read '" + path + "'");
+    char magic[4] = {};
+    f.read(magic, sizeof magic);
+    f.clear();
+    f.seekg(0);
+    if (std::memcmp(magic, kMagic, sizeof kMagic) == 0) return load_binary(f);
+    return load_csv(f);
+}
+
+Trace replay(const codegen::CompiledSystem& sys, BlockPtr root, const Trace& t) {
+    codegen::Instance inst(sys, root);
+    Trace out;
+    out.num_inputs = t.num_inputs;
+    out.num_outputs = t.num_outputs;
+    out.inputs = t.inputs;
+    out.outputs.reserve(t.instants());
+    std::vector<double> buf(t.num_outputs);
+    for (std::size_t k = 0; k < t.instants(); ++k) {
+        inst.step_instant_into(t.inputs[k], buf);
+        out.outputs.push_back(buf);
+    }
+    return out;
+}
+
+Trace simulate_reference(const MacroBlock& root, const Trace& t) {
+    Trace out;
+    out.num_inputs = t.num_inputs;
+    out.num_outputs = t.num_outputs;
+    out.inputs = t.inputs;
+    out.outputs = sim::simulate(root, t.inputs);
+    return out;
+}
+
+} // namespace sbd::runtime

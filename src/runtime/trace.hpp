@@ -1,0 +1,65 @@
+#ifndef SBD_RUNTIME_TRACE_HPP
+#define SBD_RUNTIME_TRACE_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+
+namespace sbd::runtime {
+
+/// The recorded I/O history of one instance: per instant, the values of all
+/// input ports and all output ports. The unit of regression: a trace
+/// recorded from the engine replays bit-exactly on a fresh instance and on
+/// the reference simulator.
+struct Trace {
+    std::size_t num_inputs = 0;
+    std::size_t num_outputs = 0;
+    std::vector<std::vector<double>> inputs;  ///< one row per instant
+    std::vector<std::vector<double>> outputs; ///< one row per instant
+
+    std::size_t instants() const { return inputs.size(); }
+};
+
+/// Bitwise trace equality (distinguishes -0.0 from 0.0; identical NaN
+/// patterns compare equal) — the "bit-exact" in the regression contract.
+bool bit_equal(const Trace& a, const Trace& b);
+
+/// Accumulates one instance's per-instant I/O. Typical use: after every
+/// Engine::tick(), record(pool.inputs(id), pool.outputs(id)).
+class TraceRecorder {
+public:
+    TraceRecorder(std::size_t num_inputs, std::size_t num_outputs);
+
+    void record(std::span<const double> inputs, std::span<const double> outputs);
+
+    const Trace& trace() const { return trace_; }
+    Trace take() { return std::move(trace_); }
+
+private:
+    Trace trace_;
+};
+
+/// Saves a trace. Paths ending in ".csv" get the textual format (header
+/// line, then one `t in... out...` row per instant, %.17g so doubles
+/// round-trip exactly); anything else gets the binary format (magic "SBDT",
+/// version, dimensions, raw little-endian doubles). Throws std::runtime_error
+/// on I/O failure.
+void save_trace(const Trace& t, const std::string& path);
+
+/// Loads a trace saved by save_trace(), auto-detecting the format from the
+/// file's leading bytes. Throws std::runtime_error on malformed input.
+Trace load_trace(const std::string& path);
+
+/// Replays the trace's inputs through a fresh instance of `root` and
+/// returns the resulting trace (same inputs, freshly computed outputs).
+Trace replay(const codegen::CompiledSystem& sys, BlockPtr root, const Trace& t);
+
+/// Replays the trace's inputs through the reference simulator on the
+/// flattened diagram and returns the resulting trace.
+Trace simulate_reference(const MacroBlock& root, const Trace& t);
+
+} // namespace sbd::runtime
+
+#endif

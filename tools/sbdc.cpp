@@ -10,6 +10,9 @@
 //   sbdc --emit dot model.sbd               # root SDG in GraphViz form
 //   sbdc --simulate 10 model.sbd            # run the generated code
 //   sbdc --stats model.sbd                  # per-block metrics table
+//
+// Exit codes: 0 ok, 1 other error, 2 usage, 3 parse error,
+//             4 compile (cycle) rejection.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +25,7 @@
 #include "core/emit_cpp.hpp"
 #include "core/exec.hpp"
 #include "core/reuse.hpp"
+#include "runtime/engine.hpp"
 #include "sbd/text_format.hpp"
 
 namespace {
@@ -38,6 +42,9 @@ int usage(const char* argv0) {
                  "  --emit WHAT    pseudo | cpp | profile | dot | sbd  (default: pseudo)\n"
                  "  --simulate N   execute N instants with deterministic random inputs\n"
                  "  --seed S       input seed for --simulate (default 1)\n"
+                 "  --instances N  host N concurrent instances during --simulate (default 1;\n"
+                 "                 instance i is driven with seed S+i, instance 0 is printed)\n"
+                 "  --threads K    step --simulate instances with K threads (default 1)\n"
                  "  --stats        print the per-block metrics table\n"
                  "  --out FILE     write the artifact to FILE instead of stdout\n",
                  argv0);
@@ -60,6 +67,8 @@ int main(int argc, char** argv) {
     std::string out_path;
     std::string input_path;
     std::size_t simulate = 0;
+    std::size_t instances = 1;
+    std::size_t threads = 1;
     std::uint64_t seed = 1;
     bool stats = false;
 
@@ -77,16 +86,25 @@ int main(int argc, char** argv) {
         else if (arg == "--root") root_name = value();
         else if (arg == "--out") out_path = value();
         else if (arg == "--simulate") simulate = std::stoull(value());
+        else if (arg == "--instances") instances = std::stoull(value());
+        else if (arg == "--threads") threads = std::stoull(value());
         else if (arg == "--seed") seed = std::stoull(value());
         else if (arg == "--stats") stats = true;
         else if (arg == "--help" || arg == "-h") return usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
         else input_path = arg;
     }
-    if (input_path.empty()) return usage(argv[0]);
+    if (input_path.empty() || instances == 0) return usage(argv[0]);
+
+    text::ParsedFile file;
+    try {
+        file = text::parse_sbd_file(input_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "parse error: %s\n", e.what());
+        return 3;
+    }
 
     try {
-        const auto file = text::parse_sbd_file(input_path);
         std::shared_ptr<const MacroBlock> root = file.root;
         if (!root_name.empty()) {
             const auto it = file.blocks.find(root_name);
@@ -148,16 +166,28 @@ int main(int argc, char** argv) {
         }
 
         if (simulate > 0) {
-            Instance inst(sys, root);
-            const auto trace = lcg_input_trace(root->num_inputs(), simulate, seed);
+            // Host the requested number of concurrent instances on the
+            // runtime engine; instance i runs with input seed S+i, and
+            // instance 0 (seed S, identical to the single-instance run)
+            // is the one printed.
+            runtime::EngineConfig cfg;
+            cfg.capacity = instances;
+            cfg.threads = threads;
+            runtime::Engine engine(sys, root, cfg);
+            const std::vector<runtime::InstanceId> ids = engine.create(instances);
+            std::vector<runtime::LcgInputSource> sources;
+            sources.reserve(instances);
+            for (std::size_t i = 0; i < instances; ++i) sources.emplace_back(seed + i);
             std::printf("# t");
             for (std::size_t o = 0; o < root->num_outputs(); ++o)
                 std::printf(" %s", root->output_name(o).c_str());
             std::printf("\n");
             for (std::size_t t = 0; t < simulate; ++t) {
-                const auto out = inst.step_instant(trace[t]);
+                for (std::size_t i = 0; i < instances; ++i)
+                    sources[i].fill(engine.pool().inputs(ids[i]));
+                engine.tick();
                 std::printf("%zu", t);
-                for (const double v : out) std::printf(" %.10g", v);
+                for (const double v : engine.pool().outputs(ids[0])) std::printf(" %.10g", v);
                 std::printf("\n");
             }
         }
@@ -166,7 +196,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "rejected: %s\n(hint: use --method dynamic or disjoint-sat for "
                              "maximal reusability)\n",
                      e.what());
-        return 1;
+        return 4;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
