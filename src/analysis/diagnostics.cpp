@@ -1,0 +1,97 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sbd::analysis {
+
+const char* to_string(Severity s) {
+    switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::size_t LintReport::count(Severity s) const {
+    std::size_t n = 0;
+    for (const auto& d : diagnostics)
+        if (d.severity == s) ++n;
+    return n;
+}
+
+void LintReport::sort() {
+    std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                         // Positioned diagnostics first, in source order.
+                         if (a.loc.valid() != b.loc.valid()) return a.loc.valid();
+                         if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                         if (a.loc.col != b.loc.col) return a.loc.col < b.loc.col;
+                         return a.code < b.code;
+                     });
+}
+
+std::string render_text(const LintReport& report) {
+    std::ostringstream os;
+    for (const auto& d : report.diagnostics) {
+        os << report.file;
+        if (d.loc.valid()) os << ":" << d.loc.line << ":" << d.loc.col;
+        os << ": " << to_string(d.severity) << ": [" << d.code << "] " << d.message << "\n";
+        for (const auto& n : d.notes) os << "    note: " << n << "\n";
+    }
+    const std::size_t errors = report.count(Severity::Error);
+    const std::size_t warnings = report.count(Severity::Warning);
+    if (errors + warnings > 0) {
+        os << errors << " error(s), " << warnings << " warning(s)\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string render_json(const LintReport& report) {
+    std::ostringstream os;
+    os << "{\n  \"file\": \"" << json_escape(report.file) << "\",\n  \"diagnostics\": [";
+    for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+        const Diagnostic& d = report.diagnostics[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"code\": \"" << d.code << "\", \"severity\": \"" << to_string(d.severity)
+           << "\", \"line\": " << d.loc.line << ", \"col\": " << d.loc.col
+           << ", \"message\": \"" << json_escape(d.message) << "\", \"notes\": [";
+        for (std::size_t n = 0; n < d.notes.size(); ++n)
+            os << (n == 0 ? "" : ", ") << "\"" << json_escape(d.notes[n]) << "\"";
+        os << "]}";
+    }
+    if (!report.diagnostics.empty()) os << "\n  ";
+    os << "],\n  \"errors\": " << report.count(Severity::Error)
+       << ",\n  \"warnings\": " << report.count(Severity::Warning) << "\n}\n";
+    return os.str();
+}
+
+} // namespace sbd::analysis

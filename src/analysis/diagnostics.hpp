@@ -1,0 +1,80 @@
+#ifndef SBD_ANALYSIS_DIAGNOSTICS_HPP
+#define SBD_ANALYSIS_DIAGNOSTICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "sbd/block.hpp"
+
+namespace sbd::analysis {
+
+/// Diagnostic severity. Errors make sbd-lint exit nonzero; warnings flag
+/// likely mistakes that do not prevent compilation; notes ride along with a
+/// parent diagnostic (witness paths, suggestions).
+enum class Severity { Note, Warning, Error };
+
+const char* to_string(Severity s);
+
+/// The stable diagnostic catalog. Codes are append-only: a released code
+/// never changes meaning, so build systems may grep or suppress by code.
+///
+///   SBD001  syntax error                                     error
+///   SBD002  unknown block type / bad instantiation           error
+///   SBD003  unknown port or instance reference               error
+///   SBD004  multiply-driven signal                           error
+///   SBD005  self-connection (instantaneous self-loop)        error
+///   SBD006  malformed trigger                                error
+///   SBD007  unconnected sub-block input                      error
+///   SBD008  unconnected diagram output                       error
+///   SBD009  dangling sub-block output                        warning
+///   SBD010  unused diagram input                             warning
+///   SBD011  dead sub-block (reaches no output)               warning
+///   SBD012  dependency cycle (with witness path)             error
+///   SBD013  false cycle: flat diagram acyclic, the chosen    error
+///           clustering method still rejects (witness +
+///           which methods accept)
+///   SBD014  extern: unknown port in function declaration     error
+///   SBD015  extern: output not written by exactly one fn     error
+///   SBD016  extern: cyclic call-order relation               error
+///   SBD017  extern: order names an unknown function          error
+///   SBD018  extern: inert function (combinational block,     warning
+///           function writes nothing)
+///   SBD019  generated profile violates the modular           error
+///           compilation contract
+///   SBD020  generated PDG edge unjustified by any dataflow   warning
+struct Diagnostic {
+    std::string code; ///< "SBDnnn"
+    Severity severity = Severity::Error;
+    SourceLoc loc;    ///< (0,0) when no source position is known
+    std::string message;
+    /// Attached notes, e.g. a cycle witness path or the list of clustering
+    /// methods that would accept the diagram.
+    std::vector<std::string> notes;
+};
+
+/// All diagnostics produced by linting one model, plus the display name
+/// used when rendering ("models/thermostat.sbd", "<string>", ...).
+struct LintReport {
+    std::string file;
+    std::vector<Diagnostic> diagnostics;
+
+    std::size_t count(Severity s) const;
+    bool has_errors() const { return count(Severity::Error) > 0; }
+
+    /// Orders diagnostics by source position, then code (diagnostics
+    /// without a position sort last). Renderers expect sorted reports.
+    void sort();
+};
+
+/// Classic compiler-style rendering:
+///   file:12:3: error: [SBD004] multiply-driven: ...
+///       note: ...
+std::string render_text(const LintReport& report);
+
+/// Machine-readable rendering: one JSON object with a "diagnostics" array
+/// and severity totals. Stable field names; strings are JSON-escaped.
+std::string render_json(const LintReport& report);
+
+} // namespace sbd::analysis
+
+#endif

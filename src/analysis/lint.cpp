@@ -1,0 +1,307 @@
+#include "analysis/lint.hpp"
+
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/compiler.hpp"
+#include "core/contract.hpp"
+#include "sbd/flatten.hpp"
+#include "sbd/opaque.hpp"
+
+namespace sbd::analysis {
+
+namespace {
+
+using codegen::Method;
+
+constexpr Method kAllMethods[] = {Method::Monolithic,  Method::StepGet,
+                                  Method::Dynamic,     Method::DisjointSat,
+                                  Method::DisjointGreedy, Method::Singletons};
+
+void pass_parse_issues(const text::ParsedFile& file, LintReport& rep) {
+    for (const auto& iss : file.issues)
+        rep.diagnostics.push_back(Diagnostic{iss.code, Severity::Error, iss.loc, iss.message, {}});
+}
+
+/// SBD007..SBD011: port connectivity and dead sub-blocks of one macro.
+void pass_connectivity(const MacroBlock& m, LintReport& rep) {
+    const auto diag = [&](const char* code, Severity sev, SourceLoc loc, std::string msg) {
+        if (!loc.valid()) loc = m.def_loc();
+        rep.diagnostics.push_back(Diagnostic{code, sev, loc, std::move(msg), {}});
+    };
+    const std::string in_block = "' in block '" + m.type_name() + "'";
+
+    // Usage maps fed by wires and triggers.
+    std::vector<bool> input_used(m.num_inputs(), false);
+    std::vector<std::vector<bool>> subout_used(m.num_subs());
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        subout_used[s].assign(m.sub(s).type->num_outputs(), false);
+    const auto mark_source = [&](const Endpoint& src) {
+        if (src.kind == Endpoint::Kind::MacroInput) input_used[src.port] = true;
+        else subout_used[src.sub][src.port] = true;
+    };
+    for (const Connection& c : m.connections()) mark_source(c.src);
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        if (m.sub(s).trigger) mark_source(*m.sub(s).trigger);
+
+    // SBD007 / SBD008: every sub input and every diagram output needs a
+    // writer (same condition as MacroBlock::validate, but reported per
+    // port with a stable code instead of aborting at the first one).
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        const Block& b = *m.sub(s).type;
+        for (std::size_t i = 0; i < b.num_inputs(); ++i) {
+            const Endpoint dst{Endpoint::Kind::SubInput, static_cast<std::int32_t>(s),
+                               static_cast<std::int32_t>(i)};
+            if (m.writer_of(dst) == nullptr)
+                diag("SBD007", Severity::Error, m.sub(s).loc,
+                     "input '" + b.input_name(i) + "' of sub-block '" + m.sub(s).name +
+                         in_block + " is unconnected");
+        }
+    }
+    for (std::size_t o = 0; o < m.num_outputs(); ++o) {
+        const Endpoint dst{Endpoint::Kind::MacroOutput, -1, static_cast<std::int32_t>(o)};
+        if (m.writer_of(dst) == nullptr)
+            diag("SBD008", Severity::Error, m.def_loc(),
+                 "output '" + m.output_name(o) + "' of block '" + m.type_name() +
+                     "' is unconnected");
+    }
+
+    // SBD011: sub-blocks from which no diagram output is reachable (via
+    // wires or trigger edges) compute values nobody observes.
+    const std::size_t sink = m.num_subs();
+    graph::Digraph flow(m.num_subs() + 1);
+    for (const Connection& c : m.connections()) {
+        if (c.src.kind != Endpoint::Kind::SubOutput) continue;
+        if (c.dst.kind == Endpoint::Kind::MacroOutput)
+            flow.add_edge(static_cast<graph::NodeId>(c.src.sub),
+                          static_cast<graph::NodeId>(sink));
+        else
+            flow.add_edge(static_cast<graph::NodeId>(c.src.sub),
+                          static_cast<graph::NodeId>(c.dst.sub));
+    }
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        const auto& trig = m.sub(s).trigger;
+        if (trig && trig->kind == Endpoint::Kind::SubOutput)
+            flow.add_edge(static_cast<graph::NodeId>(trig->sub), static_cast<graph::NodeId>(s));
+    }
+    const auto live = flow.reaching_to(static_cast<graph::NodeId>(sink));
+    std::vector<bool> dead(m.num_subs(), false);
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        if (m.num_outputs() == 0) break; // nothing can be live; pointless to flag all
+        if (live.test(s)) continue;
+        dead[s] = true;
+        diag("SBD011", Severity::Warning, m.sub(s).loc,
+             "sub-block '" + m.sub(s).name + in_block +
+                 " is dead: none of its outputs reaches a diagram output");
+    }
+
+    // SBD009 / SBD010: sources feeding nothing. Outputs of dead sub-blocks
+    // are skipped — SBD011 already covers the whole instance.
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        if (dead[s]) continue;
+        const Block& b = *m.sub(s).type;
+        for (std::size_t o = 0; o < b.num_outputs(); ++o)
+            if (!subout_used[s][o])
+                diag("SBD009", Severity::Warning, m.sub(s).loc,
+                     "output '" + b.output_name(o) + "' of sub-block '" + m.sub(s).name +
+                         in_block + " is connected to nothing");
+    }
+    for (std::size_t i = 0; i < m.num_inputs(); ++i)
+        if (!input_used[i])
+            diag("SBD010", Severity::Warning, m.def_loc(),
+                 "input '" + m.input_name(i) + "' of block '" + m.type_name() + "' is unused");
+}
+
+/// SBD018: a function of a *combinational* extern block that writes no
+/// output can never contribute anything — combinational blocks have no
+/// state a call could advance.
+void pass_extern(const OpaqueBlock& b, LintReport& rep) {
+    if (b.block_class() != BlockClass::Combinational) return;
+    for (const auto& fn : b.functions()) {
+        if (!fn.writes.empty()) continue;
+        const SourceLoc loc = fn.loc.valid() ? fn.loc : b.def_loc();
+        rep.diagnostics.push_back(
+            Diagnostic{"SBD018", Severity::Warning, loc,
+                       "function '" + fn.name + "' of combinational extern block '" +
+                           b.type_name() + "' writes no output: calls to it are inert",
+                       {}});
+    }
+}
+
+/// SBD012/SBD013 (+ SBD019/SBD020): bottom-up dependency analysis under the
+/// configured clustering method, mirroring what compile_hierarchy would do
+/// but recovering per block instead of throwing.
+void pass_cycles(const text::ParsedFile& file, const LintOptions& opts, LintReport& rep) {
+    std::unordered_map<const Block*, std::optional<codegen::Profile>> memo;
+
+    const std::function<const codegen::Profile*(const BlockPtr&)> profile_of =
+        [&](const BlockPtr& b) -> const codegen::Profile* {
+        const auto it = memo.find(b.get());
+        if (it != memo.end()) return it->second ? &*it->second : nullptr;
+        std::optional<codegen::Profile> result;
+        if (b->is_atomic()) {
+            result = b->is_opaque()
+                         ? codegen::opaque_profile(static_cast<const OpaqueBlock&>(*b))
+                         : codegen::atomic_profile(static_cast<const AtomicBlock&>(*b));
+        } else {
+            const auto& m = static_cast<const MacroBlock&>(*b);
+            std::vector<const codegen::Profile*> subs;
+            subs.reserve(m.num_subs());
+            bool ok = true;
+            for (std::size_t s = 0; s < m.num_subs(); ++s) {
+                const codegen::Profile* p = profile_of(m.sub(s).type);
+                if (p == nullptr) ok = false;
+                subs.push_back(p);
+            }
+            // Structurally broken blocks were reported by the connectivity
+            // pass; blocks whose subs failed inherit the failure silently.
+            if (ok) {
+                try {
+                    m.validate();
+                } catch (const ModelError&) {
+                    ok = false;
+                }
+            }
+            if (ok) {
+                bool cyclic = false;
+                codegen::Sdg sdg = codegen::build_sdg_unchecked(m, subs, &cyclic);
+                if (!cyclic) {
+                    try {
+                        const auto clustering = codegen::cluster(sdg, opts.method);
+                        auto gen = codegen::generate_code(m, subs, sdg, clustering);
+                        if (opts.check_contracts) {
+                            for (const auto& f : codegen::check_profile_contract(
+                                     m, subs, sdg, clustering, gen.profile))
+                                rep.diagnostics.push_back(Diagnostic{
+                                    f.fatal ? "SBD019" : "SBD020",
+                                    f.fatal ? Severity::Error : Severity::Warning, m.def_loc(),
+                                    f.message, {}});
+                        }
+                        result = std::move(gen.profile);
+                    } catch (const std::exception& e) {
+                        rep.diagnostics.push_back(
+                            Diagnostic{"SBD019", Severity::Error, m.def_loc(),
+                                       "macro '" + m.type_name() +
+                                           "': code generation failed: " + e.what(),
+                                       {}});
+                    }
+                } else {
+                    std::string witness;
+                    if (const auto cyc = sdg.graph.find_cycle()) {
+                        for (const auto v : *cyc)
+                            witness += codegen::node_label(sdg, m, subs, v) + " -> ";
+                        witness += codegen::node_label(sdg, m, subs, cyc->front());
+                    }
+                    bool flat_acyclic = false;
+                    try {
+                        flat_acyclic = is_acyclic_diagram(m);
+                    } catch (const ModelError&) {
+                        // Pass-through cycles etc.: genuinely cyclic.
+                    }
+                    Diagnostic d;
+                    d.severity = Severity::Error;
+                    d.loc = m.def_loc();
+                    if (flat_acyclic) {
+                        d.code = "SBD013";
+                        d.message = "false cycle: the flattened diagram of '" + m.type_name() +
+                                    "' is acyclic, but its scheduling dependency graph under "
+                                    "the '" +
+                                    std::string(to_string(opts.method)) +
+                                    "' method is cyclic (a sub-block profile exports a false "
+                                    "input-output dependency)";
+                        if (!witness.empty()) d.notes.push_back("cycle witness: " + witness);
+                        std::string accept;
+                        for (const Method alt : kAllMethods) {
+                            bool accepts = false;
+                            try {
+                                (void)codegen::compile_hierarchy(b, alt);
+                                accepts = true;
+                            } catch (const std::exception&) {
+                            }
+                            if (accepts)
+                                accept += (accept.empty() ? "" : ", ") +
+                                          std::string(to_string(alt));
+                        }
+                        d.notes.push_back(
+                            accept.empty()
+                                ? "no clustering method accepts this diagram modularly; "
+                                  "flatten it instead"
+                                : "methods that accept this diagram: " + accept);
+                    } else {
+                        d.code = "SBD012";
+                        d.message = "dependency cycle: macro '" + m.type_name() +
+                                    "' has an instantaneous cyclic dependency; no clustering "
+                                    "method can generate code for it";
+                        if (!witness.empty()) d.notes.push_back("cycle witness: " + witness);
+                    }
+                    rep.diagnostics.push_back(std::move(d));
+                }
+            }
+        }
+        const auto [pos, inserted] = memo.emplace(b.get(), std::move(result));
+        (void)inserted;
+        return pos->second ? &*pos->second : nullptr;
+    };
+
+    for (const auto& name : file.order) (void)profile_of(file.blocks.at(name));
+}
+
+} // namespace
+
+LintReport lint_parsed(const text::ParsedFile& file, const LintOptions& opts,
+                       std::string display_name) {
+    LintReport rep;
+    rep.file = std::move(display_name);
+    pass_parse_issues(file, rep);
+    for (const auto& name : file.order) {
+        const BlockPtr& b = file.blocks.at(name);
+        if (b->is_opaque())
+            pass_extern(static_cast<const OpaqueBlock&>(*b), rep);
+        else if (!b->is_atomic())
+            pass_connectivity(static_cast<const MacroBlock&>(*b), rep);
+    }
+    pass_cycles(file, opts, rep);
+    rep.sort();
+    return rep;
+}
+
+std::optional<codegen::Method> method_directive(const std::string& text) {
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto hash = line.find('#');
+        if (hash == std::string::npos) continue;
+        static const std::string key = "lint-method:";
+        const auto pos = line.find(key, hash);
+        if (pos == std::string::npos) continue;
+        std::string name = line.substr(pos + key.size());
+        const auto first = name.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        const auto last = name.find_last_not_of(" \t\r");
+        name = name.substr(first, last - first + 1);
+        for (const Method m : kAllMethods)
+            if (name == to_string(m)) return m;
+    }
+    return std::nullopt;
+}
+
+LintReport lint_string(const std::string& text, const LintOptions& opts,
+                       std::string display_name) {
+    LintOptions effective = opts;
+    if (const auto m = method_directive(text)) effective.method = *m;
+    const auto file = text::parse_sbd_string(text, text::ParseMode::Lenient);
+    return lint_parsed(file, effective, std::move(display_name));
+}
+
+LintReport lint_file(const std::string& path, const LintOptions& opts) {
+    std::ifstream f(path);
+    if (!f) throw ModelError("sbd-lint: cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return lint_string(buf.str(), opts, path);
+}
+
+} // namespace sbd::analysis

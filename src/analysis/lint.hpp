@@ -1,0 +1,51 @@
+#ifndef SBD_ANALYSIS_LINT_HPP
+#define SBD_ANALYSIS_LINT_HPP
+
+#include <optional>
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "core/methods.hpp"
+#include "sbd/text_format.hpp"
+
+namespace sbd::analysis {
+
+/// Knobs of the lint driver.
+struct LintOptions {
+    /// Clustering method assumed when analyzing dependency cycles: a
+    /// diagram may be accepted under one method and rejected under another
+    /// (the false-cycle phenomenon, SBD013).
+    codegen::Method method = codegen::Method::Dynamic;
+    /// Re-check every generated profile against the modular compilation
+    /// contract (SBD019/SBD020). Cheap; on by default.
+    bool check_contracts = true;
+};
+
+/// Runs every analysis pass over an already-parsed model. Passes:
+///  1. recovered parse issues (SBD001..SBD006, SBD014..SBD017);
+///  2. connectivity per macro block: unconnected sub inputs (SBD007) and
+///     diagram outputs (SBD008), dangling sub outputs (SBD009), unused
+///     diagram inputs (SBD010), dead sub-blocks (SBD011);
+///  3. extern declarations: inert functions (SBD018);
+///  4. bottom-up dependency analysis under `opts.method`: true cycles with
+///     a concrete witness path (SBD012), false cycles with the witness and
+///     the set of accepting methods (SBD013);
+///  5. contract checking of each generated profile (SBD019, SBD020).
+/// The returned report is sorted.
+LintReport lint_parsed(const text::ParsedFile& file, const LintOptions& opts = {},
+                       std::string display_name = "<model>");
+
+/// Parses leniently, honours a "# lint-method: NAME" directive in the
+/// text (it overrides opts.method), then runs lint_parsed.
+LintReport lint_string(const std::string& text, const LintOptions& opts = {},
+                       std::string display_name = "<string>");
+
+/// As lint_string, reading from a file; throws ModelError if unreadable.
+LintReport lint_file(const std::string& path, const LintOptions& opts = {});
+
+/// The method named by a "# lint-method: NAME" comment directive, if any.
+std::optional<codegen::Method> method_directive(const std::string& text);
+
+} // namespace sbd::analysis
+
+#endif

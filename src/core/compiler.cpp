@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contract.hpp"
+
 namespace sbd::codegen {
 
 const CompiledBlock& CompiledSystem::at(const Block& b) const {
@@ -73,6 +75,16 @@ void compile_rec(const BlockPtr& block, Method method, const ClusterOptions& opt
     auto gen = generate_code(macro, sub_profiles, *cb.sdg, *cb.clustering);
     cb.code = std::move(gen.code);
     cb.profile = std::move(gen.profile);
+    if (opts.verify_contracts) {
+        const auto findings =
+            check_profile_contract(macro, sub_profiles, *cb.sdg, *cb.clustering, cb.profile);
+        if (any_fatal(findings)) {
+            std::string msg = "contract violation in generated profile:";
+            for (const auto& f : findings)
+                if (f.fatal) msg += "\n  [" + std::string(to_string(f.kind)) + "] " + f.message;
+            throw std::logic_error(msg);
+        }
+    }
     done.emplace(block.get(), std::move(cb));
     order.push_back(block.get());
 }

@@ -1,0 +1,170 @@
+#include "core/contract.hpp"
+
+#include <algorithm>
+
+namespace sbd::codegen {
+
+const char* to_string(ContractIssue::Kind k) {
+    switch (k) {
+    case ContractIssue::Kind::Structure: return "structure";
+    case ContractIssue::Kind::MissingRead: return "missing-read";
+    case ContractIssue::Kind::ExtraRead: return "extra-read";
+    case ContractIssue::Kind::WrongWrite: return "wrong-write";
+    case ContractIssue::Kind::MissingOrder: return "missing-order";
+    case ContractIssue::Kind::UnjustifiedPdgEdge: return "unjustified-pdg-edge";
+    }
+    return "?";
+}
+
+bool any_fatal(const std::vector<ContractIssue>& issues) {
+    return std::any_of(issues.begin(), issues.end(),
+                       [](const ContractIssue& i) { return i.fatal; });
+}
+
+std::vector<ContractIssue> check_profile_contract(const MacroBlock& m,
+                                                  std::span<const Profile* const> sub_profiles,
+                                                  const Sdg& sdg, const Clustering& clustering,
+                                                  const Profile& profile) {
+    std::vector<ContractIssue> issues;
+    const auto report = [&](ContractIssue::Kind kind, bool fatal, std::string msg) {
+        issues.push_back(ContractIssue{kind, fatal, std::move(msg)});
+    };
+    const auto label = [&](graph::NodeId v) { return node_label(sdg, m, sub_profiles, v); };
+    const std::string where = "macro '" + m.type_name() + "': ";
+
+    const std::size_t num_clusters = clustering.clusters.size();
+    if (profile.functions.size() != num_clusters) {
+        report(ContractIssue::Kind::Structure, true,
+               where + "profile exports " + std::to_string(profile.functions.size()) +
+                   " functions for " + std::to_string(num_clusters) + " clusters");
+        return issues; // everything below indexes functions by cluster
+    }
+
+    // Reads: function c must declare input i iff an SDG edge runs from
+    // input node i directly into a node of cluster c. (Values needed only
+    // transitively arrive through slots written by earlier functions.)
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+        graph::Bitset expected(m.num_inputs());
+        for (const auto v : clustering.clusters[c])
+            for (const auto p : sdg.graph.predecessors(v))
+                if (sdg.is_input(p)) expected.set(static_cast<std::size_t>(sdg.nodes[p].port));
+        graph::Bitset declared(m.num_inputs());
+        for (const std::size_t i : profile.functions[c].reads) {
+            if (i >= m.num_inputs()) {
+                report(ContractIssue::Kind::ExtraRead, true,
+                       where + "function '" + profile.functions[c].name +
+                           "' reads nonexistent input port " + std::to_string(i));
+                continue;
+            }
+            declared.set(i);
+        }
+        for (std::size_t i = 0; i < m.num_inputs(); ++i) {
+            if (expected.test(i) && !declared.test(i))
+                report(ContractIssue::Kind::MissingRead, true,
+                       where + "function '" + profile.functions[c].name +
+                           "' omits input '" + m.input_name(i) +
+                           "', which feeds a node of its cluster directly");
+            if (!expected.test(i) && declared.test(i))
+                report(ContractIssue::Kind::ExtraRead, true,
+                       where + "function '" + profile.functions[c].name + "' declares input '" +
+                           m.input_name(i) + "', but no node of its cluster consumes it");
+        }
+    }
+
+    // Writes: output o is produced by the writer node's attributed cluster
+    // and must be returned by exactly that function.
+    const auto attribution = clustering.output_attribution(sdg);
+    std::vector<std::int32_t> expected_writer(m.num_outputs(), -1);
+    for (std::size_t o = 0; o < m.num_outputs(); ++o) {
+        if (attribution[o].size() != 1) {
+            report(ContractIssue::Kind::Structure, true,
+                   where + "output '" + m.output_name(o) + "' is attributed to " +
+                       std::to_string(attribution[o].size()) + " clusters (expected 1)");
+            continue;
+        }
+        expected_writer[o] = static_cast<std::int32_t>(attribution[o].front());
+    }
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+        for (const std::size_t o : profile.functions[c].writes) {
+            if (o >= m.num_outputs()) {
+                report(ContractIssue::Kind::WrongWrite, true,
+                       where + "function '" + profile.functions[c].name +
+                           "' writes nonexistent output port " + std::to_string(o));
+                continue;
+            }
+            if (expected_writer[o] >= 0 && static_cast<std::size_t>(expected_writer[o]) != c)
+                report(ContractIssue::Kind::WrongWrite, true,
+                       where + "function '" + profile.functions[c].name + "' returns output '" +
+                           m.output_name(o) + "', whose writer node belongs to function '" +
+                           profile.functions[expected_writer[o]].name + "'");
+        }
+    }
+    for (std::size_t o = 0; o < m.num_outputs(); ++o) {
+        if (expected_writer[o] < 0) continue;
+        const auto& w = profile.functions[expected_writer[o]].writes;
+        if (std::find(w.begin(), w.end(), o) == w.end())
+            report(ContractIssue::Kind::WrongWrite, true,
+                   where + "output '" + m.output_name(o) + "' is returned by no function " +
+                       "(its writer node's cluster generates function '" +
+                       profile.functions[expected_writer[o]].name + "')");
+    }
+
+    // Ordering soundness: for an SDG dataflow edge u -> v between internal
+    // nodes, every cluster b containing v but not u must be preceded (in
+    // the PDG's transitive closure) by some cluster containing u, or a
+    // legal call order could run b before u's slot is written.
+    graph::Digraph pdg(num_clusters);
+    for (const auto& [a, b] : profile.pdg_edges) {
+        if (a >= num_clusters || b >= num_clusters) {
+            report(ContractIssue::Kind::Structure, true,
+                   where + "PDG edge (" + std::to_string(a) + ", " + std::to_string(b) +
+                       ") references a nonexistent function");
+            continue;
+        }
+        pdg.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+    }
+    const auto pdg_closure = pdg.transitive_closure();
+    for (const auto u : sdg.internal_nodes) {
+        const auto in_u = clustering.clusters_of(u);
+        for (const auto v : sdg.graph.successors(u)) {
+            if (!sdg.is_internal(v)) continue;
+            for (const std::size_t b : clustering.clusters_of(v)) {
+                if (std::find(in_u.begin(), in_u.end(), b) != in_u.end()) continue;
+                const bool ordered = std::any_of(in_u.begin(), in_u.end(), [&](std::size_t a) {
+                    return pdg_closure[a].test(b);
+                });
+                if (!ordered)
+                    report(ContractIssue::Kind::MissingOrder, true,
+                           where + "'" + label(v) + "' (function '" + profile.functions[b].name +
+                               "') consumes '" + label(u) +
+                               "', but no PDG constraint orders a producer function first");
+            }
+        }
+    }
+
+    // PDG justification: a declared edge (a, b) with no SDG reachability
+    // from any node of a to any node of b over-constrains callers — it
+    // costs reusability without buying correctness.
+    const auto sdg_closure = sdg.graph.transitive_closure();
+    for (const auto& [a, b] : profile.pdg_edges) {
+        if (a >= num_clusters || b >= num_clusters) continue; // reported above
+        bool justified = false;
+        for (const auto u : clustering.clusters[a]) {
+            for (const auto v : clustering.clusters[b])
+                if (u == v || sdg_closure[u].test(v)) {
+                    justified = true;
+                    break;
+                }
+            if (justified) break;
+        }
+        if (!justified)
+            report(ContractIssue::Kind::UnjustifiedPdgEdge, false,
+                   where + "PDG edge '" + profile.functions[a].name + "' -> '" +
+                       profile.functions[b].name +
+                       "' is backed by no SDG dataflow (over-constrains callers)");
+    }
+
+    return issues;
+}
+
+} // namespace sbd::codegen

@@ -1,0 +1,60 @@
+#ifndef SBD_CORE_CONTRACT_HPP
+#define SBD_CORE_CONTRACT_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/profile.hpp"
+#include "core/sdg.hpp"
+
+namespace sbd::codegen {
+
+/// One finding of the post-compilation contract checker.
+struct ContractIssue {
+    enum class Kind {
+        Structure,          ///< function/cluster count or attribution mismatch
+        MissingRead,        ///< function omits an input the SDG says it needs
+        ExtraRead,          ///< function declares an input no cluster node uses
+        WrongWrite,         ///< output written by the wrong function, twice, or never
+        MissingOrder,       ///< a consumed value may not be ready under the PDG
+        UnjustifiedPdgEdge, ///< PDG edge with no SDG dataflow behind it
+    };
+    Kind kind;
+    bool fatal; ///< true for soundness violations; false for reusability loss
+    std::string message;
+};
+
+const char* to_string(ContractIssue::Kind k);
+
+/// Checks that `profile` is a sound exported interface for macro block `m`
+/// given its SDG and the clustering it was generated from — the modular
+/// compilation contract of Section 4 made executable:
+///
+///  - one interface function per cluster, in cluster order;
+///  - function c reads input i iff the SDG has a direct edge from input
+///    node i into some node of cluster c (transitively-needed inputs reach
+///    the function through slots, not parameters);
+///  - every macro output is returned by exactly the cluster the output
+///    attribution assigns its writer node to;
+///  - for every SDG dataflow edge u -> v crossing out of every cluster
+///    containing v, some cluster containing u precedes it in the PDG's
+///    transitive closure (otherwise a legal call order could read the
+///    slot of u before it is written);
+///  - every declared PDG edge (a, b) is backed by SDG reachability from a
+///    node of a to a node of b (violations are non-fatal: they cost
+///    reusability, not correctness).
+///
+/// Returns every finding; empty means the profile honours the contract.
+std::vector<ContractIssue> check_profile_contract(const MacroBlock& m,
+                                                  std::span<const Profile* const> sub_profiles,
+                                                  const Sdg& sdg, const Clustering& clustering,
+                                                  const Profile& profile);
+
+/// True iff some finding is fatal.
+bool any_fatal(const std::vector<ContractIssue>& issues);
+
+} // namespace sbd::codegen
+
+#endif

@@ -23,6 +23,11 @@ struct ClusterOptions {
     /// SAT method: abort (throw Solver::BudgetExceeded) past this many
     /// conflicts accumulated over all iterations; 0 = unlimited.
     std::uint64_t sat_conflict_budget = 0;
+    /// Debug gate: after generating each macro block's code, re-check the
+    /// exported profile against the block's SDG (core/contract.hpp) and
+    /// throw std::logic_error on any fatal finding. Off by default; turned
+    /// on by sbdc --verify-contracts and the test suite.
+    bool verify_contracts = false;
 };
 
 /// Statistics of the iterated-SAT optimal disjoint clustering (Section 7).

@@ -48,6 +48,52 @@ std::optional<std::vector<NodeId>> Digraph::topological_order() const {
     return order;
 }
 
+std::optional<std::vector<NodeId>> Digraph::find_cycle() const {
+    const std::size_t n = num_nodes();
+    enum : std::uint8_t { White, Grey, Black };
+    std::vector<std::uint8_t> color(n, White);
+    // Iterative DFS; `path` holds the grey chain so a back edge u -> v can
+    // be expanded into the explicit node sequence v .. u.
+    struct Frame {
+        NodeId node;
+        std::size_t child;
+    };
+    std::vector<Frame> frames;
+    std::vector<NodeId> path;
+    for (NodeId root = 0; root < n; ++root) {
+        if (color[root] != White) continue;
+        frames.push_back({root, 0});
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            const NodeId u = f.node;
+            if (f.child == 0) {
+                color[u] = Grey;
+                path.push_back(u);
+            }
+            bool descended = false;
+            while (f.child < succ_[u].size()) {
+                const NodeId v = succ_[u][f.child++];
+                if (color[v] == Grey) {
+                    const auto it = std::find(path.begin(), path.end(), v);
+                    assert(it != path.end());
+                    return std::vector<NodeId>(it, path.end());
+                }
+                if (color[v] == White) {
+                    frames.push_back({v, 0});
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended) {
+                color[u] = Black;
+                path.pop_back();
+                frames.pop_back();
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 std::vector<NodeId> Digraph::scc_ids(std::size_t* num_components) const {
     const std::size_t n = num_nodes();
     constexpr NodeId kUnvisited = static_cast<NodeId>(-1);

@@ -42,6 +42,12 @@ public:
     /// A topological order of all nodes, or nullopt if the graph is cyclic.
     std::optional<std::vector<NodeId>> topological_order() const;
 
+    /// Some directed cycle as the node sequence v0 -> v1 -> ... -> vk-1
+    /// (with the closing edge vk-1 -> v0 implied), or nullopt if the graph
+    /// is acyclic. A self loop yields a single-node cycle. Used by the
+    /// diagnostics layer to print concrete cycle witnesses.
+    std::optional<std::vector<NodeId>> find_cycle() const;
+
     bool is_acyclic() const { return topological_order().has_value(); }
 
     /// Strongly connected components (Tarjan). Returns, for each node, its

@@ -73,14 +73,14 @@ MacroBlock::MacroBlock(std::string type_name, std::vector<std::string> inputs,
                        std::vector<std::string> outputs)
     : Block(std::move(type_name), std::move(inputs), std::move(outputs)) {}
 
-std::int32_t MacroBlock::add_sub(std::string instance_name, BlockPtr type) {
+std::int32_t MacroBlock::add_sub(std::string instance_name, BlockPtr type, SourceLoc loc) {
     if (!type) throw ModelError("null sub-block type in macro '" + type_name() + "'");
     if (sub_names_.contains(instance_name))
         throw ModelError("duplicate sub-block name '" + instance_name + "' in macro '" +
                          type_name() + "'");
     const auto idx = static_cast<std::int32_t>(subs_.size());
     sub_names_.emplace(instance_name, idx);
-    subs_.push_back(SubBlock{std::move(instance_name), std::move(type), std::nullopt});
+    subs_.push_back(SubBlock{std::move(instance_name), std::move(type), std::nullopt, loc, {}});
     class_cache_.reset();
     return idx;
 }
@@ -91,7 +91,7 @@ std::uint64_t MacroBlock::dst_key(const Endpoint& e) {
            static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.port));
 }
 
-void MacroBlock::connect(Endpoint src, Endpoint dst) {
+void MacroBlock::connect(Endpoint src, Endpoint dst, SourceLoc loc) {
     auto check = [this](const Endpoint& e, bool want_source) {
         if (e.is_source() != want_source)
             throw ModelError("endpoint " + to_string(e) + " used on the wrong side in macro '" +
@@ -125,7 +125,7 @@ void MacroBlock::connect(Endpoint src, Endpoint dst) {
         throw ModelError("destination " + to_string(dst) + " already has a writer in macro '" +
                          type_name() + "'");
     writer_index_.emplace(key, static_cast<std::int32_t>(conns_.size()));
-    conns_.push_back(Connection{src, dst});
+    conns_.push_back(Connection{src, dst, loc});
     class_cache_.reset();
 }
 
@@ -158,11 +158,11 @@ Endpoint MacroBlock::parse_endpoint(const std::string& text, bool as_source) con
     return e;
 }
 
-void MacroBlock::connect(const std::string& from, const std::string& to) {
-    connect(parse_endpoint(from, true), parse_endpoint(to, false));
+void MacroBlock::connect(const std::string& from, const std::string& to, SourceLoc loc) {
+    connect(parse_endpoint(from, true), parse_endpoint(to, false), loc);
 }
 
-void MacroBlock::set_trigger(std::int32_t sub, Endpoint src) {
+void MacroBlock::set_trigger(std::int32_t sub, Endpoint src, SourceLoc loc) {
     if (sub < 0 || static_cast<std::size_t>(sub) >= subs_.size())
         throw ModelError("set_trigger: bad sub-block index in '" + type_name() + "'");
     if (!src.is_source())
@@ -178,11 +178,12 @@ void MacroBlock::set_trigger(std::int32_t sub, Endpoint src) {
     if (subs_[sub].trigger)
         throw ModelError("sub-block '" + subs_[sub].name + "' already has a trigger");
     subs_[sub].trigger = src;
+    subs_[sub].trigger_loc = loc;
     class_cache_.reset();
 }
 
-void MacroBlock::set_trigger(const std::string& instance, const std::string& src) {
-    set_trigger(sub_index(instance), parse_endpoint(src, true));
+void MacroBlock::set_trigger(const std::string& instance, const std::string& src, SourceLoc loc) {
+    set_trigger(sub_index(instance), parse_endpoint(src, true), loc);
 }
 
 std::int32_t MacroBlock::sub_index(const std::string& instance_name) const {

@@ -20,6 +20,18 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// A position in a textual .sbd source: 1-based line and column, (0, 0) when
+/// the element was built programmatically. Carried from the parser into
+/// blocks, sub-block instances and connections so that the static-analysis
+/// layer (src/analysis) can point diagnostics at the offending source line.
+struct SourceLoc {
+    std::int32_t line = 0;
+    std::int32_t col = 0;
+
+    bool valid() const { return line > 0; }
+    bool operator==(const SourceLoc&) const = default;
+};
+
 /// The paper's three-way classification of blocks (Section 3): combinational
 /// blocks are stateless; sequential blocks have internal state; a
 /// Moore-sequential block's outputs depend only on its current state, never
@@ -57,10 +69,16 @@ public:
     virtual bool is_opaque() const { return false; }
     virtual BlockClass block_class() const = 0;
 
+    /// Where this block's definition starts in its .sbd source, if any
+    /// (set by the parser before the block is shared).
+    void set_def_loc(SourceLoc loc) { def_loc_ = loc; }
+    const SourceLoc& def_loc() const { return def_loc_; }
+
 private:
     std::string type_name_;
     std::vector<std::string> inputs_;
     std::vector<std::string> outputs_;
+    SourceLoc def_loc_;
 };
 
 /// C++ source form of an atomic block's semantics, used by the C++ emitter
@@ -136,6 +154,7 @@ std::string to_string(const Endpoint& e);
 struct Connection {
     Endpoint src;
     Endpoint dst;
+    SourceLoc loc; ///< the `connect` statement's position, if parsed
 };
 
 /// A macro (composite) block: an encapsulated diagram of sub-block
@@ -154,26 +173,36 @@ public:
         /// is >= 0.5; otherwise its outputs hold their previous values
         /// (initially 0) and its state does not advance.
         std::optional<Endpoint> trigger;
+        SourceLoc loc;         ///< the `sub` statement's position, if parsed
+        SourceLoc trigger_loc; ///< the `trigger` statement's position, if parsed
     };
 
     MacroBlock(std::string type_name, std::vector<std::string> inputs,
                std::vector<std::string> outputs);
 
     /// Adds a sub-block instance; returns its index.
-    std::int32_t add_sub(std::string instance_name, BlockPtr type);
+    std::int32_t add_sub(std::string instance_name, BlockPtr type, SourceLoc loc = {});
 
     /// Wires src -> dst. Throws ModelError on malformed endpoints or if dst
     /// already has a writer.
-    void connect(Endpoint src, Endpoint dst);
+    void connect(Endpoint src, Endpoint dst, SourceLoc loc = {});
 
     /// Name-based convenience: "inst.port" addresses a sub-block port,
     /// a bare "port" addresses a port of this macro block.
-    void connect(const std::string& from, const std::string& to);
+    void connect(const std::string& from, const std::string& to, SourceLoc loc = {});
+
+    /// Resolves textual endpoint syntax ("inst.port" or a bare macro port)
+    /// without connecting; as_source selects input vs output orientation.
+    /// Throws ModelError on unknown instances or ports. Public so that the
+    /// diagnostics layer can classify connection problems precisely.
+    Endpoint resolve_endpoint(const std::string& text, bool as_source) const {
+        return parse_endpoint(text, as_source);
+    }
 
     /// Makes sub-block `instance` triggered by the source `src` (a macro
     /// input or a sub-block output). A sub-block has at most one trigger.
-    void set_trigger(std::int32_t sub, Endpoint src);
-    void set_trigger(const std::string& instance, const std::string& src);
+    void set_trigger(std::int32_t sub, Endpoint src, SourceLoc loc = {});
+    void set_trigger(const std::string& instance, const std::string& src, SourceLoc loc = {});
 
     std::size_t num_subs() const { return subs_.size(); }
     const SubBlock& sub(std::size_t i) const { return subs_.at(i); }

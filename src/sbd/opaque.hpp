@@ -21,6 +21,7 @@ public:
         std::string name;
         std::vector<std::size_t> reads;  ///< input ports, sorted
         std::vector<std::size_t> writes; ///< output ports, sorted
+        SourceLoc loc = {};              ///< the `function` statement, if parsed
     };
 
     /// `order` edges (a, b) mean function a must be called before b within

@@ -4,6 +4,7 @@
 #include <functional>
 #include <sstream>
 
+#include "graph/digraph.hpp"
 #include "sbd/library.hpp"
 #include "sbd/opaque.hpp"
 
@@ -14,7 +15,10 @@ namespace {
 struct Token {
     std::string text;
     int line;
+    int col;
 };
+
+SourceLoc loc_of(const Token& t) { return SourceLoc{t.line, t.col}; }
 
 std::vector<Token> tokenize(std::istream& in) {
     std::vector<Token> out;
@@ -24,28 +28,40 @@ std::vector<Token> tokenize(std::istream& in) {
         ++lineno;
         const auto hash = line.find('#');
         if (hash != std::string::npos) line.resize(hash);
-        std::istringstream ls(line);
-        std::string tok;
-        while (ls >> tok) {
-            // Allow '{' and '}' to stick to neighbours.
-            std::string cur;
-            for (const char c : tok) {
-                if (c == '{' || c == '}') {
-                    if (!cur.empty()) out.push_back({cur, lineno});
-                    out.push_back({std::string(1, c), lineno});
-                    cur.clear();
-                } else {
-                    cur += c;
-                }
+        std::size_t j = 0;
+        while (j < line.size()) {
+            const char c = line[j];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++j;
+                continue;
             }
-            if (!cur.empty()) out.push_back({cur, lineno});
+            // Allow '{' and '}' to stick to neighbours.
+            if (c == '{' || c == '}') {
+                out.push_back({std::string(1, c), lineno, static_cast<int>(j + 1)});
+                ++j;
+                continue;
+            }
+            const std::size_t start = j;
+            while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j])) &&
+                   line[j] != '{' && line[j] != '}')
+                ++j;
+            out.push_back({line.substr(start, j - start), lineno, static_cast<int>(start + 1)});
         }
     }
     return out;
 }
 
-[[noreturn]] void fail(int line, const std::string& msg) {
-    throw ModelError("sbd:" + std::to_string(line) + ": " + msg);
+/// Internal parse-abort signal; converted to ModelError (strict mode) or a
+/// recorded ParseIssue (lenient mode) by parse_sbd. An empty code means a
+/// structural problem rethrown from the model layer.
+struct ParseFail {
+    std::string code;
+    SourceLoc loc;
+    std::string message;
+};
+
+[[noreturn]] void fail(const Token& t, const char* code, const std::string& msg) {
+    throw ParseFail{code, loc_of(t), msg};
 }
 
 double num(const Token& t) {
@@ -54,16 +70,16 @@ double num(const Token& t) {
     try {
         v = std::stod(t.text, &pos);
     } catch (const std::exception&) {
-        fail(t.line, "expected a number, got '" + t.text + "'");
+        fail(t, "SBD002", "expected a number, got '" + t.text + "'");
     }
-    if (pos != t.text.size()) fail(t.line, "trailing junk in number '" + t.text + "'");
+    if (pos != t.text.size()) fail(t, "SBD002", "trailing junk in number '" + t.text + "'");
     return v;
 }
 
 std::size_t natural(const Token& t) {
     const double v = num(t);
     if (v < 0 || v != static_cast<double>(static_cast<std::size_t>(v)))
-        fail(t.line, "expected a non-negative integer, got '" + t.text + "'");
+        fail(t, "SBD002", "expected a non-negative integer, got '" + t.text + "'");
     return static_cast<std::size_t>(v);
 }
 
@@ -71,8 +87,8 @@ std::size_t natural(const Token& t) {
 BlockPtr make_atomic(const Token& type, std::span<const Token> params) {
     const auto want = [&](std::size_t n) {
         if (params.size() != n)
-            fail(type.line, type.text + " expects " + std::to_string(n) + " parameter(s), got " +
-                                std::to_string(params.size()));
+            fail(type, "SBD002", type.text + " expects " + std::to_string(n) +
+                                     " parameter(s), got " + std::to_string(params.size()));
     };
     const std::string& t = type.text;
     if (t == "Constant") { want(1); return lib::constant(num(params[0])); }
@@ -113,19 +129,30 @@ BlockPtr make_atomic(const Token& type, std::span<const Token> params) {
             if (p.text == "/") { after_slash = true; continue; }
             (after_slash ? ys : xs).push_back(num(p));
         }
-        if (!after_slash) fail(type.line, "Lookup1D needs 'x.. / y..'");
+        if (!after_slash) fail(type, "SBD002", "Lookup1D needs 'x.. / y..'");
         return lib::lookup1d(std::move(xs), std::move(ys));
     }
-    fail(type.line, "unknown block type '" + t + "'");
+    fail(type, "SBD002", "unknown block type '" + t + "'");
 }
 
-} // namespace
+/// Index of `name` in `names`, or nullopt (used for extern port lookups
+/// where a miss must not abort the whole lenient parse).
+std::optional<std::size_t> find_name(const std::vector<std::string>& names,
+                                     const std::string& name) {
+    for (std::size_t p = 0; p < names.size(); ++p)
+        if (names[p] == name) return p;
+    return std::nullopt;
+}
 
-ParsedFile parse_sbd(std::istream& in) {
+ParsedFile parse_sbd_impl(std::istream& in, ParseMode mode) {
     const auto toks = tokenize(in);
+    const bool lenient = mode == ParseMode::Lenient;
     std::size_t i = 0;
+    const auto eof_loc = [&]() -> SourceLoc {
+        return toks.empty() ? SourceLoc{1, 1} : loc_of(toks.back());
+    };
     const auto peek = [&]() -> const Token& {
-        if (i >= toks.size()) throw ModelError("sbd: unexpected end of file");
+        if (i >= toks.size()) throw ParseFail{"SBD001", eof_loc(), "unexpected end of file"};
         return toks[i];
     };
     const auto next = [&]() -> const Token& {
@@ -135,11 +162,16 @@ ParsedFile parse_sbd(std::istream& in) {
     };
     const auto expect = [&](const std::string& what) -> const Token& {
         const Token& t = next();
-        if (t.text != what) fail(t.line, "expected '" + what + "', got '" + t.text + "'");
+        if (t.text != what) fail(t, "SBD001", "expected '" + what + "', got '" + t.text + "'");
         return t;
     };
 
     ParsedFile file;
+    // Records a problem (lenient) or aborts the parse with it (strict).
+    const auto problem = [&](const char* code, const Token& t, const std::string& msg) {
+        if (!lenient) throw ParseFail{code, loc_of(t), msg};
+        file.issues.push_back(ParseIssue{code, msg, loc_of(t)});
+    };
     const std::vector<std::string> stmt_keywords = {"inputs", "outputs", "sub",    "connect",
                                                     "trigger", "class",  "function", "order",
                                                     "}"};
@@ -148,8 +180,13 @@ ParsedFile parse_sbd(std::istream& in) {
             if (k == s) return true;
         return s == "block" || s == "extern";
     };
+    // Lenient-mode recovery: skip to the start of the next statement.
+    const auto resync_statement = [&] {
+        while (i < toks.size() && !is_keyword(toks[i].text)) ++i;
+    };
 
     while (i < toks.size()) {
+        try {
         bool is_extern = false;
         if (peek().text == "extern") {
             next();
@@ -157,7 +194,9 @@ ParsedFile parse_sbd(std::istream& in) {
         }
         expect("block");
         const Token name = next();
-        if (file.blocks.contains(name.text)) fail(name.line, "duplicate block '" + name.text + "'");
+        const bool duplicate = file.blocks.contains(name.text);
+        if (duplicate)
+            problem("SBD001", name, "duplicate block '" + name.text + "'");
         expect("{");
 
         std::vector<std::string> inputs, outputs;
@@ -180,8 +219,13 @@ ParsedFile parse_sbd(std::istream& in) {
         std::optional<Token> class_decl;
 
         for (;;) {
+            if (lenient && i >= toks.size()) {
+                problem("SBD001", toks.back(), "unclosed block '" + name.text + "'");
+                break;
+            }
             const Token kw = next();
             if (kw.text == "}") break;
+            try {
             if (kw.text == "inputs" || kw.text == "outputs") {
                 auto& dst = kw.text == "inputs" ? inputs : outputs;
                 while (i < toks.size() && !is_keyword(peek().text)) dst.push_back(next().text);
@@ -215,106 +259,256 @@ ParsedFile parse_sbd(std::istream& in) {
                 const Token after = next();
                 order_decls.emplace_back(before, after);
             } else {
-                fail(kw.line, "unexpected token '" + kw.text + "' in block body");
+                fail(kw, "SBD001", "unexpected token '" + kw.text + "' in block body");
+            }
+            } catch (const ParseFail& f) {
+                if (!lenient) throw;
+                file.issues.push_back(ParseIssue{f.code, f.message, f.loc});
+                resync_statement();
             }
         }
 
         if (is_extern) {
+            bool bad = duplicate;
+            const auto oops = [&](const char* code, const Token& t, const std::string& msg) {
+                bad = true;
+                problem(code, t, msg);
+            };
             if (!subs.empty() || !wires.empty() || !triggers.empty())
-                fail(name.line, "extern blocks declare an interface only (no sub/connect)");
+                oops("SBD001", name, "extern blocks declare an interface only (no sub/connect)");
             BlockClass cls = BlockClass::Combinational;
             if (class_decl) {
                 if (class_decl->text == "combinational") cls = BlockClass::Combinational;
                 else if (class_decl->text == "sequential") cls = BlockClass::Sequential;
                 else if (class_decl->text == "moore") cls = BlockClass::MooreSequential;
-                else fail(class_decl->line, "class must be combinational|sequential|moore");
+                else oops("SBD001", *class_decl, "class must be combinational|sequential|moore");
             }
-            const auto port_index = [&](const std::vector<std::string>& names, const Token& t) {
-                for (std::size_t p = 0; p < names.size(); ++p)
-                    if (names[p] == t.text) return p;
-                fail(t.line, "unknown port '" + t.text + "' in extern block");
-            };
             std::vector<OpaqueBlock::Function> fns;
+            std::vector<std::vector<const Token*>> writers(outputs.size());
             for (const auto& d : fn_decls) {
                 OpaqueBlock::Function fn;
                 fn.name = d.name.text;
-                for (const Token& t : d.reads) fn.reads.push_back(port_index(inputs, t));
-                for (const Token& t : d.writes) fn.writes.push_back(port_index(outputs, t));
+                fn.loc = loc_of(d.name);
+                for (const Token& t : d.reads) {
+                    if (const auto p = find_name(inputs, t.text)) fn.reads.push_back(*p);
+                    else
+                        oops("SBD014", t, "extern block '" + name.text + "': unknown input port '" +
+                                              t.text + "' read by function '" + fn.name + "'");
+                }
+                for (const Token& t : d.writes) {
+                    if (const auto p = find_name(outputs, t.text)) {
+                        fn.writes.push_back(*p);
+                        writers[*p].push_back(&d.name);
+                    } else {
+                        oops("SBD014", t, "extern block '" + name.text +
+                                              "': unknown output port '" + t.text +
+                                              "' written by function '" + fn.name + "'");
+                    }
+                }
                 fns.push_back(std::move(fn));
             }
-            const auto fn_index = [&](const Token& t) {
-                for (std::size_t f = 0; f < fns.size(); ++f)
-                    if (fns[f].name == t.text) return f;
-                fail(t.line, "unknown function '" + t.text + "' in order constraint");
-            };
-            std::vector<std::pair<std::size_t, std::size_t>> order_edges;
-            for (const auto& [a, b] : order_decls)
-                order_edges.emplace_back(fn_index(a), fn_index(b));
-            try {
-                file.blocks.emplace(name.text,
-                                    std::make_shared<OpaqueBlock>(name.text, inputs, outputs,
-                                                                  cls, std::move(fns),
-                                                                  std::move(order_edges)));
-            } catch (const ModelError& e) {
-                fail(name.line, e.what());
+            for (std::size_t o = 0; o < outputs.size(); ++o) {
+                if (writers[o].size() == 1) continue;
+                if (writers[o].empty())
+                    oops("SBD015", name, "extern block '" + name.text + "': output '" +
+                                             outputs[o] + "' is written by no function");
+                else
+                    oops("SBD015", *writers[o][1],
+                         "extern block '" + name.text + "': output '" + outputs[o] +
+                             "' is written by " + std::to_string(writers[o].size()) +
+                             " functions (expected exactly one)");
             }
-            file.order.push_back(name.text);
+            std::vector<std::pair<std::size_t, std::size_t>> order_edges;
+            for (const auto& [a, b] : order_decls) {
+                const auto fa = [&](const Token& t) -> std::optional<std::size_t> {
+                    for (std::size_t f = 0; f < fns.size(); ++f)
+                        if (fns[f].name == t.text) return f;
+                    oops("SBD017", t, "extern block '" + name.text + "': order constraint names "
+                                      "unknown function '" + t.text + "'");
+                    return std::nullopt;
+                };
+                const auto ia = fa(a), ib = fa(b);
+                if (ia && ib) order_edges.emplace_back(*ia, *ib);
+            }
+            {
+                graph::Digraph pdg(fns.size());
+                for (const auto& [a, b] : order_edges)
+                    pdg.add_edge(static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b));
+                if (const auto cyc = pdg.find_cycle()) {
+                    std::string path;
+                    for (const auto v : *cyc) path += fns[v].name + " -> ";
+                    path += fns[cyc->front()].name;
+                    const Token& at = order_decls.empty() ? name : order_decls.front().first;
+                    oops("SBD016", at, "extern block '" + name.text +
+                                           "': declared call-order relation is cyclic: " + path);
+                }
+            }
+            if (!bad) {
+                try {
+                    auto opaque = std::make_shared<OpaqueBlock>(name.text, inputs, outputs, cls,
+                                                                std::move(fns),
+                                                                std::move(order_edges));
+                    opaque->set_def_loc(loc_of(name));
+                    file.blocks.emplace(name.text, std::move(opaque));
+                    file.order.push_back(name.text);
+                } catch (const ModelError& e) {
+                    problem("SBD001", name, e.what());
+                }
+            }
             continue; // an extern block cannot be the root
         }
 
         auto macro = std::make_shared<MacroBlock>(name.text, inputs, outputs);
+        macro->set_def_loc(loc_of(name));
         for (const auto& d : subs) {
             BlockPtr type;
             const auto it = file.blocks.find(d.type.text);
-            if (it != file.blocks.end()) {
-                if (!d.params.empty())
-                    fail(d.type.line, "block reference '" + d.type.text + "' takes no parameters");
-                type = it->second;
-            } else {
-                type = make_atomic(d.type, d.params);
-            }
             try {
-                macro->add_sub(d.inst.text, std::move(type));
+                if (it != file.blocks.end()) {
+                    if (!d.params.empty())
+                        fail(d.type, "SBD002",
+                             "block reference '" + d.type.text + "' takes no parameters");
+                    type = it->second;
+                } else {
+                    type = make_atomic(d.type, d.params);
+                }
+                macro->add_sub(d.inst.text, std::move(type), loc_of(d.inst));
+            } catch (const ParseFail& f) {
+                if (!lenient) throw;
+                file.issues.push_back(ParseIssue{f.code, f.message, f.loc});
             } catch (const ModelError& e) {
-                fail(d.inst.line, e.what());
+                problem("SBD002", d.inst, e.what());
             }
         }
         for (const auto& [src, dst] : wires) {
+            // A bare name on both sides is a legal input->output pass-through
+            // (distinct namespaces); identical dotted endpoints can never be.
+            if (src.text == dst.text && src.text.find('.') != std::string::npos) {
+                problem("SBD005", src,
+                        "self-connection: source and destination are both '" + src.text + "'");
+                continue;
+            }
+            Endpoint se, de;
             try {
-                macro->connect(src.text, dst.text);
+                se = macro->resolve_endpoint(src.text, true);
             } catch (const ModelError& e) {
-                fail(src.line, e.what());
+                problem("SBD003", src, e.what());
+                continue;
+            }
+            try {
+                de = macro->resolve_endpoint(dst.text, false);
+            } catch (const ModelError& e) {
+                problem("SBD003", dst, e.what());
+                continue;
+            }
+            if (se.kind == Endpoint::Kind::SubOutput && de.kind == Endpoint::Kind::SubInput &&
+                se.sub == de.sub) {
+                // An output wired straight back into an input of the same
+                // instance is an instantaneous self-loop unless the block is
+                // Moore-sequential (whose outputs lag its inputs).
+                BlockClass cls = BlockClass::MooreSequential;
+                try {
+                    cls = macro->sub(se.sub).type->block_class();
+                } catch (const ModelError&) {
+                    // Undeterminable class (e.g. nested flattening failure):
+                    // give the wire the benefit of the doubt here.
+                }
+                if (cls != BlockClass::MooreSequential) {
+                    problem("SBD005", src,
+                            "self-connection: output '" + src.text + "' of non-Moore sub-block '" +
+                                macro->sub(se.sub).name + "' feeds its own input '" + dst.text +
+                                "'");
+                    continue;
+                }
+            }
+            if (macro->writer_of(de) != nullptr) {
+                problem("SBD004", dst,
+                        "multiply-driven: '" + dst.text + "' already has a writer");
+                continue;
+            }
+            try {
+                macro->connect(se, de, loc_of(src));
+            } catch (const ModelError& e) {
+                problem("SBD003", src, e.what());
             }
         }
         for (const auto& [inst, src] : triggers) {
+            std::int32_t s = -1;
             try {
-                macro->set_trigger(inst.text, src.text);
+                s = macro->sub_index(inst.text);
             } catch (const ModelError& e) {
-                fail(inst.line, e.what());
+                problem("SBD006", inst, std::string("malformed trigger: ") + e.what());
+                continue;
+            }
+            Endpoint se;
+            try {
+                se = macro->resolve_endpoint(src.text, true);
+            } catch (const ModelError& e) {
+                problem("SBD006", src, std::string("malformed trigger: bad source: ") + e.what());
+                continue;
+            }
+            if (macro->sub(s).trigger) {
+                problem("SBD006", inst,
+                        "malformed trigger: sub-block '" + inst.text + "' already has a trigger");
+                continue;
+            }
+            try {
+                macro->set_trigger(s, se, loc_of(inst));
+            } catch (const ModelError& e) {
+                problem("SBD006", inst, std::string("malformed trigger: ") + e.what());
             }
         }
-        try {
-            macro->validate();
-        } catch (const ModelError& e) {
-            fail(name.line, e.what());
+        if (!lenient) {
+            // Strict mode keeps the historical contract: a structurally
+            // incomplete block aborts the parse. Lenient mode leaves the
+            // checks to the analysis passes, which report precise per-port
+            // diagnostics (SBD007/SBD008).
+            try {
+                macro->validate();
+            } catch (const ModelError& e) {
+                throw ParseFail{"", loc_of(name), e.what()};
+            }
         }
-        file.blocks.emplace(name.text, macro);
-        file.order.push_back(name.text);
-        file.root = macro;
+        if (!duplicate) {
+            file.blocks.emplace(name.text, macro);
+            file.order.push_back(name.text);
+            file.root = macro;
+        }
+        } catch (const ParseFail& f) {
+            if (!lenient) throw;
+            file.issues.push_back(ParseIssue{f.code, f.message, f.loc});
+            // Resync to the next top-level definition.
+            while (i < toks.size() && toks[i].text != "block" && toks[i].text != "extern") ++i;
+        }
     }
-    if (!file.root) throw ModelError("sbd: no block definitions found");
+    if (!file.root && !lenient) throw ModelError("sbd: no block definitions found");
+    if (!file.root && lenient && file.issues.empty())
+        file.issues.push_back(ParseIssue{"SBD001", "no block definitions found", {1, 1}});
     return file;
 }
 
-ParsedFile parse_sbd_string(const std::string& text) {
-    std::istringstream is(text);
-    return parse_sbd(is);
+} // namespace
+
+ParsedFile parse_sbd(std::istream& in, ParseMode mode) {
+    try {
+        return parse_sbd_impl(in, mode);
+    } catch (const ParseFail& f) {
+        std::string msg = "sbd:" + std::to_string(f.loc.line) + ":" + std::to_string(f.loc.col) +
+                          ": ";
+        if (!f.code.empty()) msg += "[" + f.code + "] ";
+        throw ModelError(msg + f.message);
+    }
 }
 
-ParsedFile parse_sbd_file(const std::string& path) {
+ParsedFile parse_sbd_string(const std::string& text, ParseMode mode) {
+    std::istringstream is(text);
+    return parse_sbd(is, mode);
+}
+
+ParsedFile parse_sbd_file(const std::string& path, ParseMode mode) {
     std::ifstream f(path);
     if (!f) throw ModelError("sbd: cannot open '" + path + "'");
-    return parse_sbd(f);
+    return parse_sbd(f, mode);
 }
 
 namespace {

@@ -10,12 +10,32 @@
 
 namespace sbd::text {
 
+/// Parsing discipline. Strict aborts on the first problem by throwing
+/// ModelError (the compiler path). Lenient records every problem as a
+/// ParseIssue with a stable diagnostic code, recovers, and keeps going —
+/// the static-analysis (sbd-lint) path, which wants all problems at once.
+enum class ParseMode { Strict, Lenient };
+
+/// One problem found during lenient parsing. `code` is a stable diagnostic
+/// code from the sbd-lint catalog (see src/analysis/diagnostics.hpp):
+/// SBD001 syntax, SBD002 bad block instantiation, SBD003 bad port
+/// reference, SBD004 multiply-driven signal, SBD005 self-connection,
+/// SBD006 malformed trigger, SBD014..SBD017 extern-declaration problems.
+struct ParseIssue {
+    std::string code;
+    std::string message;
+    SourceLoc loc;
+};
+
 /// Result of parsing an .sbd file: every block definition by name, in
 /// definition order, plus the designated root (the last block defined).
+/// In lenient mode `issues` holds every recovered problem and `root` may be
+/// null; block definitions that failed to build are absent from `blocks`.
 struct ParsedFile {
     std::map<std::string, BlockPtr> blocks;
     std::vector<std::string> order;
     std::shared_ptr<const MacroBlock> root;
+    std::vector<ParseIssue> issues;
 };
 
 /// Parses the textual block-diagram format:
@@ -39,10 +59,12 @@ struct ParsedFile {
 /// DeadZone lo hi | Lookup1D x.. / y.. | MovingAvg n | Filter1 b0 b1 a1 |
 /// Counter | Fanout m | SampleHold init
 ///
-/// Throws ModelError with a line number on malformed input.
-ParsedFile parse_sbd(std::istream& in);
-ParsedFile parse_sbd_string(const std::string& text);
-ParsedFile parse_sbd_file(const std::string& path);
+/// Throws ModelError with a line:column position on malformed input
+/// (strict mode); in lenient mode problems land in ParsedFile::issues
+/// instead and only I/O failures throw.
+ParsedFile parse_sbd(std::istream& in, ParseMode mode = ParseMode::Strict);
+ParsedFile parse_sbd_string(const std::string& text, ParseMode mode = ParseMode::Strict);
+ParsedFile parse_sbd_file(const std::string& path, ParseMode mode = ParseMode::Strict);
 
 /// Serializes a macro-block hierarchy back to the textual format (inner
 /// block definitions first). Atomic blocks must come from the standard

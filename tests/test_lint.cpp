@@ -1,0 +1,423 @@
+// Tests of the static-analysis subsystem (src/analysis): golden diagnostic
+// files, whole-suite cleanliness, fuzzing, the contract checker, and the
+// renderers. Golden files live in tests/lint/, one per diagnostic code, and
+// carry their expectations inline:
+//
+//   # expect: SBD009 warning 5
+//
+// meaning the linter must emit exactly the declared (code, severity, line)
+// multiset for that file — no more, no less.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "core/compiler.hpp"
+#include "core/contract.hpp"
+#include "core/sdg.hpp"
+#include "sbd/text_format.hpp"
+#include "suite/models.hpp"
+#include "suite/random_models.hpp"
+
+namespace fs = std::filesystem;
+using namespace sbd;
+
+namespace {
+
+using Expectation = std::tuple<std::string, std::string, int>; // code, severity, line
+
+std::string slurp(const fs::path& p) {
+    std::ifstream in(p);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+// Extracts "# expect: CODE severity LINE" directives; malformed directives
+// are reported through `bad` so callers can fail loudly.
+std::vector<Expectation> parse_expectations(const std::string& text, std::string* bad = nullptr) {
+    std::vector<Expectation> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto pos = line.find("# expect:");
+        if (pos == std::string::npos) continue;
+        std::istringstream fields(line.substr(pos + 9));
+        std::string code, severity;
+        int at_line = 0;
+        fields >> code >> severity >> at_line;
+        if (!fields) {
+            if (bad) *bad = line;
+            continue;
+        }
+        out.emplace_back(code, severity, at_line);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Expectation> actual_of(const analysis::LintReport& report) {
+    std::vector<Expectation> out;
+    for (const auto& d : report.diagnostics)
+        out.emplace_back(d.code, analysis::to_string(d.severity), static_cast<int>(d.loc.line));
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string render_expectations(const std::vector<Expectation>& v) {
+    std::ostringstream os;
+    for (const auto& [code, sev, line] : v)
+        os << "  " << code << " " << sev << " line " << line << "\n";
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Golden diagnostic files: every code in the catalog that a .sbd file can
+// trigger has exactly one malformed model under tests/lint/, and the linter
+// reproduces the declared diagnostics exactly.
+
+TEST(LintGolden, EveryGoldenFileMatchesItsExpectations) {
+    std::size_t files = 0;
+    for (const auto& entry : fs::directory_iterator(SBD_LINT_DIR)) {
+        if (entry.path().extension() != ".sbd") continue;
+        ++files;
+        SCOPED_TRACE(entry.path().filename().string());
+        std::string bad;
+        const auto expected = parse_expectations(slurp(entry.path()), &bad);
+        EXPECT_TRUE(bad.empty()) << "malformed expectation: " << bad;
+        EXPECT_FALSE(expected.empty()) << "golden file declares no '# expect:' lines";
+
+        const auto report = analysis::lint_file(entry.path().string());
+        const auto actual = actual_of(report);
+        EXPECT_EQ(actual, expected) << "expected:\n"
+                                    << render_expectations(expected) << "actual:\n"
+                                    << render_expectations(actual) << "rendered:\n"
+                                    << analysis::render_text(report);
+    }
+    // One golden per .sbd-expressible code: SBD001..SBD018.
+    EXPECT_GE(files, 18u);
+}
+
+// Every code SBD001..SBD018 is covered by some golden file (SBD019/SBD020
+// cannot be produced by any .sbd input — the compiler is sound — and are
+// exercised directly against the contract checker below).
+TEST(LintGolden, CatalogCoverage) {
+    std::vector<std::string> seen;
+    for (const auto& entry : fs::directory_iterator(SBD_LINT_DIR)) {
+        if (entry.path().extension() != ".sbd") continue;
+        for (const auto& [code, sev, line] : parse_expectations(slurp(entry.path())))
+            seen.push_back(code);
+    }
+    for (int n = 1; n <= 18; ++n) {
+        char code[8];
+        std::snprintf(code, sizeof code, "SBD%03d", n);
+        EXPECT_NE(std::find(seen.begin(), seen.end(), code), seen.end())
+            << "no golden file covers " << code;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shipped models are clean: no errors, no warnings.
+
+TEST(LintModels, AllShippedModelsLintClean) {
+    std::size_t files = 0;
+    for (const auto& entry : fs::directory_iterator(SBD_MODELS_DIR)) {
+        if (entry.path().extension() != ".sbd") continue;
+        ++files;
+        const auto report = analysis::lint_file(entry.path().string());
+        EXPECT_TRUE(report.diagnostics.empty()) << entry.path().filename().string() << ":\n"
+                                                << analysis::render_text(report);
+    }
+    EXPECT_GE(files, 5u);
+}
+
+// The in-memory demo suite, serialized and re-linted, is error-free.
+TEST(LintModels, DemoSuiteLintsClean) {
+    for (const auto& m : suite::demo_suite()) {
+        const auto& macro = static_cast<const MacroBlock&>(*m.block);
+        const auto report = analysis::lint_string(text::to_sbd(macro), {}, m.name);
+        EXPECT_FALSE(report.has_errors()) << m.name << ":\n" << analysis::render_text(report);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: random hierarchies are well-formed by construction, so the linter
+// must never report an *error* on them (dangling-output warnings are fair
+// game — the generator wires outputs lazily).
+
+TEST(LintFuzz, RandomModelsNeverProduceErrors) {
+    suite::RandomModelParams params;
+    params.depth = 3;
+    params.subs_per_level = 4;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        std::mt19937_64 rng(seed);
+        const auto model = suite::random_model(rng, params);
+        const auto report =
+            analysis::lint_string(text::to_sbd(*model), {}, "seed-" + std::to_string(seed));
+        EXPECT_FALSE(report.has_errors()) << "seed " << seed << ":\n"
+                                          << analysis::render_text(report);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Method directives.
+
+TEST(LintDirective, MethodDirectiveParsing) {
+    EXPECT_EQ(analysis::method_directive("# lint-method: monolithic\nblock P {}\n"),
+              codegen::Method::Monolithic);
+    EXPECT_EQ(analysis::method_directive("  #   lint-method:   step-get  \n"),
+              codegen::Method::StepGet);
+    EXPECT_EQ(analysis::method_directive("# lint-method: disjoint-sat\n"),
+              codegen::Method::DisjointSat);
+    EXPECT_EQ(analysis::method_directive("block P {}\n"), std::nullopt);
+    EXPECT_EQ(analysis::method_directive("# lint-method: bogus\n"), std::nullopt);
+}
+
+// The directive flips the verdict: under the default (dynamic) method the
+// thermostat feedback diagram is fine; under a monolithic directive the
+// same text reports a false cycle (SBD013), not a true one (SBD012).
+TEST(LintDirective, DirectiveSelectsFalseCycleMethod) {
+    const std::string path = std::string(SBD_MODELS_DIR) + "/thermostat.sbd";
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+
+    const auto clean = analysis::lint_string(text);
+    EXPECT_FALSE(clean.has_errors()) << analysis::render_text(clean);
+
+    const auto rejected = analysis::lint_string("# lint-method: monolithic\n" + text);
+    ASSERT_TRUE(rejected.has_errors()) << analysis::render_text(rejected);
+    bool saw_false_cycle = false;
+    for (const auto& d : rejected.diagnostics) {
+        EXPECT_NE(d.code, "SBD012") << "flat-acyclic diagram misreported as a true cycle";
+        if (d.code == "SBD013") {
+            saw_false_cycle = true;
+            // The witness and the accepting alternatives ride along as notes.
+            ASSERT_GE(d.notes.size(), 2u);
+            EXPECT_NE(d.notes[0].find("cycle witness:"), std::string::npos) << d.notes[0];
+            EXPECT_NE(d.notes[1].find("dynamic"), std::string::npos) << d.notes[1];
+        }
+    }
+    EXPECT_TRUE(saw_false_cycle) << analysis::render_text(rejected);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers.
+
+TEST(LintRender, JsonShape) {
+    const std::string bad = "block P {\n"
+                            "  inputs x\n"
+                            "  outputs y\n"
+                            "  sub G Gain 2\n"
+                            "  connect x G.u\n"
+                            "  connect G.y y\n"
+                            "  connect x y\n" // y multiply-driven -> SBD004
+                            "}\n";
+    const auto report = analysis::lint_string(bad, {}, "inline.sbd");
+    ASSERT_TRUE(report.has_errors());
+    const std::string json = analysis::render_json(report);
+    EXPECT_NE(json.find("\"file\": \"inline.sbd\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"code\": \"SBD004\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos) << json;
+    // The display name must survive JSON quoting.
+    const auto quoted = analysis::lint_string(bad, {}, "a\"b");
+    EXPECT_NE(analysis::render_json(quoted).find("a\\\"b"), std::string::npos);
+}
+
+TEST(LintRender, TextShape) {
+    const std::string bad = "block P {\n"
+                            "  inputs x\n"
+                            "  outputs y\n"
+                            "}\n";
+    const auto report = analysis::lint_string(bad, {}, "t.sbd");
+    const std::string txt = analysis::render_text(report);
+    EXPECT_NE(txt.find("t.sbd:"), std::string::npos) << txt;
+    EXPECT_NE(txt.find("[SBD008]"), std::string::npos) << txt;
+    EXPECT_NE(txt.find("error(s)"), std::string::npos) << txt;
+}
+
+// ---------------------------------------------------------------------------
+// Contract checker. The compiler is sound, so violations are manufactured
+// by tampering with a genuinely generated profile; each tampering must be
+// flagged with the right kind and fatality.
+
+namespace {
+
+struct ContractFixture {
+    BlockPtr root;
+    codegen::CompiledSystem sys;
+    const MacroBlock* macro = nullptr;
+    std::vector<const codegen::Profile*> sub_profiles;
+    const codegen::Sdg* sdg = nullptr;
+    const codegen::Clustering* clustering = nullptr;
+    codegen::Profile profile; // mutable copy for tampering
+};
+
+ContractFixture make_fixture(codegen::Method method) {
+    ContractFixture f;
+    f.root = suite::thermostat();
+    f.sys = codegen::compile_hierarchy(f.root, method);
+    const auto& cb = f.sys.root();
+    f.macro = static_cast<const MacroBlock*>(cb.block.get());
+    for (std::size_t s = 0; s < f.macro->num_subs(); ++s)
+        f.sub_profiles.push_back(&f.sys.at(*f.macro->sub(s).type).profile);
+    f.sdg = &*cb.sdg;
+    f.clustering = &*cb.clustering;
+    f.profile = cb.profile;
+    return f;
+}
+
+std::vector<codegen::ContractIssue> recheck(const ContractFixture& f) {
+    return codegen::check_profile_contract(*f.macro, f.sub_profiles, *f.sdg, *f.clustering,
+                                           f.profile);
+}
+
+bool has_kind(const std::vector<codegen::ContractIssue>& issues,
+              codegen::ContractIssue::Kind kind, bool fatal) {
+    return std::any_of(issues.begin(), issues.end(), [&](const codegen::ContractIssue& i) {
+        return i.kind == kind && i.fatal == fatal;
+    });
+}
+
+} // namespace
+
+TEST(Contract, GeneratedProfilesAreClean) {
+    for (const auto method :
+         {codegen::Method::StepGet, codegen::Method::Dynamic, codegen::Method::DisjointGreedy,
+          codegen::Method::DisjointSat, codegen::Method::Singletons}) {
+        auto f = make_fixture(method);
+        const auto issues = recheck(f);
+        EXPECT_TRUE(issues.empty()) << "method " << codegen::to_string(method) << ": "
+                                    << issues.size() << " finding(s), first: "
+                                    << (issues.empty() ? "" : issues.front().message);
+    }
+}
+
+TEST(Contract, MissingReadIsFatal) {
+    auto f = make_fixture(codegen::Method::Singletons);
+    bool tampered = false;
+    for (auto& fn : f.profile.functions) {
+        if (!fn.reads.empty()) {
+            fn.reads.erase(fn.reads.begin());
+            tampered = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(tampered);
+    const auto issues = recheck(f);
+    EXPECT_TRUE(has_kind(issues, codegen::ContractIssue::Kind::MissingRead, true))
+        << (issues.empty() ? "no findings" : issues.front().message);
+    EXPECT_TRUE(codegen::any_fatal(issues));
+}
+
+TEST(Contract, ExtraReadIsFatal) {
+    auto f = make_fixture(codegen::Method::Singletons);
+    bool tampered = false;
+    for (auto& fn : f.profile.functions) {
+        for (std::size_t i = 0; i < f.macro->num_inputs(); ++i) {
+            if (std::find(fn.reads.begin(), fn.reads.end(), i) == fn.reads.end()) {
+                fn.reads.insert(std::lower_bound(fn.reads.begin(), fn.reads.end(), i), i);
+                tampered = true;
+                break;
+            }
+        }
+        if (tampered) break;
+    }
+    ASSERT_TRUE(tampered) << "every function already reads every input";
+    const auto issues = recheck(f);
+    EXPECT_TRUE(has_kind(issues, codegen::ContractIssue::Kind::ExtraRead, true));
+}
+
+TEST(Contract, WrongWriteIsFatal) {
+    auto f = make_fixture(codegen::Method::Singletons);
+    ASSERT_GE(f.profile.functions.size(), 2u);
+    // Move output 0 from its true writer to some other function.
+    const auto writer = f.profile.writer_of_output(0);
+    ASSERT_GE(writer, 0);
+    auto& from = f.profile.functions[static_cast<std::size_t>(writer)];
+    from.writes.erase(std::find(from.writes.begin(), from.writes.end(), 0u));
+    auto& to = f.profile.functions[writer == 0 ? 1 : 0];
+    to.writes.insert(to.writes.begin(), 0u);
+    const auto issues = recheck(f);
+    EXPECT_TRUE(has_kind(issues, codegen::ContractIssue::Kind::WrongWrite, true));
+}
+
+TEST(Contract, MissingOrderIsFatal) {
+    auto f = make_fixture(codegen::Method::Singletons);
+    ASSERT_FALSE(f.profile.pdg_edges.empty())
+        << "fixture has no call-order constraints to delete";
+    f.profile.pdg_edges.clear();
+    const auto issues = recheck(f);
+    EXPECT_TRUE(has_kind(issues, codegen::ContractIssue::Kind::MissingOrder, true));
+}
+
+TEST(Contract, UnjustifiedPdgEdgeIsNonFatal) {
+    auto f = make_fixture(codegen::Method::Singletons);
+    ASSERT_FALSE(f.profile.pdg_edges.empty());
+    // Reverse an existing edge: in an acyclic SDG no dataflow backs it.
+    const auto [a, b] = f.profile.pdg_edges.front();
+    f.profile.pdg_edges.emplace_back(b, a);
+    const auto issues = recheck(f);
+    EXPECT_TRUE(has_kind(issues, codegen::ContractIssue::Kind::UnjustifiedPdgEdge, false));
+    EXPECT_FALSE(codegen::any_fatal(issues));
+}
+
+TEST(Contract, StructureMismatchIsFatal) {
+    auto f = make_fixture(codegen::Method::Dynamic);
+    ASSERT_FALSE(f.profile.functions.empty());
+    f.profile.functions.pop_back();
+    const auto issues = recheck(f);
+    EXPECT_TRUE(has_kind(issues, codegen::ContractIssue::Kind::Structure, true));
+}
+
+// ---------------------------------------------------------------------------
+// The verify_contracts gate: compiling the whole demo suite (and a batch of
+// random hierarchies) with the gate armed never throws — the generated
+// profiles honour the contract under every method that accepts the model.
+
+TEST(Contract, VerifyGatePassesOnDemoSuite) {
+    codegen::ClusterOptions opts;
+    opts.verify_contracts = true;
+    for (const auto& m : suite::demo_suite()) {
+        for (const auto method :
+             {codegen::Method::Monolithic, codegen::Method::StepGet, codegen::Method::Dynamic,
+              codegen::Method::DisjointGreedy, codegen::Method::DisjointSat,
+              codegen::Method::Singletons}) {
+            try {
+                codegen::compile_hierarchy(m.block, method, opts);
+            } catch (const codegen::SdgCycleError&) {
+                // Legitimate modular rejection (false cycle) — not a
+                // contract violation; std::logic_error would propagate
+                // and fail the test.
+            }
+        }
+    }
+}
+
+TEST(Contract, VerifyGatePassesOnRandomModels) {
+    codegen::ClusterOptions opts;
+    opts.verify_contracts = true;
+    suite::RandomModelParams params;
+    params.depth = 3;
+    for (std::uint64_t seed = 100; seed < 108; ++seed) {
+        std::mt19937_64 rng(seed);
+        const auto model = suite::random_model(rng, params);
+        for (const auto method : {codegen::Method::Dynamic, codegen::Method::DisjointGreedy,
+                                  codegen::Method::Singletons}) {
+            try {
+                codegen::compile_hierarchy(model, method, opts);
+            } catch (const codegen::SdgCycleError&) {
+            }
+        }
+    }
+}

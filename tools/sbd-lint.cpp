@@ -1,0 +1,96 @@
+// sbd-lint — static analyzer for textual .sbd block-diagram models.
+//
+// Parses each model leniently, runs every analysis pass (see
+// src/analysis/diagnostics.hpp for the SBD001..SBD020 catalog) and prints
+// the diagnostics, compiler-style or as JSON.
+//
+//   sbd-lint model.sbd                     # text diagnostics
+//   sbd-lint --format json model.sbd       # machine-readable
+//   sbd-lint --method monolithic *.sbd     # cycle analysis under a method
+//
+// A "# lint-method: NAME" comment inside a model overrides --method for
+// that file. Exit codes: 0 clean (warnings allowed), 5 some file has
+// errors, 2 usage, 1 I/O or internal error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [options] model.sbd...\n"
+                 "  --format F     text | json                          (default: text)\n"
+                 "  --method M     monolithic | step-get | dynamic | disjoint-sat |\n"
+                 "                 disjoint-greedy | singletons         (default: dynamic)\n"
+                 "  --no-contracts skip profile contract checking (SBD019/SBD020)\n"
+                 "  --quiet        print nothing for clean files\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string format = "text";
+    std::string method_name = "dynamic";
+    std::vector<std::string> inputs;
+    bool contracts = true;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--format") format = value();
+        else if (arg == "--method") method_name = value();
+        else if (arg == "--no-contracts") contracts = false;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+        else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
+        else inputs.push_back(arg);
+    }
+    if (inputs.empty()) return usage(argv[0]);
+    if (format != "text" && format != "json") return usage(argv[0]);
+
+    sbd::analysis::LintOptions opts;
+    opts.check_contracts = contracts;
+    try {
+        bool found = false;
+        for (const sbd::codegen::Method m :
+             {sbd::codegen::Method::Monolithic, sbd::codegen::Method::StepGet,
+              sbd::codegen::Method::Dynamic, sbd::codegen::Method::DisjointSat,
+              sbd::codegen::Method::DisjointGreedy, sbd::codegen::Method::Singletons})
+            if (method_name == sbd::codegen::to_string(m)) {
+                opts.method = m;
+                found = true;
+            }
+        if (!found) {
+            std::fprintf(stderr, "unknown method '%s'\n", method_name.c_str());
+            return 2;
+        }
+
+        bool any_errors = false;
+        for (const std::string& path : inputs) {
+            const auto report = sbd::analysis::lint_file(path, opts);
+            any_errors = any_errors || report.has_errors();
+            if (quiet && report.diagnostics.empty()) continue;
+            if (format == "json")
+                std::fputs(sbd::analysis::render_json(report).c_str(), stdout);
+            else
+                std::fputs(sbd::analysis::render_text(report).c_str(), stdout);
+        }
+        return any_errors ? 5 : 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

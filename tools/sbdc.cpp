@@ -10,9 +10,10 @@
 //   sbdc --emit dot model.sbd               # root SDG in GraphViz form
 //   sbdc --simulate 10 model.sbd            # run the generated code
 //   sbdc --stats model.sbd                  # per-block metrics table
+//   sbdc --lint model.sbd                   # static analysis only
 //
 // Exit codes: 0 ok, 1 other error, 2 usage, 3 parse error,
-//             4 compile (cycle) rejection.
+//             4 compile (cycle) rejection, 5 lint errors (--lint).
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include <sstream>
 #include <random>
 
+#include "analysis/lint.hpp"
 #include "core/compiler.hpp"
 #include "core/emit_cpp.hpp"
 #include "core/exec.hpp"
@@ -46,6 +48,11 @@ int usage(const char* argv0) {
                  "                 instance i is driven with seed S+i, instance 0 is printed)\n"
                  "  --threads K    step --simulate instances with K threads (default 1)\n"
                  "  --stats        print the per-block metrics table\n"
+                 "  --lint         run static analysis instead of compiling; exit 5 on\n"
+                 "                 errors (--method selects the cycle-analysis method)\n"
+                 "  --format F     text | json diagnostics for --lint    (default: text)\n"
+                 "  --verify-contracts  re-check every generated profile against the\n"
+                 "                 modular compilation contract while compiling\n"
                  "  --out FILE     write the artifact to FILE instead of stdout\n",
                  argv0);
     return 2;
@@ -71,6 +78,9 @@ int main(int argc, char** argv) {
     std::size_t threads = 1;
     std::uint64_t seed = 1;
     bool stats = false;
+    bool lint = false;
+    bool verify_contracts = false;
+    std::string format = "text";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -90,11 +100,33 @@ int main(int argc, char** argv) {
         else if (arg == "--threads") threads = std::stoull(value());
         else if (arg == "--seed") seed = std::stoull(value());
         else if (arg == "--stats") stats = true;
+        else if (arg == "--lint") lint = true;
+        else if (arg == "--verify-contracts") verify_contracts = true;
+        else if (arg == "--format") format = value();
         else if (arg == "--help" || arg == "-h") return usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
         else input_path = arg;
     }
     if (input_path.empty() || instances == 0) return usage(argv[0]);
+    if (format != "text" && format != "json") return usage(argv[0]);
+
+    if (lint) {
+        // Static analysis replaces compilation entirely: lenient parse,
+        // all passes, diagnostics to stdout.
+        try {
+            analysis::LintOptions lopts;
+            lopts.method = parse_method(method_name);
+            const auto report = analysis::lint_file(input_path, lopts);
+            std::fputs((format == "json" ? analysis::render_json(report)
+                                         : analysis::render_text(report))
+                           .c_str(),
+                       stdout);
+            return report.has_errors() ? 5 : 0;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
 
     text::ParsedFile file;
     try {
@@ -113,7 +145,9 @@ int main(int argc, char** argv) {
             root = std::static_pointer_cast<const MacroBlock>(it->second);
         }
         const Method method = parse_method(method_name);
-        const CompiledSystem sys = compile_hierarchy(root, method);
+        ClusterOptions copts;
+        copts.verify_contracts = verify_contracts;
+        const CompiledSystem sys = compile_hierarchy(root, method, copts);
 
         std::ostringstream body;
         if (emit == "pseudo") {
