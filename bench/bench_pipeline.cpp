@@ -1,0 +1,200 @@
+// Compilation-pipeline benchmark: cold vs. warm vs. parallel compilation of
+// deep shared-type hierarchies through the content-addressed profile cache.
+//
+// Verifies bit-exactness before timing anything (warm and parallel compiles
+// must render identically to the cold serial one), then measures:
+//   cold       — serial, empty cache: every distinct structure is compiled
+//   warm       — same pipeline again: every macro block served from memory
+//   disk-warm  — fresh process state, cache dir populated by the cold run
+//   parallel   — empty cache, task-graph driver with N worker threads
+//
+// Machine-readable output: BENCH_pipeline.json in the working directory,
+// one record per (model, method, mode) cell with cache counters.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/emit_cpp.hpp"
+#include "core/pipeline.hpp"
+#include "suite/random_models.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sbd;
+using namespace sbd::codegen;
+
+struct Cell {
+    std::string model;
+    std::string method;
+    std::string mode;
+    double ms = 0.0;
+    double speedup_vs_cold = 0.0;
+    std::uint64_t macro_compiles = 0;
+    std::uint64_t macro_reuses = 0;
+    std::uint64_t disk_hits = 0;
+    double hit_rate = 0.0;
+};
+
+std::string render(const CompiledSystem& sys) {
+    std::string out;
+    for (const Block* b : sys.order()) {
+        const auto& cb = sys.at(*b);
+        out += cb.profile.to_string();
+        if (cb.code) out += cb.code->to_pseudocode();
+    }
+    return out;
+}
+
+void write_json(const std::vector<Cell>& cells, bool bit_exact, double min_warm_speedup) {
+    std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"bit_exact\": %s,\n", bit_exact ? "true" : "false");
+    std::fprintf(f, "  \"min_warm_speedup\": %.2f,\n  \"cells\": [\n", min_warm_speedup);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        std::fprintf(f,
+                     "    {\"model\": \"%s\", \"method\": \"%s\", \"mode\": \"%s\", "
+                     "\"ms\": %.3f, \"speedup_vs_cold\": %.2f, \"macro_compiles\": %llu, "
+                     "\"macro_reuses\": %llu, \"disk_hits\": %llu, \"hit_rate\": %.4f}%s\n",
+                     c.model.c_str(), c.method.c_str(), c.mode.c_str(), c.ms,
+                     c.speedup_vs_cold, static_cast<unsigned long long>(c.macro_compiles),
+                     static_cast<unsigned long long>(c.macro_reuses),
+                     static_cast<unsigned long long>(c.disk_hits), c.hit_rate,
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_pipeline.json\n");
+}
+
+} // namespace
+
+int main() {
+    struct Shape {
+        std::string name;
+        suite::DeepModelParams params;
+    };
+    std::vector<Shape> shapes(2);
+    shapes[0].name = "deep_shared_l7";
+    shapes[0].params.levels = 7;
+    shapes[0].params.types_per_level = 5;
+    shapes[0].params.subs_per_macro = 5;
+    shapes[0].params.clone_probability = 0.5;
+    shapes[1].name = "deep_wide_l6";
+    shapes[1].params.levels = 6;
+    shapes[1].params.types_per_level = 8;
+    shapes[1].params.subs_per_macro = 4;
+    shapes[1].params.clone_probability = 0.25;
+
+    const std::size_t par_threads =
+        std::max<std::size_t>(2, std::min<std::size_t>(8, std::thread::hardware_concurrency()));
+    const fs::path disk_root =
+        fs::temp_directory_path() / ("sbd_bench_pipeline_" + std::to_string(::getpid()));
+
+    std::printf("Compilation pipeline: cold vs warm vs parallel (%zu worker threads)\n",
+                par_threads);
+    sbd::bench::rule('-', 110);
+    std::printf("%-16s | %-12s | %9s | %9s | %9s | %9s | %7s | %7s | %8s\n", "model", "method",
+                "cold ms", "warm ms", "disk ms", "par ms", "warm x", "par x", "hit rate");
+    sbd::bench::rule('-', 110);
+
+    std::vector<Cell> cells;
+    bool bit_exact = true;
+    double min_warm_speedup = 1e30;
+    for (const Shape& shape : shapes) {
+        std::mt19937_64 rng(90210);
+        const auto model = suite::random_deep_model(rng, shape.params);
+        for (const Method method : {Method::Dynamic, Method::DisjointSat}) {
+            const std::string cache_dir =
+                (disk_root / (shape.name + "_" + to_string(method))).string();
+
+            PipelineOptions cold_opts;
+            cold_opts.method = method;
+            cold_opts.cache_dir = cache_dir; // populates the disk store
+            Pipeline cold_pipeline(cold_opts);
+            CompiledSystem cold_sys;
+            const double cold_ms =
+                sbd::bench::time_ms([&] { cold_sys = cold_pipeline.compile(model); });
+            const auto cold_stats = cold_pipeline.stats();
+            const std::string expected = render(cold_sys);
+
+            // Warm: the same pipeline object compiles again — every macro
+            // block is a memory hit.
+            CompiledSystem warm_sys;
+            const double warm_ms =
+                sbd::bench::time_ms([&] { warm_sys = cold_pipeline.compile(model); });
+            const auto warm_stats = cold_pipeline.stats();
+
+            // Disk-warm: fresh pipeline and memory cache, loads every entry
+            // from the cache directory the cold run wrote.
+            PipelineOptions disk_opts = cold_opts;
+            Pipeline disk_pipeline(disk_opts);
+            CompiledSystem disk_sys;
+            const double disk_ms =
+                sbd::bench::time_ms([&] { disk_sys = disk_pipeline.compile(model); });
+            const auto disk_stats = disk_pipeline.stats();
+
+            // Parallel: empty cache, concurrent task-graph execution.
+            PipelineOptions par_opts;
+            par_opts.method = method;
+            par_opts.threads = par_threads;
+            Pipeline par_pipeline(par_opts);
+            CompiledSystem par_sys;
+            const double par_ms =
+                sbd::bench::time_ms([&] { par_sys = par_pipeline.compile(model); });
+
+            if (render(warm_sys) != expected || render(disk_sys) != expected ||
+                render(par_sys) != expected) {
+                bit_exact = false;
+                std::printf("%-16s | %-12s | BIT-EXACTNESS FAILED\n", shape.name.c_str(),
+                            to_string(method));
+                continue;
+            }
+
+            const double warm_x = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+            const double par_x = par_ms > 0 ? cold_ms / par_ms : 0.0;
+            min_warm_speedup = std::min(min_warm_speedup, warm_x);
+            std::printf("%-16s | %-12s | %9.2f | %9.2f | %9.2f | %9.2f | %6.1fx | %6.2fx | %8.3f\n",
+                        shape.name.c_str(), to_string(method), cold_ms, warm_ms, disk_ms,
+                        par_ms, warm_x, par_x, cold_stats.hit_rate());
+
+            cells.push_back({shape.name, to_string(method), "cold", cold_ms, 1.0,
+                             cold_stats.macro_compiles, cold_stats.macro_reuses,
+                             cold_stats.disk_hits, cold_stats.hit_rate()});
+            cells.push_back({shape.name, to_string(method), "warm", warm_ms, warm_x,
+                             warm_stats.macro_compiles - cold_stats.macro_compiles,
+                             warm_stats.macro_reuses - cold_stats.macro_reuses, 0,
+                             warm_stats.hit_rate()});
+            cells.push_back({shape.name, to_string(method), "disk_warm", disk_ms,
+                             disk_ms > 0 ? cold_ms / disk_ms : 0.0,
+                             disk_stats.macro_compiles, disk_stats.macro_reuses,
+                             disk_stats.disk_hits, disk_stats.hit_rate()});
+            cells.push_back({shape.name, to_string(method), "parallel", par_ms, par_x,
+                             par_pipeline.stats().macro_compiles,
+                             par_pipeline.stats().macro_reuses, 0,
+                             par_pipeline.stats().hit_rate()});
+        }
+    }
+    sbd::bench::rule('-', 110);
+    std::printf("bit-exactness (warm == disk-warm == parallel == cold): %s\n",
+                bit_exact ? "PASS" : "FAIL");
+    std::printf("min warm speedup vs cold: %.1fx (target >= 5x)\n", min_warm_speedup);
+    write_json(cells, bit_exact, min_warm_speedup);
+    std::error_code ec;
+    fs::remove_all(disk_root, ec);
+    return bit_exact && min_warm_speedup >= 5.0 ? 0 : 1;
+}

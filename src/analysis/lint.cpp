@@ -6,7 +6,6 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "core/compiler.hpp"
 #include "core/contract.hpp"
 #include "sbd/flatten.hpp"
 #include "sbd/opaque.hpp"
@@ -217,7 +216,10 @@ void pass_cycles(const text::ParsedFile& file, const LintOptions& opts, LintRepo
                         for (const Method alt : kAllMethods) {
                             bool accepts = false;
                             try {
-                                (void)codegen::compile_hierarchy(b, alt);
+                                codegen::PipelineOptions popts;
+                                popts.method = alt;
+                                codegen::Pipeline probe(std::move(popts), opts.cache);
+                                (void)probe.compile(b);
                                 accepts = true;
                             } catch (const std::exception&) {
                             }

@@ -1,11 +1,12 @@
 #ifndef SBD_ANALYSIS_LINT_HPP
 #define SBD_ANALYSIS_LINT_HPP
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "analysis/diagnostics.hpp"
-#include "core/methods.hpp"
+#include "core/pipeline.hpp"
 #include "sbd/text_format.hpp"
 
 namespace sbd::analysis {
@@ -19,6 +20,11 @@ struct LintOptions {
     /// Re-check every generated profile against the modular compilation
     /// contract (SBD019/SBD020). Cheap; on by default.
     bool check_contracts = true;
+    /// Optional shared profile cache: the SBD013 which-methods-accept
+    /// probes compile the same sub-hierarchy under every method, so a
+    /// shared (possibly disk-backed, see sbd-lint --cache-dir) cache makes
+    /// repeated lint runs and multi-file batches largely incremental.
+    std::shared_ptr<codegen::ProfileCache> cache;
 };
 
 /// Runs every analysis pass over an already-parsed model. Passes:

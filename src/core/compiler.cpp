@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "core/contract.hpp"
+#include "core/pipeline.hpp"
 
 namespace sbd::codegen {
 
@@ -40,64 +40,18 @@ std::size_t CompiledSystem::total_functions() const {
     return n;
 }
 
-namespace {
-
-void compile_rec(const BlockPtr& block, Method method, const ClusterOptions& opts,
-                 SatClusterStats* sat_stats,
-                 std::unordered_map<const Block*, CompiledBlock>& done,
-                 std::vector<const Block*>& order) {
-    if (done.contains(block.get())) return;
-    if (block->is_atomic()) {
-        CompiledBlock cb;
-        cb.block = block;
-        cb.profile = block->is_opaque()
-                         ? opaque_profile(static_cast<const OpaqueBlock&>(*block))
-                         : atomic_profile(static_cast<const AtomicBlock&>(*block));
-        done.emplace(block.get(), std::move(cb));
-        order.push_back(block.get());
-        return;
-    }
-    const auto& macro = static_cast<const MacroBlock&>(*block);
-    for (std::size_t s = 0; s < macro.num_subs(); ++s)
-        compile_rec(macro.sub(s).type, method, opts, sat_stats, done, order);
-
-    // Modular code generation proper: the only information used about each
-    // sub-block is its exported profile.
-    std::vector<const Profile*> sub_profiles;
-    sub_profiles.reserve(macro.num_subs());
-    for (std::size_t s = 0; s < macro.num_subs(); ++s)
-        sub_profiles.push_back(&done.at(macro.sub(s).type.get()).profile);
-
-    CompiledBlock cb;
-    cb.block = block;
-    cb.sdg = build_sdg(macro, sub_profiles);
-    cb.clustering = cluster(*cb.sdg, method, opts, sat_stats);
-    auto gen = generate_code(macro, sub_profiles, *cb.sdg, *cb.clustering);
-    cb.code = std::move(gen.code);
-    cb.profile = std::move(gen.profile);
-    if (opts.verify_contracts) {
-        const auto findings =
-            check_profile_contract(macro, sub_profiles, *cb.sdg, *cb.clustering, cb.profile);
-        if (any_fatal(findings)) {
-            std::string msg = "contract violation in generated profile:";
-            for (const auto& f : findings)
-                if (f.fatal) msg += "\n  [" + std::string(to_string(f.kind)) + "] " + f.message;
-            throw std::logic_error(msg);
-        }
-    }
-    done.emplace(block.get(), std::move(cb));
-    order.push_back(block.get());
-}
-
-} // namespace
-
 CompiledSystem compile_hierarchy(BlockPtr root, Method method, const ClusterOptions& opts,
                                  SatClusterStats* sat_stats) {
-    if (!root) throw std::invalid_argument("compile_hierarchy: null root");
-    CompiledSystem sys;
-    sys.root_ = root;
-    compile_rec(root, method, opts, sat_stats, sys.blocks_, sys.order_);
-    return sys;
+    // Serial single-shot front-end of the pipeline: one worker thread, a
+    // fresh per-call in-memory cache, no disk store. Deduplication of shared
+    // block types (previously the `done` map of the recursion) now falls out
+    // of the content-addressed cache.
+    PipelineOptions popts;
+    popts.method = method;
+    popts.cluster = opts;
+    popts.threads = 1;
+    Pipeline pipeline(std::move(popts));
+    return pipeline.compile(std::move(root), sat_stats);
 }
 
 } // namespace sbd::codegen

@@ -46,6 +46,7 @@ public:
 private:
     friend CompiledSystem compile_hierarchy(BlockPtr, Method, const ClusterOptions&,
                                             SatClusterStats*);
+    friend class Pipeline;
     std::unordered_map<const Block*, CompiledBlock> blocks_;
     std::vector<const Block*> order_;
     BlockPtr root_;

@@ -1,0 +1,87 @@
+#ifndef SBD_CORE_FINGERPRINT_HPP
+#define SBD_CORE_FINGERPRINT_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "core/methods.hpp"
+#include "sbd/block.hpp"
+
+namespace sbd::codegen {
+
+/// A 128-bit content hash. Two lanes of independent mixing make accidental
+/// collisions between distinct structures astronomically unlikely, which is
+/// what lets the profile cache treat "equal fingerprint" as "equal
+/// compilation input" without a byte-for-byte comparison.
+struct Fingerprint {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Fingerprint&) const = default;
+    /// 32 lowercase hex digits (hi first) — the on-disk cache file stem.
+    std::string hex() const;
+};
+
+struct FingerprintHash {
+    std::size_t operator()(const Fingerprint& f) const {
+        return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+/// Streaming structural hasher. Endian-stable: every value is absorbed as
+/// explicit little-endian 64-bit words, so fingerprints (and therefore
+/// on-disk cache keys) agree across hosts.
+class Hasher {
+public:
+    void u64(std::uint64_t x);
+    void u32(std::uint32_t x) { u64(x); }
+    void u8(std::uint8_t x) { u64(x); }
+    void i32(std::int32_t x) { u64(static_cast<std::uint32_t>(x)); }
+    void boolean(bool b) { u64(b ? 1 : 0); }
+    /// Bit pattern of a double (distinguishes -0.0/0.0 and all NaN payloads
+    /// — the cache must never merge blocks whose constants merely compare
+    /// equal).
+    void f64(double d);
+    /// Length-prefixed, so absorbing "ab","c" differs from "a","bc".
+    void str(const std::string& s);
+    void bytes(std::span<const std::uint8_t> data);
+
+    Fingerprint digest() const;
+
+private:
+    std::uint64_t hi_ = 0x6a09e667f3bcc908ULL;
+    std::uint64_t lo_ = 0xbb67ae8584caa73bULL;
+    std::uint64_t count_ = 0;
+};
+
+/// Structural fingerprint of a block *type*, memoized by object identity so
+/// shared sub-hierarchies are walked once. The fingerprint covers everything
+/// modular compilation can observe about the block:
+///  - atomic: type name, text spec, class, port names, initial state and
+///    emit-time C++ semantics;
+///  - opaque: declared interface functions and call-order relation;
+///  - macro: port names, sub-block instances (name, trigger wiring and the
+///    fingerprint of their type), and the connection list in stored order.
+/// Two blocks with equal fingerprints therefore compile to bit-identical
+/// artifacts under equal (method, options).
+class BlockFingerprinter {
+public:
+    Fingerprint of(const Block& b);
+
+private:
+    std::unordered_map<const Block*, Fingerprint> memo_;
+};
+
+/// One-shot convenience form of BlockFingerprinter.
+Fingerprint fingerprint_block(const Block& b);
+
+/// The profile-cache key: structural block fingerprint x clustering method x
+/// the canonical serialization of every ClusterOptions field x the cache
+/// format version (so incompatible artifact layouts can never alias).
+Fingerprint compile_key(const Fingerprint& block_fp, Method method, const ClusterOptions& opts);
+
+} // namespace sbd::codegen
+
+#endif

@@ -37,6 +37,23 @@ void sort_clusters(Clustering& c) {
 
 } // namespace
 
+std::string canonical_options(const ClusterOptions& opts) {
+    // Add-a-field tripwire: if ClusterOptions grows, its size changes and
+    // this assert fires, forcing the new field into the serialization below
+    // (and thereby into the profile-cache fingerprint). 32 bytes on LP64 =
+    // bool+pad, int, bool+pad, uint64, bool+pad.
+    static_assert(sizeof(void*) != 8 || sizeof(ClusterOptions) == 32,
+                  "ClusterOptions changed: serialize the new field in "
+                  "canonical_options() and bump kKeySchemaVersion in fingerprint.cpp");
+    std::string s;
+    s += "fold_update_into_get=" + std::to_string(opts.fold_update_into_get ? 1 : 0);
+    s += ";sat_start_k=" + std::to_string(opts.sat_start_k);
+    s += ";sat_symmetry_breaking=" + std::to_string(opts.sat_symmetry_breaking ? 1 : 0);
+    s += ";sat_conflict_budget=" + std::to_string(opts.sat_conflict_budget);
+    s += ";verify_contracts=" + std::to_string(opts.verify_contracts ? 1 : 0);
+    return s;
+}
+
 Clustering cluster_monolithic(const Sdg& sdg) {
     Clustering c;
     c.method = Method::Monolithic;

@@ -30,6 +30,14 @@ struct ClusterOptions {
     bool verify_contracts = false;
 };
 
+/// Canonical serialization of *every* ClusterOptions field, in declaration
+/// order, as "name=value;..." — the single source of truth shared by the
+/// profile-cache fingerprint (core/fingerprint.hpp) and the --stats output.
+/// Guarded by a static_assert on sizeof(ClusterOptions) in methods.cpp: a
+/// new field that is not serialized here would silently produce stale cache
+/// hits, so adding one without updating this function fails to compile.
+std::string canonical_options(const ClusterOptions& opts);
+
 /// Statistics of the iterated-SAT optimal disjoint clustering (Section 7).
 struct SatClusterStats {
     std::size_t iterations = 0; ///< number of F_k instances solved

@@ -1,0 +1,951 @@
+#include "core/pipeline.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "core/contract.hpp"
+#include "sbd/opaque.hpp"
+
+namespace sbd::codegen {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+// ------------------------------------------------------------- wire format
+//
+// Cache record = header + payload + trailer:
+//   magic "SBDP" | version u32 | key.hi u64 | key.lo u64 | payload_len u64
+//   payload (serialize_entry)
+//   checksum.hi u64 | checksum.lo u64      (Hasher over the payload bytes)
+// All integers little-endian. Any structural problem — short file, bad
+// magic/version, key mismatch, checksum mismatch, or a payload that fails
+// deserialize_entry's bounds checks — downgrades to a recompute.
+
+constexpr char kMagic[4] = {'S', 'B', 'D', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+/// Upper bound on any element count in a record; rejects "billions of
+/// clusters" style garbage before it turns into an allocation.
+constexpr std::uint64_t kSaneCount = 1ull << 24;
+
+struct Writer {
+    std::vector<std::uint8_t> buf;
+
+    void u8(std::uint8_t x) { buf.push_back(x); }
+    void u32(std::uint32_t x) {
+        for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    }
+    void u64(std::uint64_t x) {
+        for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    }
+    void i32(std::int32_t x) { u32(static_cast<std::uint32_t>(x)); }
+    void str(const std::string& s) {
+        u64(s.size());
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+    void size_vec(std::span<const std::size_t> v) {
+        u64(v.size());
+        for (const auto x : v) u64(x);
+    }
+};
+
+/// Thrown (internally only) on any malformed byte sequence.
+struct CorruptRecord : std::runtime_error {
+    CorruptRecord() : std::runtime_error("corrupt cache record") {}
+};
+
+struct Reader {
+    std::span<const std::uint8_t> data;
+    std::size_t pos = 0;
+
+    void need(std::size_t n) const {
+        if (pos + n > data.size()) throw CorruptRecord();
+    }
+    std::uint8_t u8() {
+        need(1);
+        return data[pos++];
+    }
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t x = 0;
+        for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+        return x;
+    }
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t x = 0;
+        for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+        return x;
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::uint64_t count() {
+        const std::uint64_t n = u64();
+        if (n > kSaneCount) throw CorruptRecord();
+        return n;
+    }
+    std::string str() {
+        const std::uint64_t n = count();
+        need(n);
+        std::string s(reinterpret_cast<const char*>(data.data() + pos), n);
+        pos += n;
+        return s;
+    }
+    std::vector<std::size_t> size_vec() {
+        const std::uint64_t n = count();
+        std::vector<std::size_t> v(n);
+        for (auto& x : v) x = u64();
+        return v;
+    }
+};
+
+void write_interface_fn(Writer& w, const InterfaceFunction& fn) {
+    w.str(fn.name);
+    w.size_vec(fn.reads);
+    w.size_vec(fn.writes);
+}
+
+InterfaceFunction read_interface_fn(Reader& r) {
+    InterfaceFunction fn;
+    fn.name = r.str();
+    fn.reads = r.size_vec();
+    fn.writes = r.size_vec();
+    return fn;
+}
+
+void write_profile(Writer& w, const Profile& p) {
+    w.u64(p.functions.size());
+    for (const auto& fn : p.functions) write_interface_fn(w, fn);
+    w.u64(p.pdg_edges.size());
+    for (const auto& [a, b] : p.pdg_edges) {
+        w.u64(a);
+        w.u64(b);
+    }
+    w.u8(p.sequential ? 1 : 0);
+}
+
+Profile read_profile(Reader& r) {
+    Profile p;
+    const auto nf = r.count();
+    p.functions.reserve(nf);
+    for (std::uint64_t i = 0; i < nf; ++i) p.functions.push_back(read_interface_fn(r));
+    const auto ne = r.count();
+    p.pdg_edges.reserve(ne);
+    for (std::uint64_t i = 0; i < ne; ++i) {
+        const auto a = r.u64();
+        const auto b = r.u64();
+        p.pdg_edges.emplace_back(a, b);
+    }
+    p.sequential = r.u8() != 0;
+    return p;
+}
+
+void write_sdg(Writer& w, const Sdg& s) {
+    w.u64(s.graph.num_nodes());
+    for (const SdgNode& n : s.nodes) {
+        w.u8(static_cast<std::uint8_t>(n.kind));
+        w.i32(n.port);
+        w.i32(n.sub);
+        w.i32(n.fn);
+        w.i32(n.pt_input);
+    }
+    // Edges grouped by source, successor lists in stored order, so the
+    // rebuilt adjacency is identical (to_dot and every traversal agree).
+    w.u64(s.graph.num_edges());
+    for (graph::NodeId u = 0; u < s.graph.num_nodes(); ++u)
+        for (const graph::NodeId v : s.graph.successors(u)) {
+            w.u32(u);
+            w.u32(v);
+        }
+    w.size_vec(std::span<const std::size_t>{}); // reserved
+    w.u64(s.input_nodes.size());
+    for (const auto v : s.input_nodes) w.u32(v);
+    w.u64(s.output_nodes.size());
+    for (const auto v : s.output_nodes) w.u32(v);
+    w.u64(s.internal_nodes.size());
+    for (const auto v : s.internal_nodes) w.u32(v);
+}
+
+Sdg read_sdg(Reader& r) {
+    Sdg s;
+    const auto n = r.count();
+    s.graph = graph::Digraph(n);
+    s.nodes.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        SdgNode node;
+        const auto kind = r.u8();
+        if (kind > 2) throw CorruptRecord();
+        node.kind = static_cast<SdgNode::Kind>(kind);
+        node.port = r.i32();
+        node.sub = r.i32();
+        node.fn = r.i32();
+        node.pt_input = r.i32();
+        s.nodes.push_back(node);
+    }
+    const auto ne = r.count();
+    for (std::uint64_t i = 0; i < ne; ++i) {
+        const auto u = r.u32();
+        const auto v = r.u32();
+        if (u >= n || v >= n) throw CorruptRecord();
+        s.graph.add_edge(u, v);
+    }
+    (void)r.size_vec(); // reserved
+    const auto read_ids = [&](std::vector<graph::NodeId>& out) {
+        const auto k = r.count();
+        out.reserve(k);
+        for (std::uint64_t i = 0; i < k; ++i) {
+            const auto v = r.u32();
+            if (v >= n) throw CorruptRecord();
+            out.push_back(v);
+        }
+    };
+    read_ids(s.input_nodes);
+    read_ids(s.output_nodes);
+    read_ids(s.internal_nodes);
+    return s;
+}
+
+void write_clustering(Writer& w, const Clustering& c) {
+    w.u8(static_cast<std::uint8_t>(c.method));
+    w.u64(c.clusters.size());
+    for (const auto& cl : c.clusters) {
+        w.u64(cl.size());
+        for (const auto v : cl) w.u32(v);
+    }
+}
+
+Clustering read_clustering(Reader& r) {
+    Clustering c;
+    const auto m = r.u8();
+    if (m > static_cast<std::uint8_t>(Method::Singletons)) throw CorruptRecord();
+    c.method = static_cast<Method>(m);
+    const auto k = r.count();
+    c.clusters.reserve(k);
+    for (std::uint64_t i = 0; i < k; ++i) {
+        const auto sz = r.count();
+        std::vector<graph::NodeId> cl(sz);
+        for (auto& v : cl) v = r.u32();
+        c.clusters.push_back(std::move(cl));
+    }
+    return c;
+}
+
+void write_value_ref(Writer& w, const ValueRef& v) {
+    w.u8(static_cast<std::uint8_t>(v.kind));
+    w.i32(v.index);
+}
+
+ValueRef read_value_ref(Reader& r) {
+    ValueRef v;
+    const auto k = r.u8();
+    if (k > 1) throw CorruptRecord();
+    v.kind = static_cast<ValueRef::Kind>(k);
+    v.index = r.i32();
+    return v;
+}
+
+void write_stmt(Writer& w, const Stmt& stmt) {
+    if (const auto* call = std::get_if<CallStmt>(&stmt)) {
+        w.u8(0);
+        w.i32(call->sub);
+        w.i32(call->fn);
+        w.u64(call->args.size());
+        for (const auto& a : call->args) write_value_ref(w, a);
+        w.u64(call->results.size());
+        for (const auto s : call->results) w.i32(s);
+        w.str(call->callee);
+        w.u8(call->trigger ? 1 : 0);
+        if (call->trigger) write_value_ref(w, *call->trigger);
+    } else if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+        w.u8(1);
+        write_value_ref(w, assign->src);
+        w.i32(assign->dst_slot);
+    } else if (const auto* gb = std::get_if<GuardBegin>(&stmt)) {
+        w.u8(2);
+        w.i32(gb->counter);
+    } else if (std::get_if<GuardEnd>(&stmt) != nullptr) {
+        w.u8(3);
+    } else {
+        const auto& bump = std::get<BumpStmt>(stmt);
+        w.u8(4);
+        w.i32(bump.counter);
+        w.i32(bump.mod);
+    }
+}
+
+Stmt read_stmt(Reader& r) {
+    switch (r.u8()) {
+    case 0: {
+        CallStmt call;
+        call.sub = r.i32();
+        call.fn = r.i32();
+        const auto na = r.count();
+        call.args.reserve(na);
+        for (std::uint64_t i = 0; i < na; ++i) call.args.push_back(read_value_ref(r));
+        const auto nr = r.count();
+        call.results.reserve(nr);
+        for (std::uint64_t i = 0; i < nr; ++i) call.results.push_back(r.i32());
+        call.callee = r.str();
+        if (r.u8() != 0) call.trigger = read_value_ref(r);
+        return call;
+    }
+    case 1: {
+        AssignStmt a;
+        a.src = read_value_ref(r);
+        a.dst_slot = r.i32();
+        return a;
+    }
+    case 2: {
+        GuardBegin g;
+        g.counter = r.i32();
+        return g;
+    }
+    case 3: return GuardEnd{};
+    case 4: {
+        BumpStmt b;
+        b.counter = r.i32();
+        b.mod = r.i32();
+        return b;
+    }
+    default: throw CorruptRecord();
+    }
+}
+
+void write_code(Writer& w, const CodeUnit& c) {
+    w.str(c.block_name);
+    w.u64(c.functions.size());
+    for (const auto& fn : c.functions) {
+        write_interface_fn(w, fn.sig);
+        w.u64(fn.body.size());
+        for (const auto& s : fn.body) write_stmt(w, s);
+        w.u64(fn.returns.size());
+        for (const auto& v : fn.returns) write_value_ref(w, v);
+    }
+    w.u64(c.num_slots);
+    w.u64(c.slot_names.size());
+    for (const auto& s : c.slot_names) w.str(s);
+    w.u64(c.counter_mods.size());
+    for (const auto m : c.counter_mods) w.i32(m);
+    w.u64(c.sequential_subs.size());
+    for (const auto s : c.sequential_subs) w.i32(s);
+    w.u64(c.param_names.size());
+    for (const auto& s : c.param_names) w.str(s);
+    w.u64(c.output_names.size());
+    for (const auto& s : c.output_names) w.str(s);
+}
+
+CodeUnit read_code(Reader& r) {
+    CodeUnit c;
+    c.block_name = r.str();
+    const auto nf = r.count();
+    c.functions.reserve(nf);
+    for (std::uint64_t i = 0; i < nf; ++i) {
+        GenFunction fn;
+        fn.sig = read_interface_fn(r);
+        const auto nb = r.count();
+        fn.body.reserve(nb);
+        for (std::uint64_t j = 0; j < nb; ++j) fn.body.push_back(read_stmt(r));
+        const auto nr = r.count();
+        fn.returns.reserve(nr);
+        for (std::uint64_t j = 0; j < nr; ++j) fn.returns.push_back(read_value_ref(r));
+        c.functions.push_back(std::move(fn));
+    }
+    c.num_slots = r.count();
+    auto read_strs = [&](std::vector<std::string>& out) {
+        const auto k = r.count();
+        out.reserve(k);
+        for (std::uint64_t i = 0; i < k; ++i) out.push_back(r.str());
+    };
+    read_strs(c.slot_names);
+    const auto nm = r.count();
+    c.counter_mods.reserve(nm);
+    for (std::uint64_t i = 0; i < nm; ++i) c.counter_mods.push_back(r.i32());
+    const auto ns = r.count();
+    c.sequential_subs.reserve(ns);
+    for (std::uint64_t i = 0; i < ns; ++i) c.sequential_subs.push_back(r.i32());
+    read_strs(c.param_names);
+    read_strs(c.output_names);
+    return c;
+}
+
+Fingerprint payload_checksum(std::span<const std::uint8_t> payload) {
+    Hasher h;
+    h.bytes(payload);
+    return h.digest();
+}
+
+} // namespace
+
+std::vector<std::uint8_t> serialize_entry(const CacheEntry& entry) {
+    Writer w;
+    write_profile(w, entry.profile);
+    w.u8(entry.sdg ? 1 : 0);
+    if (entry.sdg) write_sdg(w, *entry.sdg);
+    w.u8(entry.clustering ? 1 : 0);
+    if (entry.clustering) write_clustering(w, *entry.clustering);
+    w.u8(entry.code ? 1 : 0);
+    if (entry.code) write_code(w, *entry.code);
+    const SatClusterStats& d = entry.sat_delta;
+    w.u64(d.iterations);
+    w.u64(d.first_k);
+    w.u64(d.final_k);
+    w.u64(d.vars);
+    w.u64(d.clauses);
+    w.u64(d.conflicts);
+    w.u64(d.decisions);
+    w.u64(d.propagations);
+    return std::move(w.buf);
+}
+
+std::optional<CacheEntry> deserialize_entry(std::span<const std::uint8_t> payload) {
+    try {
+        Reader r{payload};
+        CacheEntry e;
+        e.profile = read_profile(r);
+        if (r.u8() != 0) e.sdg = read_sdg(r);
+        if (r.u8() != 0) e.clustering = read_clustering(r);
+        if (r.u8() != 0) e.code = read_code(r);
+        e.sat_delta.iterations = r.u64();
+        e.sat_delta.first_k = r.u64();
+        e.sat_delta.final_k = r.u64();
+        e.sat_delta.vars = r.u64();
+        e.sat_delta.clauses = r.u64();
+        e.sat_delta.conflicts = r.u64();
+        e.sat_delta.decisions = r.u64();
+        e.sat_delta.propagations = r.u64();
+        if (r.pos != payload.size()) return std::nullopt; // trailing garbage
+        return e;
+    } catch (const CorruptRecord&) {
+        return std::nullopt;
+    }
+}
+
+// ------------------------------------------------------------ PipelineStats
+
+std::string PipelineStats::to_json() const {
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"cache\": {\"mem_hits\": %llu, \"mem_misses\": %llu, \"evictions\": %llu, "
+        "\"disk_hits\": %llu, \"disk_misses\": %llu, \"disk_rejects\": %llu, "
+        "\"disk_stores\": %llu}, "
+        "\"work\": {\"macro_compiles\": %llu, \"macro_reuses\": %llu, "
+        "\"atomic_profiles\": %llu, \"hit_rate\": %.4f}, "
+        "\"timing_ns\": {\"fingerprint\": %llu, \"sdg\": %llu, \"cluster\": %llu, "
+        "\"codegen\": %llu, \"contract\": %llu, \"disk\": %llu, \"total\": %llu}}",
+        static_cast<unsigned long long>(mem_hits), static_cast<unsigned long long>(mem_misses),
+        static_cast<unsigned long long>(evictions), static_cast<unsigned long long>(disk_hits),
+        static_cast<unsigned long long>(disk_misses),
+        static_cast<unsigned long long>(disk_rejects),
+        static_cast<unsigned long long>(disk_stores),
+        static_cast<unsigned long long>(macro_compiles),
+        static_cast<unsigned long long>(macro_reuses),
+        static_cast<unsigned long long>(atomic_profiles), hit_rate(),
+        static_cast<unsigned long long>(fingerprint_ns), static_cast<unsigned long long>(sdg_ns),
+        static_cast<unsigned long long>(cluster_ns), static_cast<unsigned long long>(codegen_ns),
+        static_cast<unsigned long long>(contract_ns), static_cast<unsigned long long>(disk_ns),
+        static_cast<unsigned long long>(total_ns));
+    return buf;
+}
+
+// ------------------------------------------------------------- ProfileCache
+
+ProfileCache::ProfileCache(std::size_t capacity, std::string cache_dir)
+    : capacity_(capacity), dir_(std::move(cache_dir)) {
+    if (!dir_.empty()) {
+        std::error_code ec;
+        fs::create_directories(dir_, ec);
+        if (ec)
+            throw std::runtime_error("profile cache: cannot create cache dir '" + dir_ +
+                                     "': " + ec.message());
+    }
+}
+
+std::shared_ptr<const CacheEntry> ProfileCache::lookup(const Fingerprint& key) {
+    {
+        std::lock_guard lock(m_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++stats_.mem_hits;
+            lru_.splice(lru_.begin(), lru_, it->second); // move to MRU
+            return it->second->second;
+        }
+        ++stats_.mem_misses;
+    }
+    if (dir_.empty()) return nullptr;
+    auto entry = disk_load(key);
+    if (entry) {
+        // Promote to memory so repeated hits skip the disk.
+        std::lock_guard lock(m_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) return it->second->second;
+        lru_.emplace_front(key, entry);
+        map_.emplace(key, lru_.begin());
+        while (capacity_ != 0 && lru_.size() > capacity_) {
+            map_.erase(lru_.back().first);
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+    }
+    return entry;
+}
+
+std::shared_ptr<const CacheEntry> ProfileCache::store(const Fingerprint& key, CacheEntry entry) {
+    auto shared = std::make_shared<const CacheEntry>(std::move(entry));
+    bool won = false;
+    {
+        std::lock_guard lock(m_);
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            // Concurrent same-key compile: first store wins, the duplicate
+            // result (bit-identical by determinism) is discarded.
+            shared = it->second->second;
+        } else {
+            lru_.emplace_front(key, shared);
+            map_.emplace(key, lru_.begin());
+            won = true;
+            while (capacity_ != 0 && lru_.size() > capacity_) {
+                map_.erase(lru_.back().first);
+                lru_.pop_back();
+                ++stats_.evictions;
+            }
+        }
+    }
+    if (won && !dir_.empty()) disk_store(key, *shared);
+    return shared;
+}
+
+bool ProfileCache::contains(const Fingerprint& key) const {
+    std::lock_guard lock(m_);
+    return map_.contains(key);
+}
+
+std::size_t ProfileCache::size() const {
+    std::lock_guard lock(m_);
+    return lru_.size();
+}
+
+PipelineStats ProfileCache::stats() const {
+    std::lock_guard lock(m_);
+    return stats_;
+}
+
+void ProfileCache::clear() {
+    std::lock_guard lock(m_);
+    lru_.clear();
+    map_.clear();
+}
+
+std::shared_ptr<const CacheEntry> ProfileCache::disk_load(const Fingerprint& key) {
+    const auto t0 = Clock::now();
+    const fs::path path = fs::path(dir_) / (key.hex() + ".sbdp");
+    std::vector<std::uint8_t> raw;
+    {
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            std::lock_guard lock(m_);
+            ++stats_.disk_misses;
+            stats_.disk_ns += ns_since(t0);
+            return nullptr;
+        }
+        raw.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+    }
+    const auto reject = [&]() -> std::shared_ptr<const CacheEntry> {
+        // Corrupt/truncated/foreign record: drop the file (best effort) and
+        // recompute — a bad cache must never be able to produce bad output.
+        std::error_code ec;
+        fs::remove(path, ec);
+        std::lock_guard lock(m_);
+        ++stats_.disk_rejects;
+        stats_.disk_ns += ns_since(t0);
+        return nullptr;
+    };
+    constexpr std::size_t kHeader = 4 + 4 + 8 + 8 + 8;
+    constexpr std::size_t kTrailer = 16;
+    if (raw.size() < kHeader + kTrailer) return reject();
+    Reader r{raw};
+    if (r.u8() != kMagic[0] || r.u8() != kMagic[1] || r.u8() != kMagic[2] ||
+        r.u8() != kMagic[3])
+        return reject();
+    if (r.u32() != kFormatVersion) return reject();
+    Fingerprint stored;
+    stored.hi = r.u64();
+    stored.lo = r.u64();
+    if (!(stored == key)) return reject();
+    const std::uint64_t payload_len = r.u64();
+    if (payload_len != raw.size() - kHeader - kTrailer) return reject();
+    const std::span<const std::uint8_t> payload{raw.data() + kHeader,
+                                                static_cast<std::size_t>(payload_len)};
+    Reader tr{raw};
+    tr.pos = kHeader + static_cast<std::size_t>(payload_len);
+    Fingerprint check;
+    check.hi = tr.u64();
+    check.lo = tr.u64();
+    if (!(check == payload_checksum(payload))) return reject();
+    auto entry = deserialize_entry(payload);
+    if (!entry) return reject();
+    std::lock_guard lock(m_);
+    ++stats_.disk_hits;
+    stats_.disk_ns += ns_since(t0);
+    return std::make_shared<const CacheEntry>(std::move(*entry));
+}
+
+void ProfileCache::disk_store(const Fingerprint& key, const CacheEntry& entry) {
+    const auto t0 = Clock::now();
+    const auto payload = serialize_entry(entry);
+    Writer w;
+    w.buf.reserve(payload.size() + 48);
+    for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kFormatVersion);
+    w.u64(key.hi);
+    w.u64(key.lo);
+    w.u64(payload.size());
+    w.buf.insert(w.buf.end(), payload.begin(), payload.end());
+    const Fingerprint check = payload_checksum(payload);
+    w.u64(check.hi);
+    w.u64(check.lo);
+
+    std::uint64_t serial = 0;
+    {
+        std::lock_guard lock(m_);
+        serial = ++tmp_serial_;
+    }
+    const fs::path final_path = fs::path(dir_) / (key.hex() + ".sbdp");
+    const fs::path tmp_path =
+        fs::path(dir_) / (key.hex() + ".tmp" +
+                          std::to_string(std::hash<std::thread::id>{}(
+                              std::this_thread::get_id()) %
+                          1000000) +
+                          "." + std::to_string(serial));
+    {
+        std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!f) return; // read-only cache dir: degrade to memory-only
+        f.write(reinterpret_cast<const char*>(w.buf.data()),
+                static_cast<std::streamsize>(w.buf.size()));
+        if (!f) {
+            f.close();
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path); // atomic: readers see old/none/new
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return;
+    }
+    std::lock_guard lock(m_);
+    ++stats_.disk_stores;
+    stats_.disk_ns += ns_since(t0);
+}
+
+// ----------------------------------------------------------------- Pipeline
+
+namespace {
+
+/// One macro-block compilation task of the dependency DAG.
+struct Task {
+    BlockPtr block;
+    Fingerprint key;
+    std::vector<std::size_t> parents; ///< task indices waiting on this one
+    std::size_t pending = 0;          ///< unfinished macro-sub dependencies
+    std::size_t order_pos = 0;        ///< position in the post-order
+
+    // Outcome (written by exactly one worker, read after the join).
+    CompiledBlock result;
+    bool has_result = false;
+    SatClusterStats sat_delta;
+    std::exception_ptr error;
+    bool dep_failed = false;
+    bool reused = false;
+    std::uint64_t sdg_ns = 0, cluster_ns = 0, codegen_ns = 0, contract_ns = 0;
+};
+
+CompiledBlock block_from_entry(const BlockPtr& block, const CacheEntry& e) {
+    CompiledBlock cb;
+    cb.block = block;
+    cb.profile = e.profile;
+    cb.sdg = e.sdg;
+    cb.clustering = e.clustering;
+    cb.code = e.code;
+    return cb;
+}
+
+/// Replays a per-block SatClusterStats delta with exactly the assign/add
+/// semantics of cluster_disjoint_sat, so accumulating deltas in post-order
+/// reproduces the serial path's accumulator byte for byte.
+void merge_sat_delta(SatClusterStats& acc, const SatClusterStats& d) {
+    if (d.iterations == 0) return; // block did no SAT work
+    acc.iterations += d.iterations;
+    acc.first_k = d.first_k;
+    acc.final_k = d.final_k;
+    acc.vars = d.vars;
+    acc.clauses = d.clauses;
+    acc.conflicts += d.conflicts;
+    acc.decisions += d.decisions;
+    acc.propagations += d.propagations;
+}
+
+} // namespace
+
+Pipeline::Pipeline(PipelineOptions opts)
+    : opts_(std::move(opts)),
+      cache_(std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir)) {}
+
+Pipeline::Pipeline(PipelineOptions opts, std::shared_ptr<ProfileCache> cache)
+    : opts_(std::move(opts)), cache_(std::move(cache)) {
+    if (!cache_) cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir);
+}
+
+PipelineStats Pipeline::stats() const {
+    PipelineStats s = cache_->stats();
+    s.macro_compiles = work_.macro_compiles;
+    s.macro_reuses = work_.macro_reuses;
+    s.atomic_profiles = work_.atomic_profiles;
+    s.fingerprint_ns = work_.fingerprint_ns;
+    s.sdg_ns = work_.sdg_ns;
+    s.cluster_ns = work_.cluster_ns;
+    s.codegen_ns = work_.codegen_ns;
+    s.contract_ns = work_.contract_ns;
+    s.total_ns = work_.total_ns;
+    return s;
+}
+
+CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
+    if (!root) throw std::invalid_argument("compile_hierarchy: null root");
+    const auto t_total = Clock::now();
+
+    CompiledSystem sys;
+    sys.root_ = root;
+
+    // ---- Phase 1 (serial): discovery. Walks the hierarchy in the same
+    // deterministic post-order of first visit as the original recursion,
+    // computing atomic profiles inline (they are cheap and pure) and one
+    // structural fingerprint per unique block. Macro blocks become tasks of
+    // the dependency DAG; `order` becomes CompiledSystem::order() verbatim,
+    // independent of scheduling.
+    const auto t_fp = Clock::now();
+    BlockFingerprinter fper;
+    std::vector<Task> tasks;
+    std::unordered_map<const Block*, std::size_t> task_of; // macro -> task index
+    std::vector<const Block*> order;
+
+    {
+        struct Frame {
+            BlockPtr block;
+            std::size_t next_sub = 0;
+        };
+        std::vector<Frame> stack;
+        std::unordered_map<const Block*, bool> visited; // false = on stack
+        const std::function<void(const BlockPtr&)> visit = [&](const BlockPtr& b) {
+            if (visited.contains(b.get())) return;
+            if (b->is_atomic()) {
+                visited.emplace(b.get(), true);
+                CompiledBlock cb;
+                cb.block = b;
+                cb.profile = b->is_opaque()
+                                 ? opaque_profile(static_cast<const OpaqueBlock&>(*b))
+                                 : atomic_profile(static_cast<const AtomicBlock&>(*b));
+                sys.blocks_.emplace(b.get(), std::move(cb));
+                order.push_back(b.get());
+                ++work_.atomic_profiles;
+                return;
+            }
+            const auto& macro = static_cast<const MacroBlock&>(*b);
+            for (std::size_t s = 0; s < macro.num_subs(); ++s) visit(macro.sub(s).type);
+            visited.emplace(b.get(), true);
+            Task t;
+            t.block = b;
+            t.key = compile_key(fper.of(*b), opts_.method, opts_.cluster);
+            t.order_pos = order.size();
+            order.push_back(b.get());
+            task_of.emplace(b.get(), tasks.size());
+            tasks.push_back(std::move(t));
+        };
+        visit(root);
+    }
+    work_.fingerprint_ns += ns_since(t_fp);
+
+    // Dependency edges: a macro waits for its unique macro sub types.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto& macro = static_cast<const MacroBlock&>(*tasks[i].block);
+        std::unordered_map<const Block*, bool> seen;
+        for (std::size_t s = 0; s < macro.num_subs(); ++s) {
+            const Block* sub = macro.sub(s).type.get();
+            if (sub->is_atomic() || seen.contains(sub)) continue;
+            seen.emplace(sub, true);
+            tasks[task_of.at(sub)].parents.push_back(i);
+            ++tasks[i].pending;
+        }
+    }
+
+    // The profile of an already-settled block (atomic or compiled macro).
+    const auto profile_of = [&](const Block* b) -> const Profile* {
+        const auto it = sys.blocks_.find(b);
+        if (it != sys.blocks_.end()) return &it->second.profile;
+        return &tasks[task_of.at(b)].result.profile;
+    };
+
+    // ---- Phase 2: execute the task DAG bottom-up. run_task is the whole
+    // modular compilation of one macro block, through the cache.
+    const auto run_task = [&](Task& t) {
+        try {
+            if (auto entry = cache_->lookup(t.key)) {
+                t.result = block_from_entry(t.block, *entry);
+                t.sat_delta = entry->sat_delta;
+                t.has_result = true;
+                t.reused = true;
+                return;
+            }
+            const auto& macro = static_cast<const MacroBlock&>(*t.block);
+            std::vector<const Profile*> sub_profiles;
+            sub_profiles.reserve(macro.num_subs());
+            for (std::size_t s = 0; s < macro.num_subs(); ++s)
+                sub_profiles.push_back(profile_of(macro.sub(s).type.get()));
+
+            CompiledBlock cb;
+            cb.block = t.block;
+            auto t0 = Clock::now();
+            cb.sdg = build_sdg(macro, sub_profiles);
+            t.sdg_ns = ns_since(t0);
+            t0 = Clock::now();
+            SatClusterStats delta;
+            cb.clustering = cluster(*cb.sdg, opts_.method, opts_.cluster, &delta);
+            t.cluster_ns = ns_since(t0);
+            t0 = Clock::now();
+            auto gen = generate_code(macro, sub_profiles, *cb.sdg, *cb.clustering);
+            cb.code = std::move(gen.code);
+            cb.profile = std::move(gen.profile);
+            t.codegen_ns = ns_since(t0);
+            if (opts_.cluster.verify_contracts) {
+                t0 = Clock::now();
+                const auto findings = check_profile_contract(macro, sub_profiles, *cb.sdg,
+                                                             *cb.clustering, cb.profile);
+                t.contract_ns = ns_since(t0);
+                if (any_fatal(findings)) {
+                    std::string msg = "contract violation in generated profile:";
+                    for (const auto& f : findings)
+                        if (f.fatal)
+                            msg += "\n  [" + std::string(to_string(f.kind)) + "] " + f.message;
+                    throw std::logic_error(msg);
+                }
+            }
+            CacheEntry entry;
+            entry.profile = cb.profile;
+            entry.sdg = cb.sdg;
+            entry.clustering = cb.clustering;
+            entry.code = cb.code;
+            entry.sat_delta = delta;
+            cache_->store(t.key, std::move(entry));
+            t.result = std::move(cb);
+            t.sat_delta = delta;
+            t.has_result = true;
+        } catch (...) {
+            t.error = std::current_exception();
+        }
+    };
+
+    const std::size_t nthreads =
+        opts_.threads == 0 ? 1 : std::min(opts_.threads, std::max<std::size_t>(1, tasks.size()));
+    if (nthreads <= 1) {
+        // Serial: post-order is already a topological order of the DAG.
+        for (auto& t : tasks)
+            if (t.dep_failed || [&] {
+                    const auto& macro = static_cast<const MacroBlock&>(*t.block);
+                    for (std::size_t s = 0; s < macro.num_subs(); ++s) {
+                        const Block* sub = macro.sub(s).type.get();
+                        if (!sub->is_atomic() && !tasks[task_of.at(sub)].has_result) return true;
+                    }
+                    return false;
+                }())
+                t.dep_failed = true;
+            else
+                run_task(t);
+    } else {
+        std::mutex m;
+        std::condition_variable cv;
+        std::deque<std::size_t> ready;
+        std::size_t settled = 0;
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            if (tasks[i].pending == 0) ready.push_back(i);
+
+        const auto settle = [&](std::size_t i) {
+            // Called with the lock held: propagate completion/failure to
+            // parents and wake anyone waiting for work or the join.
+            for (const auto p : tasks[i].parents) {
+                if (!tasks[i].has_result) tasks[p].dep_failed = true;
+                if (--tasks[p].pending == 0) ready.push_back(p);
+            }
+            ++settled;
+            cv.notify_all();
+        };
+        const auto worker = [&] {
+            std::unique_lock lock(m);
+            for (;;) {
+                cv.wait(lock, [&] { return !ready.empty() || settled == tasks.size(); });
+                if (ready.empty()) return; // all settled
+                const std::size_t i = ready.front();
+                ready.pop_front();
+                if (tasks[i].dep_failed) {
+                    // Failed dependency: never run, counts as settled. No
+                    // cancellation of independent subtrees — the set of
+                    // tasks that run is schedule-independent, which keeps
+                    // the reported error deterministic.
+                    settle(i);
+                    continue;
+                }
+                lock.unlock();
+                run_task(tasks[i]);
+                lock.lock();
+                settle(i);
+            }
+        };
+        std::vector<std::thread> team;
+        team.reserve(nthreads - 1);
+        for (std::size_t k = 0; k + 1 < nthreads; ++k) team.emplace_back(worker);
+        worker();
+        for (auto& th : team) th.join();
+    }
+
+    // ---- Phase 3 (serial): deterministic assembly. Errors are reported in
+    // post-order — exactly the block the serial recursion would have thrown
+    // on — and SAT deltas are merged in the same order the serial path
+    // accumulated them.
+    for (const auto& t : tasks)
+        if (t.error) {
+            work_.total_ns += ns_since(t_total);
+            std::rethrow_exception(t.error);
+        }
+    for (auto& t : tasks) {
+        if (sat_stats != nullptr) merge_sat_delta(*sat_stats, t.sat_delta);
+        if (t.reused)
+            ++work_.macro_reuses;
+        else
+            ++work_.macro_compiles;
+        work_.sdg_ns += t.sdg_ns;
+        work_.cluster_ns += t.cluster_ns;
+        work_.codegen_ns += t.codegen_ns;
+        work_.contract_ns += t.contract_ns;
+        sys.blocks_.emplace(t.block.get(), std::move(t.result));
+    }
+    sys.order_ = std::move(order);
+    work_.total_ns += ns_since(t_total);
+    return sys;
+}
+
+} // namespace sbd::codegen

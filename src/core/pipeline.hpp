@@ -1,0 +1,160 @@
+#ifndef SBD_CORE_PIPELINE_HPP
+#define SBD_CORE_PIPELINE_HPP
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/fingerprint.hpp"
+
+namespace sbd::codegen {
+
+/// Cache and per-stage timing counters of a compilation pipeline run.
+/// Counters are cumulative over the lifetime of the Pipeline / ProfileCache
+/// they belong to; all *_ns figures are wall time in nanoseconds.
+struct PipelineStats {
+    // Profile cache.
+    std::uint64_t mem_hits = 0;     ///< served from the in-memory LRU
+    std::uint64_t mem_misses = 0;   ///< absent from memory (disk then tried)
+    std::uint64_t evictions = 0;    ///< LRU entries dropped at capacity
+    std::uint64_t disk_hits = 0;    ///< loaded from the on-disk store
+    std::uint64_t disk_misses = 0;  ///< no usable file on disk
+    std::uint64_t disk_rejects = 0; ///< file present but corrupt/mismatched
+    std::uint64_t disk_stores = 0;  ///< entries written to disk
+
+    // Work actually performed.
+    std::uint64_t macro_compiles = 0;  ///< macro blocks compiled (cache misses)
+    std::uint64_t macro_reuses = 0;    ///< macro blocks served from the cache
+    std::uint64_t atomic_profiles = 0; ///< atomic/opaque profiles computed
+
+    // Per-stage wall time.
+    std::uint64_t fingerprint_ns = 0;
+    std::uint64_t sdg_ns = 0;
+    std::uint64_t cluster_ns = 0;
+    std::uint64_t codegen_ns = 0;
+    std::uint64_t contract_ns = 0;
+    std::uint64_t disk_ns = 0;
+    std::uint64_t total_ns = 0;
+
+    /// Fraction of macro-block compilations served from the cache.
+    double hit_rate() const {
+        const std::uint64_t n = macro_compiles + macro_reuses;
+        return n == 0 ? 0.0 : static_cast<double>(macro_reuses) / static_cast<double>(n);
+    }
+
+    std::string to_json() const;
+};
+
+/// One cached compilation result: everything compiling a macro block
+/// produces, plus the SAT statistics the computation cost — replayed on a
+/// hit so a warm compile reports byte-identical SatClusterStats to a cold
+/// one. Entries are immutable once stored and shared by reference.
+struct CacheEntry {
+    Profile profile;
+    std::optional<Sdg> sdg;
+    std::optional<Clustering> clustering;
+    std::optional<CodeUnit> code;
+    SatClusterStats sat_delta;
+};
+
+/// Serialized form of an entry (the on-disk cache record, minus the file
+/// header). Exposed for the format tests.
+std::vector<std::uint8_t> serialize_entry(const CacheEntry& entry);
+/// Parses a serialized entry; returns nullopt on any structural problem
+/// (truncation, bad tags, out-of-range counts) instead of throwing.
+std::optional<CacheEntry> deserialize_entry(std::span<const std::uint8_t> payload);
+
+/// Content-addressed profile cache: an in-memory LRU in front of an
+/// optional on-disk store. Keys are compile_key() fingerprints, so a lookup
+/// hit *is* a proof that the cached artifacts were compiled from an
+/// identical (sub-diagram, method, options) triple.
+///
+/// Thread-safe: lookups and stores may race freely; concurrent stores of
+/// the same key keep the first entry (results are deterministic, so both
+/// candidates are bit-identical). Disk files are written to a temporary
+/// name and atomically renamed, so a reader never observes a torn record,
+/// and any corrupt or truncated file is treated as a miss and rewritten.
+class ProfileCache {
+public:
+    /// `capacity` = max in-memory entries (0 = unbounded); `cache_dir`
+    /// non-empty enables the on-disk store (the directory is created).
+    explicit ProfileCache(std::size_t capacity = 0, std::string cache_dir = {});
+
+    std::shared_ptr<const CacheEntry> lookup(const Fingerprint& key);
+    /// Inserts (first writer wins) and returns the entry that won.
+    std::shared_ptr<const CacheEntry> store(const Fingerprint& key, CacheEntry entry);
+
+    bool contains(const Fingerprint& key) const;
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    const std::string& cache_dir() const { return dir_; }
+
+    /// Snapshot of the cache-side counters (work/timing fields are zero).
+    PipelineStats stats() const;
+    void clear(); ///< drops the in-memory entries (disk files stay)
+
+private:
+    std::shared_ptr<const CacheEntry> disk_load(const Fingerprint& key);
+    void disk_store(const Fingerprint& key, const CacheEntry& entry);
+
+    mutable std::mutex m_;
+    std::size_t capacity_;
+    std::string dir_;
+    /// MRU-first list of (key, entry); map points into it.
+    std::list<std::pair<Fingerprint, std::shared_ptr<const CacheEntry>>> lru_;
+    std::unordered_map<Fingerprint, decltype(lru_)::iterator, FingerprintHash> map_;
+    PipelineStats stats_;
+    std::uint64_t tmp_serial_ = 0; ///< unique temp-file suffixes
+};
+
+struct PipelineOptions {
+    Method method = Method::Dynamic;
+    ClusterOptions cluster;
+    /// Worker threads of the task-graph driver (1 = serial in deterministic
+    /// post-order; results are bit-identical for every thread count).
+    std::size_t threads = 1;
+    /// In-memory cache capacity when the pipeline owns its cache.
+    std::size_t cache_capacity = 0;
+    /// On-disk cache directory when the pipeline owns its cache.
+    std::string cache_dir;
+};
+
+/// The compilation pipeline: compiles a block hierarchy bottom-up through
+/// the profile cache, scheduling independent subtrees concurrently.
+///
+/// The paper's central property makes this sound: a macro block is compiled
+/// from its sub-blocks' *profiles only*, so compilation is context-free —
+/// cacheable by structural fingerprint and parallelizable across the
+/// hierarchy's dependency DAG. The produced CompiledSystem (block order,
+/// artifacts, accumulated SAT statistics, thrown errors) is bit-identical
+/// to the serial uncached path for every thread count and cache state.
+class Pipeline {
+public:
+    explicit Pipeline(PipelineOptions opts = {});
+    /// Shares an external cache (e.g. across sbd-lint method probes).
+    Pipeline(PipelineOptions opts, std::shared_ptr<ProfileCache> cache);
+
+    CompiledSystem compile(BlockPtr root, SatClusterStats* sat_stats = nullptr);
+
+    /// Cumulative stats: this pipeline's work/timing plus the (possibly
+    /// shared) cache's counters.
+    PipelineStats stats() const;
+    const std::shared_ptr<ProfileCache>& cache() const { return cache_; }
+    const PipelineOptions& options() const { return opts_; }
+
+private:
+    PipelineOptions opts_;
+    std::shared_ptr<ProfileCache> cache_;
+    PipelineStats work_; ///< work/timing only; cache counters live in cache_
+};
+
+} // namespace sbd::codegen
+
+#endif

@@ -34,25 +34,11 @@ BlockPtr random_atomic(std::mt19937_64& rng, double moore_probability) {
     }
 }
 
-BlockPtr gen_block(std::mt19937_64& rng, const RandomModelParams& p, std::size_t level,
-                   int& serial) {
+// Wires every sub input and every macro output of `m` (subs already added),
+// then validates. Shared by the flat-ish and the deep generator.
+void wire_macro(std::mt19937_64& rng, MacroBlock& macro, double backward_wire_probability) {
+    auto* m = &macro;
     std::uniform_real_distribution<double> unit(0.0, 1.0);
-    std::vector<std::string> ins, outs;
-    for (std::size_t i = 0; i < p.inputs; ++i) ins.push_back("i" + std::to_string(i));
-    for (std::size_t o = 0; o < p.outputs; ++o) outs.push_back("o" + std::to_string(o));
-    auto m = std::make_shared<MacroBlock>("Rnd" + std::to_string(serial++) + "_L" +
-                                              std::to_string(level),
-                                          ins, outs);
-
-    // Sub-blocks: nested macros while depth remains, atomics otherwise.
-    for (std::size_t s = 0; s < p.subs_per_level; ++s) {
-        BlockPtr sub;
-        if (level + 1 < p.depth && unit(rng) < p.macro_probability)
-            sub = gen_block(rng, p, level + 1, serial);
-        else
-            sub = random_atomic(rng, p.moore_probability);
-        m->add_sub("s" + std::to_string(s), sub);
-    }
 
     // Wire every sub input. Forward sources (macro inputs + outputs of
     // earlier subs) always keep the flattened diagram acyclic; outputs of
@@ -67,7 +53,7 @@ BlockPtr gen_block(std::mt19937_64& rng, const RandomModelParams& p, std::size_t
 
     const auto random_source = [&](std::size_t consumer) -> Endpoint {
         std::uniform_real_distribution<double> u01(0.0, 1.0);
-        if (!moore_subs.empty() && u01(rng) < p.backward_wire_probability) {
+        if (!moore_subs.empty() && u01(rng) < backward_wire_probability) {
             const std::size_t s =
                 moore_subs[std::uniform_int_distribution<std::size_t>(0, moore_subs.size() - 1)(
                     rng)];
@@ -110,6 +96,29 @@ BlockPtr gen_block(std::mt19937_64& rng, const RandomModelParams& p, std::size_t
         m->connect(src, Endpoint{Endpoint::Kind::MacroOutput, -1, static_cast<std::int32_t>(o)});
     }
     m->validate();
+}
+
+BlockPtr gen_block(std::mt19937_64& rng, const RandomModelParams& p, std::size_t level,
+                   int& serial) {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::vector<std::string> ins, outs;
+    for (std::size_t i = 0; i < p.inputs; ++i) ins.push_back("i" + std::to_string(i));
+    for (std::size_t o = 0; o < p.outputs; ++o) outs.push_back("o" + std::to_string(o));
+    auto m = std::make_shared<MacroBlock>("Rnd" + std::to_string(serial++) + "_L" +
+                                              std::to_string(level),
+                                          ins, outs);
+
+    // Sub-blocks: nested macros while depth remains, atomics otherwise.
+    for (std::size_t s = 0; s < p.subs_per_level; ++s) {
+        BlockPtr sub;
+        if (level + 1 < p.depth && unit(rng) < p.macro_probability)
+            sub = gen_block(rng, p, level + 1, serial);
+        else
+            sub = random_atomic(rng, p.moore_probability);
+        m->add_sub("s" + std::to_string(s), sub);
+    }
+
+    wire_macro(rng, *m, p.backward_wire_probability);
     return m;
 }
 
@@ -120,6 +129,60 @@ std::shared_ptr<const MacroBlock> random_model(std::mt19937_64& rng,
     int serial = 0;
     auto b = gen_block(rng, params, 0, serial);
     return std::static_pointer_cast<const MacroBlock>(b);
+}
+
+std::shared_ptr<const MacroBlock> clone_macro(const MacroBlock& m) {
+    std::vector<std::string> ins, outs;
+    for (std::size_t i = 0; i < m.num_inputs(); ++i) ins.push_back(m.input_name(i));
+    for (std::size_t o = 0; o < m.num_outputs(); ++o) outs.push_back(m.output_name(o));
+    auto c = std::make_shared<MacroBlock>(m.type_name(), ins, outs);
+    for (std::size_t s = 0; s < m.num_subs(); ++s) {
+        const auto& sub = m.sub(s);
+        const auto id = c->add_sub(sub.name, sub.type);
+        if (sub.trigger) c->set_trigger(id, *sub.trigger);
+    }
+    for (const Connection& conn : m.connections()) c->connect(conn.src, conn.dst);
+    c->validate();
+    return c;
+}
+
+std::shared_ptr<const MacroBlock> random_deep_model(std::mt19937_64& rng,
+                                                    const DeepModelParams& p) {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::vector<std::string> ins, outs;
+    for (std::size_t i = 0; i < p.inputs; ++i) ins.push_back("i" + std::to_string(i));
+    for (std::size_t o = 0; o < p.outputs; ++o) outs.push_back("o" + std::to_string(o));
+
+    // Level 0: a library of atomic leaf types.
+    std::vector<BlockPtr> library;
+    for (std::size_t t = 0; t < std::max<std::size_t>(p.types_per_level, 2); ++t)
+        library.push_back(random_atomic(rng, p.moore_probability));
+
+    // Each higher level defines a few macro types over the level below; the
+    // whole level below is the shared pool, so most instances repeat types.
+    for (std::size_t level = 1; level <= p.levels; ++level) {
+        const bool top = level == p.levels;
+        std::vector<BlockPtr> next;
+        const std::size_t ntypes = top ? 1 : std::max<std::size_t>(p.types_per_level, 1);
+        for (std::size_t t = 0; t < ntypes; ++t) {
+            auto m = std::make_shared<MacroBlock>(
+                "Deep_L" + std::to_string(level) + "_T" + std::to_string(t), ins, outs);
+            for (std::size_t s = 0; s < p.subs_per_macro; ++s) {
+                BlockPtr type = library[std::uniform_int_distribution<std::size_t>(
+                    0, library.size() - 1)(rng)];
+                // Occasionally hand out a structurally identical but
+                // physically distinct copy: invisible to a pointer memo,
+                // a guaranteed hit for the fingerprint cache.
+                if (!type->is_atomic() && unit(rng) < p.clone_probability)
+                    type = clone_macro(static_cast<const MacroBlock&>(*type));
+                m->add_sub("s" + std::to_string(s), type);
+            }
+            wire_macro(rng, *m, p.backward_wire_probability);
+            next.push_back(m);
+        }
+        library = std::move(next);
+    }
+    return std::static_pointer_cast<const MacroBlock>(library.front());
 }
 
 Sdg random_flat_sdg(std::mt19937_64& rng, std::size_t inputs, std::size_t outputs,

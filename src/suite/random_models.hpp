@@ -29,6 +29,36 @@ struct RandomModelParams {
 std::shared_ptr<const MacroBlock> random_model(std::mt19937_64& rng,
                                                const RandomModelParams& params);
 
+/// Parameters of the deep shared-type hierarchy generator (the profile
+/// cache's stress shape: many macro instances, few distinct structures).
+struct DeepModelParams {
+    std::size_t levels = 6;          ///< hierarchy depth (all-macro spine)
+    std::size_t types_per_level = 3; ///< distinct macro types defined per level
+    std::size_t subs_per_macro = 4;  ///< sub-block instances per macro
+    std::size_t inputs = 2;
+    std::size_t outputs = 2;
+    double moore_probability = 0.4;  ///< Moore share of the atomic leaf library
+    double backward_wire_probability = 0.15;
+    /// Chance a sub-block instance references a *structural clone* of its
+    /// type instead of sharing the object: a distinct Block with an
+    /// identical fingerprint, so only a content-addressed cache (not a
+    /// pointer-keyed memo) can deduplicate the compile.
+    double clone_probability = 0.0;
+};
+
+/// Builds a validated hierarchy exactly `levels` deep in which every level
+/// draws its sub-blocks from a small library of shared types defined one
+/// level below — so the number of distinct compilations is
+/// O(levels * types_per_level) while the instance tree is exponential.
+std::shared_ptr<const MacroBlock> random_deep_model(std::mt19937_64& rng,
+                                                    const DeepModelParams& params);
+
+/// Rebuilds a macro block as a new object with identical structure (same
+/// type name, ports, sub instances — shared, not cloned — triggers and
+/// connections in order). The clone fingerprints identically to the
+/// original but compares unequal by address.
+std::shared_ptr<const MacroBlock> clone_macro(const MacroBlock& m);
+
 /// Builds a random *flat SDG* directly (for clustering-only tests and
 /// benchmarks): layered DAG over `internals` internal nodes with the given
 /// edge probability; inputs feed early layers, outputs read late layers.

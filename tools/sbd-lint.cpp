@@ -27,6 +27,8 @@ int usage(const char* argv0) {
                  "  --method M     monolithic | step-get | dynamic | disjoint-sat |\n"
                  "                 disjoint-greedy | singletons         (default: dynamic)\n"
                  "  --no-contracts skip profile contract checking (SBD019/SBD020)\n"
+                 "  --cache-dir D  share compiled profiles across the SBD013 method\n"
+                 "                 probes, files and runs (content-addressed, on disk)\n"
                  "  --quiet        print nothing for clean files\n",
                  argv0);
     return 2;
@@ -37,6 +39,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     std::string format = "text";
     std::string method_name = "dynamic";
+    std::string cache_dir;
     std::vector<std::string> inputs;
     bool contracts = true;
     bool quiet = false;
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
         if (arg == "--format") format = value();
         else if (arg == "--method") method_name = value();
         else if (arg == "--no-contracts") contracts = false;
+        else if (arg == "--cache-dir") cache_dir = value();
         else if (arg == "--quiet") quiet = true;
         else if (arg == "--help" || arg == "-h") return usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
@@ -64,6 +68,9 @@ int main(int argc, char** argv) {
     sbd::analysis::LintOptions opts;
     opts.check_contracts = contracts;
     try {
+        // One cache for the whole batch: every false-cycle probe of every
+        // file shares it (and, with --cache-dir, every future run too).
+        opts.cache = std::make_shared<sbd::codegen::ProfileCache>(0, cache_dir);
         bool found = false;
         for (const sbd::codegen::Method m :
              {sbd::codegen::Method::Monolithic, sbd::codegen::Method::StepGet,

@@ -17,7 +17,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/trace.hpp"
 #include "sbd/text_format.hpp"
@@ -40,6 +40,7 @@ int usage(const char* argv0) {
                  "                 anything else for SBDT binary)\n"
                  "  --replay FILE  replay a recorded trace through a fresh instance\n"
                  "                 and the reference simulator; fail on any bit diff\n"
+                 "  --cache-dir D  reuse compiled profiles from D (shared with sbdc)\n"
                  "  --print        print instance 0's outputs per instant\n",
                  argv0);
     return 2;
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
     std::string record_path;
     std::string replay_path;
     std::string input_path;
+    std::string cache_dir;
     bool print = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -101,6 +103,7 @@ int main(int argc, char** argv) {
         else if (arg == "--seed") seed = std::stoull(value());
         else if (arg == "--record") record_path = value();
         else if (arg == "--replay") replay_path = value();
+        else if (arg == "--cache-dir") cache_dir = value();
         else if (arg == "--print") print = true;
         else if (arg == "--help" || arg == "-h") return usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
@@ -118,7 +121,11 @@ int main(int argc, char** argv) {
 
     try {
         const std::shared_ptr<const MacroBlock> root = file.root;
-        const CompiledSystem sys = compile_hierarchy(root, parse_method(method_name));
+        PipelineOptions popts;
+        popts.method = parse_method(method_name);
+        popts.cache_dir = cache_dir;
+        Pipeline pipeline(popts);
+        const CompiledSystem sys = pipeline.compile(root);
 
         if (!replay_path.empty()) return run_replay(sys, root, replay_path);
 

@@ -23,8 +23,8 @@
 #include <random>
 
 #include "analysis/lint.hpp"
-#include "core/compiler.hpp"
 #include "core/emit_cpp.hpp"
+#include "core/pipeline.hpp"
 #include "core/exec.hpp"
 #include "core/reuse.hpp"
 #include "runtime/engine.hpp"
@@ -47,7 +47,12 @@ int usage(const char* argv0) {
                  "  --instances N  host N concurrent instances during --simulate (default 1;\n"
                  "                 instance i is driven with seed S+i, instance 0 is printed)\n"
                  "  --threads K    step --simulate instances with K threads (default 1)\n"
-                 "  --stats        print the per-block metrics table\n"
+                 "  --stats        print the per-block metrics table and the pipeline\n"
+                 "                 cache/timing counters as JSON\n"
+                 "  --cache-dir D  persist compiled profiles in D (content-addressed;\n"
+                 "                 reused across runs and shared between tools)\n"
+                 "  --jobs K       compile independent sub-diagrams with K threads\n"
+                 "                 (default 1; results are identical for every K)\n"
                  "  --lint         run static analysis instead of compiling; exit 5 on\n"
                  "                 errors (--method selects the cycle-analysis method)\n"
                  "  --format F     text | json diagnostics for --lint    (default: text)\n"
@@ -73,9 +78,11 @@ int main(int argc, char** argv) {
     std::string root_name;
     std::string out_path;
     std::string input_path;
+    std::string cache_dir;
     std::size_t simulate = 0;
     std::size_t instances = 1;
     std::size_t threads = 1;
+    std::size_t jobs = 1;
     std::uint64_t seed = 1;
     bool stats = false;
     bool lint = false;
@@ -98,6 +105,8 @@ int main(int argc, char** argv) {
         else if (arg == "--simulate") simulate = std::stoull(value());
         else if (arg == "--instances") instances = std::stoull(value());
         else if (arg == "--threads") threads = std::stoull(value());
+        else if (arg == "--jobs") jobs = std::stoull(value());
+        else if (arg == "--cache-dir") cache_dir = value();
         else if (arg == "--seed") seed = std::stoull(value());
         else if (arg == "--stats") stats = true;
         else if (arg == "--lint") lint = true;
@@ -116,6 +125,8 @@ int main(int argc, char** argv) {
         try {
             analysis::LintOptions lopts;
             lopts.method = parse_method(method_name);
+            if (!cache_dir.empty())
+                lopts.cache = std::make_shared<ProfileCache>(0, cache_dir);
             const auto report = analysis::lint_file(input_path, lopts);
             std::fputs((format == "json" ? analysis::render_json(report)
                                          : analysis::render_text(report))
@@ -144,10 +155,13 @@ int main(int argc, char** argv) {
             if (it->second->is_atomic()) throw ModelError("root must be a macro block");
             root = std::static_pointer_cast<const MacroBlock>(it->second);
         }
-        const Method method = parse_method(method_name);
-        ClusterOptions copts;
-        copts.verify_contracts = verify_contracts;
-        const CompiledSystem sys = compile_hierarchy(root, method, copts);
+        PipelineOptions popts;
+        popts.method = parse_method(method_name);
+        popts.cluster.verify_contracts = verify_contracts;
+        popts.threads = jobs;
+        popts.cache_dir = cache_dir;
+        Pipeline pipeline(popts);
+        const CompiledSystem sys = pipeline.compile(root);
 
         std::ostringstream body;
         if (emit == "pseudo") {
@@ -187,7 +201,10 @@ int main(int argc, char** argv) {
                             cb.clustering->replicated_nodes(*cb.sdg),
                             false_io_dependencies(*cb.sdg, *cb.clustering).size(), rep.score());
             }
-            std::printf("\n");
+            std::printf("\npipeline: %s\n", pipeline.stats().to_json().c_str());
+            std::printf("options: {\"method\": \"%s\", \"jobs\": %zu, \"cluster\": \"%s\"}\n\n",
+                        to_string(popts.method), jobs,
+                        canonical_options(popts.cluster).c_str());
         }
 
         if (out_path.empty()) {
