@@ -1,0 +1,155 @@
+// Observability overhead benchmark: what does instrumentation cost on the
+// runtime engine's hot path?
+//
+// Three configurations of the same workload (a pool of instances ticking a
+// compiled model):
+//   disabled — EngineConfig::metrics == nullptr, no collector installed:
+//              the shipped default. One branch per tick.
+//   metrics  — registry attached: tick/step counters, gauges, latency
+//              histograms (step latency sampled 1-in-16).
+//   full     — metrics plus an installed TraceCollector (spans recording).
+//
+// Gates (exit 1 on failure, so CI can run this as a check):
+//   * full instrumentation within 10% of the disabled baseline (best-of-R
+//     timing, so scheduler noise does not fail the gate spuriously);
+//   * disabled-mode outputs bit-identical to instrumented-mode outputs —
+//     observation must never perturb the computation.
+//
+// Machine-readable output: BENCH_obs.json in the working directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/engine.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+constexpr std::size_t kInstances = 256;
+constexpr std::size_t kInstants = 400;
+constexpr int kRepeats = 7;
+
+/// Runs the workload once; returns the output checksum stream (one double
+/// per instant) so configurations can be compared bit-for-bit.
+std::vector<double> run_workload(const CompiledSystem& sys,
+                                 const std::shared_ptr<const MacroBlock>& root,
+                                 obs::MetricsRegistry* metrics) {
+    runtime::EngineConfig cfg;
+    cfg.capacity = kInstances;
+    cfg.threads = 2;
+    cfg.metrics = metrics;
+    runtime::Engine engine(sys, root, cfg);
+    const std::vector<runtime::InstanceId> ids = engine.create(kInstances);
+
+    std::vector<runtime::LcgInputSource> sources;
+    sources.reserve(kInstances);
+    for (std::size_t i = 0; i < kInstances; ++i) sources.emplace_back(1 + i);
+
+    std::vector<double> checksums;
+    checksums.reserve(kInstants);
+    for (std::size_t t = 0; t < kInstants; ++t) {
+        for (std::size_t i = 0; i < kInstances; ++i)
+            sources[i].fill(engine.pool().inputs(ids[i]));
+        engine.tick();
+        double sum = 0.0;
+        for (std::size_t i = 0; i < kInstances; ++i)
+            for (const double v : engine.pool().outputs(ids[i])) sum += v;
+        checksums.push_back(sum);
+    }
+    return checksums;
+}
+
+/// Best-of-R wall clock for one configuration (min filters out scheduler
+/// noise, which only ever adds time).
+double best_ms(const std::function<std::vector<double>()>& fn) {
+    double best = 1e300;
+    for (int r = 0; r < kRepeats; ++r) best = std::min(best, sbd::bench::time_ms(fn));
+    return best;
+}
+
+bool bit_equal(const std::vector<double>& a, const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void write_json(double disabled_ms, double metrics_ms, double full_ms, bool bit_exact,
+                std::uint64_t spans_recorded, bool pass) {
+    std::FILE* f = std::fopen("BENCH_obs.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_obs.json\n");
+        return;
+    }
+    const double m_pct = (metrics_ms / disabled_ms - 1.0) * 100.0;
+    const double f_pct = (full_ms / disabled_ms - 1.0) * 100.0;
+    std::fprintf(f, "{\n  \"bench\": \"obs_overhead\",\n");
+    std::fprintf(f, "  \"instances\": %zu,\n  \"instants\": %zu,\n  \"repeats\": %d,\n",
+                 kInstances, kInstants, kRepeats);
+    std::fprintf(f, "  \"disabled_ms\": %.3f,\n", disabled_ms);
+    std::fprintf(f, "  \"metrics_ms\": %.3f,\n  \"metrics_overhead_pct\": %.2f,\n",
+                 metrics_ms, m_pct);
+    std::fprintf(f, "  \"full_ms\": %.3f,\n  \"full_overhead_pct\": %.2f,\n", full_ms, f_pct);
+    std::fprintf(f, "  \"spans_recorded\": %llu,\n",
+                 static_cast<unsigned long long>(spans_recorded));
+    std::fprintf(f, "  \"bit_exact\": %s,\n", bit_exact ? "true" : "false");
+    std::fprintf(f, "  \"overhead_gate_pct\": 10.0,\n");
+    std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_obs.json\n");
+}
+
+} // namespace
+
+int main() {
+    const auto root = suite::fuel_controller();
+    const CompiledSystem sys = Pipeline(PipelineOptions{}).compile(root);
+
+    std::printf("Observability overhead: %zu instances x %zu instants, best of %d\n",
+                kInstances, kInstants, kRepeats);
+    sbd::bench::rule('-', 72);
+
+    // Bit-exactness first: instrumented and uninstrumented runs must
+    // produce the same bits before any timing is worth reporting.
+    const std::vector<double> ref = run_workload(sys, root, nullptr);
+    obs::MetricsRegistry probe_reg;
+    obs::TraceCollector probe_col;
+    probe_col.install();
+    const std::vector<double> probed = run_workload(sys, root, &probe_reg);
+    probe_col.uninstall();
+    const bool bit_exact = bit_equal(ref, probed);
+    const std::uint64_t spans_recorded = probe_col.drain().size();
+
+    const double disabled_ms = best_ms([&] { return run_workload(sys, root, nullptr); });
+
+    obs::MetricsRegistry metrics_reg;
+    const double metrics_ms = best_ms([&] { return run_workload(sys, root, &metrics_reg); });
+
+    obs::MetricsRegistry full_reg;
+    obs::TraceCollector collector;
+    collector.install();
+    const double full_ms = best_ms([&] { return run_workload(sys, root, &full_reg); });
+    collector.uninstall();
+
+    const double m_pct = (metrics_ms / disabled_ms - 1.0) * 100.0;
+    const double f_pct = (full_ms / disabled_ms - 1.0) * 100.0;
+    std::printf("%-28s | %9.2f ms |\n", "disabled (baseline)", disabled_ms);
+    std::printf("%-28s | %9.2f ms | %+6.2f%%\n", "metrics", metrics_ms, m_pct);
+    std::printf("%-28s | %9.2f ms | %+6.2f%%\n", "metrics + trace spans", full_ms, f_pct);
+    sbd::bench::rule('-', 72);
+    std::printf("bit-exact (instrumented == disabled): %s\n", bit_exact ? "PASS" : "FAIL");
+    std::printf("overhead gate (full <= +10%%): %s\n", f_pct <= 10.0 ? "PASS" : "FAIL");
+
+    const bool pass = bit_exact && f_pct <= 10.0;
+    write_json(disabled_ms, metrics_ms, full_ms, bit_exact, spans_recorded, pass);
+    return pass ? 0 : 1;
+}

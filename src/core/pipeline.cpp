@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/contract.hpp"
+#include "obs/trace.hpp"
 #include "sbd/opaque.hpp"
 
 namespace sbd::codegen {
@@ -464,7 +465,8 @@ std::string PipelineStats::to_json() const {
 
 // ------------------------------------------------------------- ProfileCache
 
-ProfileCache::ProfileCache(std::size_t capacity, std::string cache_dir)
+ProfileCache::ProfileCache(std::size_t capacity, std::string cache_dir,
+                           obs::MetricsRegistry* metrics)
     : capacity_(capacity), dir_(std::move(cache_dir)) {
     if (!dir_.empty()) {
         std::error_code ec;
@@ -473,6 +475,28 @@ ProfileCache::ProfileCache(std::size_t capacity, std::string cache_dir)
             throw std::runtime_error("profile cache: cannot create cache dir '" + dir_ +
                                      "': " + ec.message());
     }
+    if (metrics == nullptr) {
+        owned_metrics_ = std::make_shared<obs::MetricsRegistry>();
+        metrics = owned_metrics_.get();
+    }
+    metrics_ = metrics;
+    c_mem_hits_ = metrics_->counter("sbd_cache_mem_hits_total",
+                                    "profile-cache lookups served from the in-memory LRU");
+    c_mem_misses_ = metrics_->counter("sbd_cache_mem_misses_total",
+                                      "profile-cache lookups absent from memory");
+    c_evictions_ = metrics_->counter("sbd_cache_evictions_total",
+                                     "in-memory LRU entries dropped at capacity");
+    c_disk_hits_ = metrics_->counter("sbd_cache_disk_hits_total",
+                                     "profile-cache entries loaded from the on-disk store");
+    c_disk_misses_ = metrics_->counter("sbd_cache_disk_misses_total",
+                                       "profile-cache lookups with no usable file on disk");
+    c_disk_rejects_ =
+        metrics_->counter("sbd_cache_disk_rejects_total",
+                          "corrupt/mismatched cache files rejected and recovered from");
+    c_disk_stores_ = metrics_->counter("sbd_cache_disk_stores_total",
+                                       "profile-cache entries written to disk");
+    c_disk_ns_ = metrics_->counter("sbd_cache_disk_ns_total",
+                                   "cumulative wall time spent on cache disk I/O, nanoseconds");
 }
 
 std::shared_ptr<const CacheEntry> ProfileCache::lookup(const Fingerprint& key) {
@@ -480,11 +504,11 @@ std::shared_ptr<const CacheEntry> ProfileCache::lookup(const Fingerprint& key) {
         std::lock_guard lock(m_);
         const auto it = map_.find(key);
         if (it != map_.end()) {
-            ++stats_.mem_hits;
+            c_mem_hits_.inc();
             lru_.splice(lru_.begin(), lru_, it->second); // move to MRU
             return it->second->second;
         }
-        ++stats_.mem_misses;
+        c_mem_misses_.inc();
     }
     if (dir_.empty()) return nullptr;
     auto entry = disk_load(key);
@@ -498,7 +522,7 @@ std::shared_ptr<const CacheEntry> ProfileCache::lookup(const Fingerprint& key) {
         while (capacity_ != 0 && lru_.size() > capacity_) {
             map_.erase(lru_.back().first);
             lru_.pop_back();
-            ++stats_.evictions;
+            c_evictions_.inc();
         }
     }
     return entry;
@@ -521,7 +545,7 @@ std::shared_ptr<const CacheEntry> ProfileCache::store(const Fingerprint& key, Ca
             while (capacity_ != 0 && lru_.size() > capacity_) {
                 map_.erase(lru_.back().first);
                 lru_.pop_back();
-                ++stats_.evictions;
+                c_evictions_.inc();
             }
         }
     }
@@ -540,8 +564,17 @@ std::size_t ProfileCache::size() const {
 }
 
 PipelineStats ProfileCache::stats() const {
-    std::lock_guard lock(m_);
-    return stats_;
+    // No lock: each field is one relaxed read of a registry cell.
+    PipelineStats s;
+    s.mem_hits = c_mem_hits_.value();
+    s.mem_misses = c_mem_misses_.value();
+    s.evictions = c_evictions_.value();
+    s.disk_hits = c_disk_hits_.value();
+    s.disk_misses = c_disk_misses_.value();
+    s.disk_rejects = c_disk_rejects_.value();
+    s.disk_stores = c_disk_stores_.value();
+    s.disk_ns = c_disk_ns_.value();
+    return s;
 }
 
 void ProfileCache::clear() {
@@ -552,14 +585,14 @@ void ProfileCache::clear() {
 
 std::shared_ptr<const CacheEntry> ProfileCache::disk_load(const Fingerprint& key) {
     const auto t0 = Clock::now();
+    obs::TraceSpan span("disk-load", "cache", key.hex());
     const fs::path path = fs::path(dir_) / (key.hex() + ".sbdp");
     std::vector<std::uint8_t> raw;
     {
         std::ifstream f(path, std::ios::binary);
         if (!f) {
-            std::lock_guard lock(m_);
-            ++stats_.disk_misses;
-            stats_.disk_ns += ns_since(t0);
+            c_disk_misses_.inc();
+            c_disk_ns_.inc(ns_since(t0));
             return nullptr;
         }
         raw.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
@@ -569,9 +602,8 @@ std::shared_ptr<const CacheEntry> ProfileCache::disk_load(const Fingerprint& key
         // recompute — a bad cache must never be able to produce bad output.
         std::error_code ec;
         fs::remove(path, ec);
-        std::lock_guard lock(m_);
-        ++stats_.disk_rejects;
-        stats_.disk_ns += ns_since(t0);
+        c_disk_rejects_.inc();
+        c_disk_ns_.inc(ns_since(t0));
         return nullptr;
     };
     constexpr std::size_t kHeader = 4 + 4 + 8 + 8 + 8;
@@ -598,14 +630,14 @@ std::shared_ptr<const CacheEntry> ProfileCache::disk_load(const Fingerprint& key
     if (!(check == payload_checksum(payload))) return reject();
     auto entry = deserialize_entry(payload);
     if (!entry) return reject();
-    std::lock_guard lock(m_);
-    ++stats_.disk_hits;
-    stats_.disk_ns += ns_since(t0);
+    c_disk_hits_.inc();
+    c_disk_ns_.inc(ns_since(t0));
     return std::make_shared<const CacheEntry>(std::move(*entry));
 }
 
 void ProfileCache::disk_store(const Fingerprint& key, const CacheEntry& entry) {
     const auto t0 = Clock::now();
+    obs::TraceSpan span("disk-store", "cache", key.hex());
     const auto payload = serialize_entry(entry);
     Writer w;
     w.buf.reserve(payload.size() + 48);
@@ -649,9 +681,8 @@ void ProfileCache::disk_store(const Fingerprint& key, const CacheEntry& entry) {
         fs::remove(tmp_path, ec);
         return;
     }
-    std::lock_guard lock(m_);
-    ++stats_.disk_stores;
-    stats_.disk_ns += ns_since(t0);
+    c_disk_stores_.inc();
+    c_disk_ns_.inc(ns_since(t0));
 }
 
 // ----------------------------------------------------------------- Pipeline
@@ -703,32 +734,102 @@ void merge_sat_delta(SatClusterStats& acc, const SatClusterStats& d) {
 
 } // namespace
 
-Pipeline::Pipeline(PipelineOptions opts)
-    : opts_(std::move(opts)),
-      cache_(std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir)) {}
+Pipeline::Pipeline(PipelineOptions opts) : opts_(std::move(opts)) {
+    init_metrics();
+    cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir, metrics_);
+}
 
 Pipeline::Pipeline(PipelineOptions opts, std::shared_ptr<ProfileCache> cache)
     : opts_(std::move(opts)), cache_(std::move(cache)) {
-    if (!cache_) cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir);
+    init_metrics();
+    if (!cache_)
+        cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir, metrics_);
+}
+
+void Pipeline::init_metrics() {
+    if (opts_.metrics != nullptr) {
+        metrics_ = opts_.metrics;
+    } else {
+        owned_metrics_ = std::make_shared<obs::MetricsRegistry>();
+        metrics_ = owned_metrics_.get();
+    }
+    c_macro_compiles_ = metrics_->counter("sbd_pipeline_macro_compiles_total",
+                                          "macro blocks compiled (cache misses)");
+    c_macro_reuses_ = metrics_->counter("sbd_pipeline_macro_reuses_total",
+                                        "macro blocks served from the profile cache");
+    c_atomic_profiles_ = metrics_->counter("sbd_pipeline_atomic_profiles_total",
+                                           "atomic/opaque profiles computed");
+    const auto phase_ns = [&](const char* phase) {
+        return metrics_->counter("sbd_pipeline_phase_ns_total",
+                                 "cumulative wall time per compile phase, nanoseconds",
+                                 {{"phase", phase}});
+    };
+    c_fingerprint_ns_ = phase_ns("fingerprint");
+    c_sdg_ns_ = phase_ns("sdg");
+    c_cluster_ns_ = phase_ns("cluster");
+    c_codegen_ns_ = phase_ns("codegen");
+    c_contract_ns_ = phase_ns("contract");
+    c_total_ns_ = phase_ns("total");
+    const auto phase_hist = [&](const char* phase) {
+        return metrics_->histogram("sbd_pipeline_phase_latency_ns",
+                                   obs::exponential_bounds(1000, 4.0, 12),
+                                   "per-block compile-phase latency, nanoseconds",
+                                   {{"phase", phase}});
+    };
+    h_sdg_ = phase_hist("sdg");
+    h_cluster_ = phase_hist("cluster");
+    h_codegen_ = phase_hist("codegen");
+    h_contract_ = phase_hist("contract");
+    h_task_ = metrics_->histogram("sbd_pipeline_task_ns", obs::exponential_bounds(1000, 4.0, 12),
+                                  "whole per-block task latency including cache, nanoseconds");
+    g_ready_depth_ = metrics_->gauge("sbd_pipeline_ready_depth",
+                                     "ready-queue depth of the task-graph driver");
+    c_sat_iterations_ =
+        metrics_->counter("sbd_sat_iterations_total", "F_k SAT instances solved");
+    c_sat_conflicts_ = metrics_->counter("sbd_sat_conflicts_total", "SAT solver conflicts");
+    c_sat_decisions_ = metrics_->counter("sbd_sat_decisions_total", "SAT solver decisions");
+    c_sat_propagations_ =
+        metrics_->counter("sbd_sat_propagations_total", "SAT solver unit propagations");
+    g_sat_first_k_ =
+        metrics_->gauge("sbd_sat_first_k", "k of the first (smallest) F_k instance");
+    g_sat_final_k_ = metrics_->gauge("sbd_sat_final_k", "k of the satisfiable F_k instance");
+    g_sat_vars_ = metrics_->gauge("sbd_sat_vars", "variables of the final F_k instance");
+    g_sat_clauses_ = metrics_->gauge("sbd_sat_clauses", "clauses of the final F_k instance");
+}
+
+/// Registry twin of merge_sat_delta: replayed deltas (cache hits) drive the
+/// same counters the cold path does, so a warm compile's registry snapshot
+/// equals a cold one's byte for byte.
+void Pipeline::record_sat_delta(const SatClusterStats& d) {
+    if (d.iterations == 0) return; // block did no SAT work
+    c_sat_iterations_.inc(d.iterations);
+    g_sat_first_k_.set(static_cast<std::int64_t>(d.first_k));
+    g_sat_final_k_.set(static_cast<std::int64_t>(d.final_k));
+    g_sat_vars_.set(static_cast<std::int64_t>(d.vars));
+    g_sat_clauses_.set(static_cast<std::int64_t>(d.clauses));
+    c_sat_conflicts_.inc(d.conflicts);
+    c_sat_decisions_.inc(d.decisions);
+    c_sat_propagations_.inc(d.propagations);
 }
 
 PipelineStats Pipeline::stats() const {
     PipelineStats s = cache_->stats();
-    s.macro_compiles = work_.macro_compiles;
-    s.macro_reuses = work_.macro_reuses;
-    s.atomic_profiles = work_.atomic_profiles;
-    s.fingerprint_ns = work_.fingerprint_ns;
-    s.sdg_ns = work_.sdg_ns;
-    s.cluster_ns = work_.cluster_ns;
-    s.codegen_ns = work_.codegen_ns;
-    s.contract_ns = work_.contract_ns;
-    s.total_ns = work_.total_ns;
+    s.macro_compiles = c_macro_compiles_.value();
+    s.macro_reuses = c_macro_reuses_.value();
+    s.atomic_profiles = c_atomic_profiles_.value();
+    s.fingerprint_ns = c_fingerprint_ns_.value();
+    s.sdg_ns = c_sdg_ns_.value();
+    s.cluster_ns = c_cluster_ns_.value();
+    s.codegen_ns = c_codegen_ns_.value();
+    s.contract_ns = c_contract_ns_.value();
+    s.total_ns = c_total_ns_.value();
     return s;
 }
 
 CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
     if (!root) throw std::invalid_argument("compile_hierarchy: null root");
     const auto t_total = Clock::now();
+    obs::TraceSpan compile_span("compile", "pipeline", root->type_name());
 
     CompiledSystem sys;
     sys.root_ = root;
@@ -763,7 +864,7 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
                                  : atomic_profile(static_cast<const AtomicBlock&>(*b));
                 sys.blocks_.emplace(b.get(), std::move(cb));
                 order.push_back(b.get());
-                ++work_.atomic_profiles;
+                c_atomic_profiles_.inc();
                 return;
             }
             const auto& macro = static_cast<const MacroBlock&>(*b);
@@ -779,7 +880,7 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
         };
         visit(root);
     }
-    work_.fingerprint_ns += ns_since(t_fp);
+    c_fingerprint_ns_.inc(ns_since(t_fp));
 
     // Dependency edges: a macro waits for its unique macro sub types.
     for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -804,12 +905,15 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
     // ---- Phase 2: execute the task DAG bottom-up. run_task is the whole
     // modular compilation of one macro block, through the cache.
     const auto run_task = [&](Task& t) {
+        obs::TraceSpan task_span("compile-block", "pipeline", t.block->type_name());
+        const auto t_task = Clock::now();
         try {
             if (auto entry = cache_->lookup(t.key)) {
                 t.result = block_from_entry(t.block, *entry);
                 t.sat_delta = entry->sat_delta;
                 t.has_result = true;
                 t.reused = true;
+                h_task_.observe(ns_since(t_task));
                 return;
             }
             const auto& macro = static_cast<const MacroBlock&>(*t.block);
@@ -821,22 +925,37 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
             CompiledBlock cb;
             cb.block = t.block;
             auto t0 = Clock::now();
-            cb.sdg = build_sdg(macro, sub_profiles);
+            {
+                obs::TraceSpan span("sdg", "compile", macro.type_name());
+                cb.sdg = build_sdg(macro, sub_profiles);
+            }
             t.sdg_ns = ns_since(t0);
+            h_sdg_.observe(t.sdg_ns);
             t0 = Clock::now();
             SatClusterStats delta;
-            cb.clustering = cluster(*cb.sdg, opts_.method, opts_.cluster, &delta);
+            {
+                obs::TraceSpan span("cluster", "compile", macro.type_name());
+                cb.clustering = cluster(*cb.sdg, opts_.method, opts_.cluster, &delta);
+            }
             t.cluster_ns = ns_since(t0);
+            h_cluster_.observe(t.cluster_ns);
             t0 = Clock::now();
-            auto gen = generate_code(macro, sub_profiles, *cb.sdg, *cb.clustering);
+            CodegenResult gen;
+            {
+                obs::TraceSpan span("codegen", "compile", macro.type_name());
+                gen = generate_code(macro, sub_profiles, *cb.sdg, *cb.clustering);
+            }
             cb.code = std::move(gen.code);
             cb.profile = std::move(gen.profile);
             t.codegen_ns = ns_since(t0);
+            h_codegen_.observe(t.codegen_ns);
             if (opts_.cluster.verify_contracts) {
                 t0 = Clock::now();
+                obs::TraceSpan span("contract", "compile", macro.type_name());
                 const auto findings = check_profile_contract(macro, sub_profiles, *cb.sdg,
                                                              *cb.clustering, cb.profile);
                 t.contract_ns = ns_since(t0);
+                h_contract_.observe(t.contract_ns);
                 if (any_fatal(findings)) {
                     std::string msg = "contract violation in generated profile:";
                     for (const auto& f : findings)
@@ -858,6 +977,7 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
         } catch (...) {
             t.error = std::current_exception();
         }
+        h_task_.observe(ns_since(t_task));
     };
 
     const std::size_t nthreads =
@@ -883,6 +1003,7 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
         std::size_t settled = 0;
         for (std::size_t i = 0; i < tasks.size(); ++i)
             if (tasks[i].pending == 0) ready.push_back(i);
+        g_ready_depth_.set(static_cast<std::int64_t>(ready.size()));
 
         const auto settle = [&](std::size_t i) {
             // Called with the lock held: propagate completion/failure to
@@ -891,6 +1012,7 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
                 if (!tasks[i].has_result) tasks[p].dep_failed = true;
                 if (--tasks[p].pending == 0) ready.push_back(p);
             }
+            g_ready_depth_.set(static_cast<std::int64_t>(ready.size()));
             ++settled;
             cv.notify_all();
         };
@@ -901,6 +1023,7 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
                 if (ready.empty()) return; // all settled
                 const std::size_t i = ready.front();
                 ready.pop_front();
+                g_ready_depth_.set(static_cast<std::int64_t>(ready.size()));
                 if (tasks[i].dep_failed) {
                     // Failed dependency: never run, counts as settled. No
                     // cancellation of independent subtrees — the set of
@@ -928,23 +1051,24 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
     // accumulated them.
     for (const auto& t : tasks)
         if (t.error) {
-            work_.total_ns += ns_since(t_total);
+            c_total_ns_.inc(ns_since(t_total));
             std::rethrow_exception(t.error);
         }
     for (auto& t : tasks) {
         if (sat_stats != nullptr) merge_sat_delta(*sat_stats, t.sat_delta);
+        record_sat_delta(t.sat_delta);
         if (t.reused)
-            ++work_.macro_reuses;
+            c_macro_reuses_.inc();
         else
-            ++work_.macro_compiles;
-        work_.sdg_ns += t.sdg_ns;
-        work_.cluster_ns += t.cluster_ns;
-        work_.codegen_ns += t.codegen_ns;
-        work_.contract_ns += t.contract_ns;
+            c_macro_compiles_.inc();
+        c_sdg_ns_.inc(t.sdg_ns);
+        c_cluster_ns_.inc(t.cluster_ns);
+        c_codegen_ns_.inc(t.codegen_ns);
+        c_contract_ns_.inc(t.contract_ns);
         sys.blocks_.emplace(t.block.get(), std::move(t.result));
     }
     sys.order_ = std::move(order);
-    work_.total_ns += ns_since(t_total);
+    c_total_ns_.inc(ns_since(t_total));
     return sys;
 }
 

@@ -13,12 +13,18 @@
 
 #include "core/compiler.hpp"
 #include "core/fingerprint.hpp"
+#include "obs/metrics.hpp"
 
 namespace sbd::codegen {
 
 /// Cache and per-stage timing counters of a compilation pipeline run.
 /// Counters are cumulative over the lifetime of the Pipeline / ProfileCache
 /// they belong to; all *_ns figures are wall time in nanoseconds.
+///
+/// Since the observability subsystem landed this struct is a *view*: every
+/// field is read back from the obs::MetricsRegistry series the pipeline and
+/// cache record into, so `--stats`, `--metrics-out` and programmatic
+/// snapshots can never drift apart.
 struct PipelineStats {
     // Profile cache.
     std::uint64_t mem_hits = 0;     ///< served from the in-memory LRU
@@ -85,7 +91,11 @@ class ProfileCache {
 public:
     /// `capacity` = max in-memory entries (0 = unbounded); `cache_dir`
     /// non-empty enables the on-disk store (the directory is created).
-    explicit ProfileCache(std::size_t capacity = 0, std::string cache_dir = {});
+    /// `metrics` is where the cache counters live; when nullptr the cache
+    /// creates a private registry, so counting always works and stats()
+    /// always has a source of truth.
+    explicit ProfileCache(std::size_t capacity = 0, std::string cache_dir = {},
+                          obs::MetricsRegistry* metrics = nullptr);
 
     std::shared_ptr<const CacheEntry> lookup(const Fingerprint& key);
     /// Inserts (first writer wins) and returns the entry that won.
@@ -96,8 +106,11 @@ public:
     std::size_t capacity() const { return capacity_; }
     const std::string& cache_dir() const { return dir_; }
 
-    /// Snapshot of the cache-side counters (work/timing fields are zero).
+    /// Snapshot of the cache-side counters (work/timing fields are zero),
+    /// read back from the registry series.
     PipelineStats stats() const;
+    /// Registry the cache counters live in (owned unless one was injected).
+    obs::MetricsRegistry* metrics() const { return metrics_; }
     void clear(); ///< drops the in-memory entries (disk files stay)
 
 private:
@@ -110,8 +123,12 @@ private:
     /// MRU-first list of (key, entry); map points into it.
     std::list<std::pair<Fingerprint, std::shared_ptr<const CacheEntry>>> lru_;
     std::unordered_map<Fingerprint, decltype(lru_)::iterator, FingerprintHash> map_;
-    PipelineStats stats_;
     std::uint64_t tmp_serial_ = 0; ///< unique temp-file suffixes
+
+    std::shared_ptr<obs::MetricsRegistry> owned_metrics_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    obs::Counter c_mem_hits_, c_mem_misses_, c_evictions_;
+    obs::Counter c_disk_hits_, c_disk_misses_, c_disk_rejects_, c_disk_stores_, c_disk_ns_;
 };
 
 struct PipelineOptions {
@@ -124,6 +141,10 @@ struct PipelineOptions {
     std::size_t cache_capacity = 0;
     /// On-disk cache directory when the pipeline owns its cache.
     std::string cache_dir;
+    /// Observability sink for the pipeline's counters, gauges, histograms
+    /// and the cache it owns. nullptr = the pipeline creates a private
+    /// registry (stats() still works; nothing is exported unless asked).
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The compilation pipeline: compiles a block hierarchy bottom-up through
@@ -144,15 +165,29 @@ public:
     CompiledSystem compile(BlockPtr root, SatClusterStats* sat_stats = nullptr);
 
     /// Cumulative stats: this pipeline's work/timing plus the (possibly
-    /// shared) cache's counters.
+    /// shared) cache's counters — all read back from the registry series.
     PipelineStats stats() const;
     const std::shared_ptr<ProfileCache>& cache() const { return cache_; }
     const PipelineOptions& options() const { return opts_; }
+    /// Registry the pipeline records into (owned unless one was injected).
+    obs::MetricsRegistry* metrics() const { return metrics_; }
 
 private:
+    void init_metrics();
+    void record_sat_delta(const SatClusterStats& d);
+
     PipelineOptions opts_;
     std::shared_ptr<ProfileCache> cache_;
-    PipelineStats work_; ///< work/timing only; cache counters live in cache_
+
+    std::shared_ptr<obs::MetricsRegistry> owned_metrics_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    obs::Counter c_macro_compiles_, c_macro_reuses_, c_atomic_profiles_;
+    obs::Counter c_fingerprint_ns_, c_sdg_ns_, c_cluster_ns_, c_codegen_ns_, c_contract_ns_,
+        c_total_ns_;
+    obs::Counter c_sat_iterations_, c_sat_conflicts_, c_sat_decisions_, c_sat_propagations_;
+    obs::Gauge g_sat_first_k_, g_sat_final_k_, g_sat_vars_, g_sat_clauses_;
+    obs::Histogram h_sdg_, h_cluster_, h_codegen_, h_contract_, h_task_;
+    obs::Gauge g_ready_depth_;
 };
 
 } // namespace sbd::codegen

@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sbd::obs {
+
+const char* to_string(MetricKind k) {
+    switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+std::uint64_t Histogram::count() const {
+    if (cells_ == nullptr) return 0;
+    std::uint64_t n = 0;
+    for (std::size_t b = 0; b <= num_bounds_; ++b)
+        n += cells_[b].load(std::memory_order_relaxed);
+    return n;
+}
+
+std::vector<std::uint64_t> exponential_bounds(std::uint64_t start, double factor,
+                                              std::size_t count) {
+    if (start == 0 || factor <= 1.0 || count == 0)
+        throw std::invalid_argument("exponential_bounds: need start > 0, factor > 1, count > 0");
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(count);
+    double edge = static_cast<double>(start);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (edge >= 0x1p64) break; // would not fit u64: saturated
+        const auto b = static_cast<std::uint64_t>(edge);
+        if (!bounds.empty() && b <= bounds.back()) break; // saturated
+        bounds.push_back(b);
+        edge *= factor;
+    }
+    return bounds;
+}
+
+namespace {
+
+/// Canonical series key: name + sorted labels, with separators that cannot
+/// appear in metric names.
+std::string series_key(const std::string& name, const Labels& labels) {
+    std::string key = name;
+    for (const auto& [k, v] : labels) {
+        key += '\x1f';
+        key += k;
+        key += '\x1e';
+        key += v;
+    }
+    return key;
+}
+
+} // namespace
+
+const Sample* Snapshot::find(const std::string& name, const Labels& labels) const {
+    for (const Sample& s : samples) {
+        if (s.name != name) continue;
+        if (!labels.empty() && s.labels != labels) continue;
+        return &s;
+    }
+    return nullptr;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(const std::string& name,
+                                                             const std::string& help,
+                                                             Labels labels, MetricKind kind,
+                                                             std::vector<std::uint64_t> bounds) {
+    std::sort(labels.begin(), labels.end());
+    const std::string key = series_key(name, labels);
+    std::lock_guard lock(m_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        if (it->second->kind != kind)
+            throw std::logic_error("metrics registry: series '" + name +
+                                   "' re-registered as a different kind");
+        return *it->second;
+    }
+    Instrument inst;
+    inst.name = name;
+    inst.help = help;
+    inst.labels = std::move(labels);
+    inst.kind = kind;
+    std::size_t ncells = 1;
+    if (kind == MetricKind::Histogram) {
+        if (bounds.empty()) throw std::invalid_argument("histogram: empty bounds");
+        if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+            std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end())
+            throw std::invalid_argument("histogram: bounds must be strictly increasing");
+        inst.bounds = std::move(bounds);
+        ncells = inst.bounds.size() + 2; // buckets incl. +Inf, then sum
+    }
+    inst.cells = std::make_unique<std::atomic<std::uint64_t>[]>(ncells);
+    for (std::size_t i = 0; i < ncells; ++i) inst.cells[i].store(0, std::memory_order_relaxed);
+    instruments_.push_back(std::move(inst));
+    Instrument& stored = instruments_.back();
+    index_.emplace(key, &stored);
+    return stored;
+}
+
+Counter MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                 Labels labels) {
+    return Counter(&find_or_create(name, help, std::move(labels), MetricKind::Counter, {})
+                        .cells[0]);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name, const std::string& help, Labels labels) {
+    return Gauge(
+        &find_or_create(name, help, std::move(labels), MetricKind::Gauge, {}).cells[0]);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name, std::vector<std::uint64_t> bounds,
+                                     const std::string& help, Labels labels) {
+    Instrument& inst = find_or_create(name, help, std::move(labels), MetricKind::Histogram,
+                                      std::move(bounds));
+    return Histogram(inst.cells.get(), inst.bounds.data(), inst.bounds.size());
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+    Snapshot snap;
+    {
+        std::lock_guard lock(m_);
+        snap.samples.reserve(instruments_.size());
+        for (const Instrument& inst : instruments_) {
+            Sample s;
+            s.name = inst.name;
+            s.help = inst.help;
+            s.labels = inst.labels;
+            s.kind = inst.kind;
+            switch (inst.kind) {
+            case MetricKind::Counter:
+                s.value = inst.cells[0].load(std::memory_order_relaxed);
+                break;
+            case MetricKind::Gauge:
+                s.gauge = static_cast<std::int64_t>(
+                    inst.cells[0].load(std::memory_order_relaxed));
+                break;
+            case MetricKind::Histogram: {
+                s.bounds = inst.bounds;
+                s.buckets.resize(inst.bounds.size() + 1);
+                for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+                    s.buckets[b] = inst.cells[b].load(std::memory_order_relaxed);
+                    s.value += s.buckets[b];
+                }
+                s.sum = inst.cells[inst.bounds.size() + 1].load(std::memory_order_relaxed);
+                break;
+            }
+            }
+            snap.samples.push_back(std::move(s));
+        }
+    }
+    std::sort(snap.samples.begin(), snap.samples.end(),
+              [](const Sample& a, const Sample& b) {
+                  if (a.name != b.name) return a.name < b.name;
+                  return a.labels < b.labels;
+              });
+    return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+    std::lock_guard lock(m_);
+    return instruments_.size();
+}
+
+} // namespace sbd::obs

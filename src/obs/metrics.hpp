@@ -1,0 +1,203 @@
+#ifndef SBD_OBS_METRICS_HPP
+#define SBD_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sbd::obs {
+
+/// Sorted (key, value) pairs identifying one series of a named metric.
+/// Callers may pass labels in any order; the registry canonicalizes.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+const char* to_string(MetricKind k);
+
+/// Handle to a monotonically increasing counter cell. A default-constructed
+/// handle is *detached*: every operation is a no-op on one predictable
+/// branch, which is how instrumented code compiles to near-zero cost when
+/// no registry is attached.
+class Counter {
+public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) {
+        if (cell_ != nullptr) cell_->fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const {
+        return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+    }
+    explicit operator bool() const { return cell_ != nullptr; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+    std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// Handle to a signed instantaneous value (queue depth, pool occupancy).
+/// Stored as the two's-complement bit pattern in a uint64 cell so the whole
+/// registry shares one cell type.
+class Gauge {
+public:
+    Gauge() = default;
+
+    void set(std::int64_t v) {
+        if (cell_ != nullptr)
+            cell_->store(static_cast<std::uint64_t>(v), std::memory_order_relaxed);
+    }
+    void add(std::int64_t d) {
+        if (cell_ != nullptr)
+            cell_->fetch_add(static_cast<std::uint64_t>(d), std::memory_order_relaxed);
+    }
+    std::int64_t value() const {
+        return cell_ == nullptr
+                   ? 0
+                   : static_cast<std::int64_t>(cell_->load(std::memory_order_relaxed));
+    }
+    explicit operator bool() const { return cell_ != nullptr; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+    std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// Handle to a fixed-bucket histogram: `bounds` are inclusive upper edges,
+/// with an implicit +Inf bucket at the end. observe() is two relaxed
+/// fetch_adds plus a short linear scan over the (typically ~12) bounds.
+class Histogram {
+public:
+    Histogram() = default;
+
+    void observe(std::uint64_t v) {
+        if (cells_ == nullptr) return;
+        std::size_t b = 0;
+        while (b < num_bounds_ && v > bounds_[b]) ++b;
+        cells_[b].fetch_add(1, std::memory_order_relaxed);
+        cells_[num_bounds_ + 1].fetch_add(v, std::memory_order_relaxed); // sum
+    }
+    std::uint64_t count() const;
+    std::uint64_t sum() const {
+        return cells_ == nullptr
+                   ? 0
+                   : cells_[num_bounds_ + 1].load(std::memory_order_relaxed);
+    }
+    explicit operator bool() const { return cells_ != nullptr; }
+
+private:
+    friend class MetricsRegistry;
+    Histogram(std::atomic<std::uint64_t>* cells, const std::uint64_t* bounds,
+              std::size_t num_bounds)
+        : cells_(cells), bounds_(bounds), num_bounds_(num_bounds) {}
+    /// Layout: buckets[0..num_bounds_] (last = +Inf), then sum.
+    std::atomic<std::uint64_t>* cells_ = nullptr;
+    const std::uint64_t* bounds_ = nullptr;
+    std::size_t num_bounds_ = 0;
+};
+
+/// `count` upper bounds starting at `start`, each `factor` times the last —
+/// the standard latency-histogram shape (e.g. 250ns * 4^k).
+std::vector<std::uint64_t> exponential_bounds(std::uint64_t start, double factor,
+                                              std::size_t count);
+
+/// One series in a snapshot. For counters `value` is set; for gauges
+/// `gauge`; for histograms `bounds`/`buckets` (non-cumulative, one extra
+/// +Inf bucket), `sum` and `value` (= total count).
+struct Sample {
+    std::string name;
+    std::string help;
+    Labels labels;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t value = 0;
+    std::int64_t gauge = 0;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sum = 0;
+};
+
+/// Point-in-time read of every registered series, sorted by (name, labels)
+/// so exports are deterministic.
+struct Snapshot {
+    std::vector<Sample> samples;
+
+    /// First sample with this name (and labels, if given); nullptr if absent.
+    const Sample* find(const std::string& name, const Labels& labels = {}) const;
+};
+
+/// Thread-safe named-metric registry. Registration (counter()/gauge()/
+/// histogram()) takes a mutex and is idempotent: the same (name, labels)
+/// returns a handle to the same cell, so independent components can share
+/// series. The hot path — handle operations — is lock-free relaxed atomics
+/// on cells whose addresses are stable for the registry's lifetime.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter counter(const std::string& name, const std::string& help = {},
+                    Labels labels = {});
+    Gauge gauge(const std::string& name, const std::string& help = {}, Labels labels = {});
+    /// `bounds` must be non-empty and strictly increasing. Re-registering
+    /// an existing histogram series ignores `bounds` and returns the
+    /// original cells (bounds are part of the series identity check).
+    Histogram histogram(const std::string& name, std::vector<std::uint64_t> bounds,
+                        const std::string& help = {}, Labels labels = {});
+
+    /// Consistent read of every series: registration is locked out while
+    /// the cells are read, so a snapshot never sees a half-registered
+    /// instrument (individual cells are read relaxed; in-flight increments
+    /// may or may not be included).
+    Snapshot snapshot() const;
+
+    std::size_t size() const;
+
+private:
+    struct Instrument {
+        std::string name;
+        std::string help;
+        Labels labels;
+        MetricKind kind = MetricKind::Counter;
+        std::vector<std::uint64_t> bounds; ///< histograms only
+        std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+    };
+
+    Instrument& find_or_create(const std::string& name, const std::string& help,
+                               Labels labels, MetricKind kind,
+                               std::vector<std::uint64_t> bounds);
+
+    mutable std::mutex m_;
+    std::deque<Instrument> instruments_; ///< deque: stable addresses
+    std::unordered_map<std::string, Instrument*> index_;
+};
+
+/// Null-safe registration: a detached handle when `reg` is nullptr. This is
+/// the idiom instrumented components use so "no registry" costs one branch
+/// per operation and zero allocations.
+inline Counter counter_in(MetricsRegistry* reg, const std::string& name,
+                          const std::string& help = {}, Labels labels = {}) {
+    return reg == nullptr ? Counter{} : reg->counter(name, help, std::move(labels));
+}
+inline Gauge gauge_in(MetricsRegistry* reg, const std::string& name,
+                      const std::string& help = {}, Labels labels = {}) {
+    return reg == nullptr ? Gauge{} : reg->gauge(name, help, std::move(labels));
+}
+inline Histogram histogram_in(MetricsRegistry* reg, const std::string& name,
+                              std::vector<std::uint64_t> bounds, const std::string& help = {},
+                              Labels labels = {}) {
+    return reg == nullptr ? Histogram{}
+                          : reg->histogram(name, std::move(bounds), help, std::move(labels));
+}
+
+} // namespace sbd::obs
+
+#endif

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sbd::obs {
+
+namespace {
+
+std::atomic<TraceCollector*> g_active{nullptr};
+std::atomic<std::uint64_t> g_serial{0};
+
+/// Per-thread cache of "my ring in the currently installed collector",
+/// keyed by the collector's unique serial so a recycled address can never
+/// alias a previous collector's cache entry.
+struct TlsRingCache {
+    std::uint64_t serial = 0;
+    void* ring = nullptr; ///< TraceCollector::Ring*, type-erased (Ring is private)
+};
+thread_local TlsRingCache tls_ring;
+
+} // namespace
+
+TraceCollector::TraceCollector(std::size_t ring_capacity)
+    : serial_(g_serial.fetch_add(1, std::memory_order_relaxed) + 1),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceCollector::~TraceCollector() { uninstall(); }
+
+void TraceCollector::install() { g_active.store(this, std::memory_order_release); }
+
+void TraceCollector::uninstall() {
+    TraceCollector* expected = this;
+    g_active.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+}
+
+TraceCollector* TraceCollector::active() { return g_active.load(std::memory_order_acquire); }
+
+TraceCollector::Ring* TraceCollector::ring_for_this_thread() {
+    if (tls_ring.serial == serial_) return static_cast<Ring*>(tls_ring.ring);
+    std::lock_guard lock(m_);
+    const auto id = std::this_thread::get_id();
+    Ring*& slot = ring_of_[id];
+    if (slot == nullptr) {
+        rings_.emplace_back();
+        slot = &rings_.back();
+        slot->tid = static_cast<std::uint32_t>(rings_.size() - 1);
+        slot->events.reserve(capacity_);
+    }
+    tls_ring.serial = serial_;
+    tls_ring.ring = slot;
+    return slot;
+}
+
+void TraceCollector::record(Ring* ring, SpanEvent&& ev) {
+    std::lock_guard lock(ring->m);
+    if (ring->events.size() >= capacity_) {
+        ++ring->dropped;
+        return;
+    }
+    ev.tid = ring->tid;
+    ring->events.push_back(std::move(ev));
+}
+
+std::vector<SpanEvent> TraceCollector::drain() {
+    std::vector<SpanEvent> out;
+    std::lock_guard lock(m_);
+    for (Ring& ring : rings_) {
+        std::lock_guard rl(ring.m);
+        out.insert(out.end(), std::make_move_iterator(ring.events.begin()),
+                   std::make_move_iterator(ring.events.end()));
+        ring.events.clear();
+    }
+    std::stable_sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+        if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+        return a.tid < b.tid;
+    });
+    return out;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+    std::uint64_t n = 0;
+    std::lock_guard lock(m_);
+    for (const Ring& ring : rings_) {
+        std::lock_guard rl(const_cast<Ring&>(ring).m);
+        n += ring.dropped;
+    }
+    return n;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat, std::string_view detail) {
+    TraceCollector* col = TraceCollector::active();
+    if (col == nullptr) return;
+    col_ = col;
+    ring_ = col->ring_for_this_thread();
+    name_ = name;
+    cat_ = cat;
+    detail_ = detail;
+    depth_ = ring_->depth++;
+    start_ns_ = col->now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+    if (col_ == nullptr) return;
+    --ring_->depth;
+    SpanEvent ev;
+    ev.name = name_;
+    ev.detail = std::move(detail_);
+    ev.cat = cat_;
+    ev.start_ns = start_ns_;
+    ev.dur_ns = col_->now_ns() - start_ns_;
+    ev.depth = depth_;
+    col_->record(ring_, std::move(ev));
+}
+
+} // namespace sbd::obs

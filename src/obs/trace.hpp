@@ -1,0 +1,113 @@
+#ifndef SBD_OBS_TRACE_HPP
+#define SBD_OBS_TRACE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace sbd::obs {
+
+/// One completed span: a named, nested interval on one thread. Timestamps
+/// are nanoseconds since the owning collector's construction.
+struct SpanEvent {
+    std::string name;   ///< phase name (static at the call site)
+    std::string detail; ///< free-form argument, e.g. the block type name
+    std::string cat;    ///< category ("compile", "engine", "tool", ...)
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;   ///< dense per-collector thread index
+    std::uint32_t depth = 0; ///< nesting depth on that thread at open time
+};
+
+/// Collects spans from any number of threads into per-thread ring buffers.
+///
+/// Exactly one collector can be *installed* (process-global) at a time;
+/// TraceSpan reads the installed collector with a single relaxed atomic
+/// load, so an uninstalled program pays one branch per span site. Each
+/// recording thread gets its own bounded buffer (first span registers it,
+/// under the collector mutex; the registration is cached thread-locally),
+/// so recording contends only on the thread's own buffer mutex — held for
+/// the few ns of one event append, and in practice uncontended because
+/// drain() is rare.
+///
+/// When a thread's buffer is full, further events on that thread are
+/// dropped and counted — tracing degrades, it never blocks or reallocates.
+class TraceCollector {
+public:
+    explicit TraceCollector(std::size_t ring_capacity = 1 << 14);
+    ~TraceCollector();
+    TraceCollector(const TraceCollector&) = delete;
+    TraceCollector& operator=(const TraceCollector&) = delete;
+
+    /// Makes this collector the process-global span sink. The collector
+    /// must outlive both the installation and every span opened under it.
+    void install();
+    /// Detaches (only if this collector is the installed one).
+    void uninstall();
+    static TraceCollector* active();
+
+    /// Takes every buffered event (all threads), sorted by (start, tid),
+    /// and clears the buffers. Safe to call while other threads record.
+    std::vector<SpanEvent> drain();
+    /// Events dropped so far because some thread's buffer was full
+    /// (cumulative; drain() does not reset it).
+    std::uint64_t dropped() const;
+
+    std::uint64_t now_ns() const {
+        return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                              std::chrono::steady_clock::now() - epoch_)
+                                              .count());
+    }
+
+private:
+    friend class TraceSpan;
+
+    struct Ring {
+        std::mutex m;
+        std::vector<SpanEvent> events; ///< bounded by the collector capacity
+        std::uint64_t dropped = 0;
+        std::uint32_t tid = 0;
+        std::uint32_t depth = 0; ///< owning thread only; no lock needed
+    };
+
+    Ring* ring_for_this_thread();
+    void record(Ring* ring, SpanEvent&& ev);
+
+    const std::uint64_t serial_; ///< globally unique; guards TLS ring caching
+    const std::size_t capacity_;
+    const std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex m_;
+    std::deque<Ring> rings_; ///< deque: stable addresses for TLS caching
+    std::unordered_map<std::thread::id, Ring*> ring_of_;
+};
+
+/// RAII span: opens on construction against the installed collector (no-op
+/// when none is installed) and records one SpanEvent on destruction. The
+/// `detail` argument is only copied when a collector is active.
+class TraceSpan {
+public:
+    explicit TraceSpan(const char* name, const char* cat = "sbd",
+                       std::string_view detail = {});
+    ~TraceSpan();
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+private:
+    TraceCollector* col_ = nullptr;
+    TraceCollector::Ring* ring_ = nullptr;
+    const char* name_ = nullptr;
+    const char* cat_ = nullptr;
+    std::string detail_;
+    std::uint64_t start_ns_ = 0;
+    std::uint32_t depth_ = 0;
+};
+
+} // namespace sbd::obs
+
+#endif

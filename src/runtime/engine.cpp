@@ -1,13 +1,42 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/trace.hpp"
 
 namespace sbd::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+} // namespace
 
 Engine::Engine(const codegen::CompiledSystem& sys, BlockPtr root, EngineConfig cfg)
     : pool_(sys, std::move(root), cfg.capacity), cfg_(cfg) {
     cfg_.threads = std::max<std::size_t>(1, cfg_.threads);
     cfg_.chunk = std::max<std::size_t>(1, cfg_.chunk);
+    cfg_.step_sample = std::max<std::size_t>(1, cfg_.step_sample);
+    if (cfg_.metrics != nullptr) {
+        obs_on_ = true;
+        obs::MetricsRegistry* reg = cfg_.metrics;
+        ticks_total_ = reg->counter("sbd_engine_ticks_total", "synchronous instants executed");
+        steps_total_ = reg->counter("sbd_engine_steps_total", "instance steps executed");
+        tick_ns_ = reg->histogram("sbd_engine_tick_ns", obs::exponential_bounds(1000, 4.0, 14),
+                                  "whole-tick latency, nanoseconds");
+        step_ns_ = reg->histogram(
+            "sbd_engine_step_ns", obs::exponential_bounds(250, 4.0, 12),
+            "per-instance step latency, nanoseconds (sampled 1-in-step_sample)");
+        pool_live_ = reg->gauge("sbd_engine_pool_live", "live instances in the pool");
+        pool_capacity_ = reg->gauge("sbd_engine_pool_capacity", "instance pool capacity");
+        pool_capacity_.set(static_cast<std::int64_t>(cfg_.capacity));
+    }
     workers_.reserve(cfg_.threads - 1);
     for (std::size_t t = 1; t < cfg_.threads; ++t)
         workers_.emplace_back([this] { worker_loop(); });
@@ -29,6 +58,25 @@ std::vector<InstanceId> Engine::create(std::size_t n) {
     return ids;
 }
 
+void Engine::step_range(const std::vector<std::uint32_t>& live, std::size_t begin,
+                        std::size_t end) {
+    if (!obs_on_) {
+        for (std::size_t i = begin; i < end; ++i) pool_.step_slot(live[i]);
+        return;
+    }
+    // Sampling by absolute index keeps the sampled set independent of how
+    // the live range was carved into chunks (thread count, chunk size).
+    for (std::size_t i = begin; i < end; ++i) {
+        if (i % cfg_.step_sample == 0) {
+            const auto t0 = Clock::now();
+            pool_.step_slot(live[i]);
+            step_ns_.observe(ns_since(t0));
+        } else {
+            pool_.step_slot(live[i]);
+        }
+    }
+}
+
 void Engine::run_chunks() {
     const std::vector<std::uint32_t>& live = pool_.live_slots();
     const std::size_t n = live.size();
@@ -36,8 +84,7 @@ void Engine::run_chunks() {
         for (;;) {
             const std::size_t begin = next_chunk_.fetch_add(cfg_.chunk, std::memory_order_relaxed);
             if (begin >= n) break;
-            const std::size_t end = std::min(n, begin + cfg_.chunk);
-            for (std::size_t i = begin; i < end; ++i) pool_.step_slot(live[i]);
+            step_range(live, begin, std::min(n, begin + cfg_.chunk));
         }
     } catch (...) {
         std::lock_guard lk(m_);
@@ -48,33 +95,41 @@ void Engine::run_chunks() {
 }
 
 void Engine::tick() {
-    if (pool_.size() == 0) {
-        ++ticks_;
-        return;
-    }
-    if (workers_.empty()) {
-        for (const std::uint32_t slot : pool_.live_slots()) pool_.step_slot(slot);
-        ++ticks_;
-        return;
-    }
-    {
-        std::lock_guard lk(m_);
-        next_chunk_.store(0, std::memory_order_relaxed);
-        done_ = 0;
-        ++epoch_;
-    }
-    cv_start_.notify_all();
-    run_chunks();
-    {
-        std::unique_lock lk(m_);
-        cv_done_.wait(lk, [this] { return done_ == workers_.size(); });
-        if (error_) {
-            const std::exception_ptr e = error_;
-            error_ = nullptr;
-            std::rethrow_exception(e);
+    obs::TraceSpan span("tick", "engine");
+    Clock::time_point t0;
+    if (obs_on_) t0 = Clock::now();
+    const std::size_t live_count = pool_.size();
+    if (live_count != 0) {
+        if (workers_.empty()) {
+            const std::vector<std::uint32_t>& live = pool_.live_slots();
+            step_range(live, 0, live.size());
+        } else {
+            {
+                std::lock_guard lk(m_);
+                next_chunk_.store(0, std::memory_order_relaxed);
+                done_ = 0;
+                ++epoch_;
+            }
+            cv_start_.notify_all();
+            run_chunks();
+            {
+                std::unique_lock lk(m_);
+                cv_done_.wait(lk, [this] { return done_ == workers_.size(); });
+                if (error_) {
+                    const std::exception_ptr e = error_;
+                    error_ = nullptr;
+                    std::rethrow_exception(e);
+                }
+            }
         }
     }
     ++ticks_;
+    if (obs_on_) {
+        ticks_total_.inc();
+        steps_total_.inc(live_count);
+        pool_live_.set(static_cast<std::int64_t>(live_count));
+        tick_ns_.observe(ns_since(t0));
+    }
 }
 
 void Engine::tick(std::size_t n) {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/pool.hpp"
 
 namespace sbd::runtime {
@@ -35,6 +36,15 @@ struct EngineConfig {
     std::size_t capacity = 1024; ///< maximum live instances (pool size)
     std::size_t threads = 1;     ///< total threads stepping a tick, incl. the caller
     std::size_t chunk = 64;      ///< instances per work unit on the tick hot path
+    /// Observability sink for tick/step latency histograms, throughput
+    /// counters and pool gauges. nullptr (the default) disables engine
+    /// instrumentation entirely: the hot path takes one branch per tick and
+    /// zero per step, and outputs are bit-identical to an uninstrumented
+    /// build.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Per-instance step latency is sampled 1-in-step_sample (clamped to
+    /// >= 1) so instrumentation stays off the clock on the step hot path.
+    std::size_t step_sample = 16;
 };
 
 /// Hosts a pool of independent instances of one compiled block and advances
@@ -80,10 +90,17 @@ public:
 private:
     void worker_loop();
     void run_chunks();
+    void step_range(const std::vector<std::uint32_t>& live, std::size_t begin, std::size_t end);
 
     InstancePool pool_;
     EngineConfig cfg_;
     std::vector<std::thread> workers_;
+
+    // Observability (all detached when cfg_.metrics == nullptr).
+    bool obs_on_ = false;
+    obs::Counter ticks_total_, steps_total_;
+    obs::Histogram tick_ns_, step_ns_;
+    obs::Gauge pool_live_, pool_capacity_;
 
     // Tick coordination. The mutex/condvars only frame a tick (start/finish
     // barriers); work distribution inside a tick is the lock-free counter.

@@ -17,73 +17,48 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
-
-namespace {
-
-int usage(const char* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s [options] model.sbd...\n"
-                 "  --format F     text | json                          (default: text)\n"
-                 "  --method M     monolithic | step-get | dynamic | disjoint-sat |\n"
-                 "                 disjoint-greedy | singletons         (default: dynamic)\n"
-                 "  --no-contracts skip profile contract checking (SBD019/SBD020)\n"
-                 "  --cache-dir D  share compiled profiles across the SBD013 method\n"
-                 "                 probes, files and runs (content-addressed, on disk)\n"
-                 "  --quiet        print nothing for clean files\n",
-                 argv0);
-    return 2;
-}
-
-} // namespace
+#include "cli_common.hpp"
 
 int main(int argc, char** argv) {
     std::string format = "text";
     std::string method_name = "dynamic";
     std::string cache_dir;
-    std::vector<std::string> inputs;
-    bool contracts = true;
+    bool no_contracts = false;
     bool quiet = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--format") format = value();
-        else if (arg == "--method") method_name = value();
-        else if (arg == "--no-contracts") contracts = false;
-        else if (arg == "--cache-dir") cache_dir = value();
-        else if (arg == "--quiet") quiet = true;
-        else if (arg == "--help" || arg == "-h") return usage(argv[0]);
-        else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
-        else inputs.push_back(arg);
+    sbd::cli::ArgParser parser("sbd-lint", "model.sbd...");
+    parser.flag("--format", "F", "text | json                          (default: text)",
+                &format);
+    parser.flag("--method", "M",
+                "monolithic | step-get | dynamic | disjoint-sat |\n"
+                "                 disjoint-greedy | singletons         (default: dynamic)",
+                &method_name);
+    parser.flag("--no-contracts", "skip profile contract checking (SBD019/SBD020)",
+                &no_contracts);
+    parser.flag("--cache-dir", "D",
+                "share compiled profiles across the SBD013 method\n"
+                "                 probes, files and runs (content-addressed, on disk)",
+                &cache_dir);
+    parser.flag("--quiet", "print nothing for clean files", &quiet);
+    if (const auto code = parser.parse(argc, argv)) return *code;
+
+    const std::vector<std::string>& inputs = parser.positionals();
+    if (inputs.empty()) return parser.usage(stderr), sbd::cli::kExitUsage;
+    if (format != "text" && format != "json")
+        return parser.usage(stderr), sbd::cli::kExitUsage;
+    const auto method = sbd::cli::parse_method(method_name);
+    if (!method) {
+        std::fprintf(stderr, "sbd-lint: unknown method '%s'\n", method_name.c_str());
+        return sbd::cli::kExitUsage;
     }
-    if (inputs.empty()) return usage(argv[0]);
-    if (format != "text" && format != "json") return usage(argv[0]);
 
     sbd::analysis::LintOptions opts;
-    opts.check_contracts = contracts;
+    opts.check_contracts = !no_contracts;
+    opts.method = *method;
     try {
         // One cache for the whole batch: every false-cycle probe of every
         // file shares it (and, with --cache-dir, every future run too).
         opts.cache = std::make_shared<sbd::codegen::ProfileCache>(0, cache_dir);
-        bool found = false;
-        for (const sbd::codegen::Method m :
-             {sbd::codegen::Method::Monolithic, sbd::codegen::Method::StepGet,
-              sbd::codegen::Method::Dynamic, sbd::codegen::Method::DisjointSat,
-              sbd::codegen::Method::DisjointGreedy, sbd::codegen::Method::Singletons})
-            if (method_name == sbd::codegen::to_string(m)) {
-                opts.method = m;
-                found = true;
-            }
-        if (!found) {
-            std::fprintf(stderr, "unknown method '%s'\n", method_name.c_str());
-            return 2;
-        }
 
         bool any_errors = false;
         for (const std::string& path : inputs) {
@@ -95,9 +70,9 @@ int main(int argc, char** argv) {
             else
                 std::fputs(sbd::analysis::render_text(report).c_str(), stdout);
         }
-        return any_errors ? 5 : 0;
+        return any_errors ? sbd::cli::kExitLint : sbd::cli::kExitOk;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return sbd::cli::kExitError;
     }
 }

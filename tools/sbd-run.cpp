@@ -9,6 +9,7 @@
 //   sbd-run --instances 1000 --instants 500 --threads 8 model.sbd
 //   sbd-run --method disjoint-sat --record trace.sbdt model.sbd
 //   sbd-run --replay trace.sbdt model.sbd     # bit-exact regression check
+//   sbd-run --metrics-out m.prom --trace-out t.json model.sbd
 //
 // Exit codes: 0 ok, 1 runtime/replay mismatch, 2 usage,
 //             3 parse error, 4 compile (cycle) rejection.
@@ -17,6 +18,7 @@
 #include <cstdio>
 #include <string>
 
+#include "cli_common.hpp"
 #include "core/pipeline.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/trace.hpp"
@@ -27,32 +29,6 @@ namespace {
 using namespace sbd;
 using namespace sbd::codegen;
 
-int usage(const char* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s [options] model.sbd\n"
-                 "  --instances N  concurrent instances to host       (default 1)\n"
-                 "  --instants T   synchronous instants to execute    (default 100)\n"
-                 "  --threads K    threads stepping each tick         (default 1)\n"
-                 "  --method M     monolithic | step-get | dynamic | disjoint-sat |\n"
-                 "                 disjoint-greedy | singletons       (default: dynamic)\n"
-                 "  --seed S       base input seed; instance i uses S+i (default 1)\n"
-                 "  --record FILE  save instance 0's I/O trace (.csv for text,\n"
-                 "                 anything else for SBDT binary)\n"
-                 "  --replay FILE  replay a recorded trace through a fresh instance\n"
-                 "                 and the reference simulator; fail on any bit diff\n"
-                 "  --cache-dir D  reuse compiled profiles from D (shared with sbdc)\n"
-                 "  --print        print instance 0's outputs per instant\n",
-                 argv0);
-    return 2;
-}
-
-Method parse_method(const std::string& name) {
-    for (const Method m : {Method::Monolithic, Method::StepGet, Method::Dynamic,
-                           Method::DisjointSat, Method::DisjointGreedy, Method::Singletons})
-        if (name == to_string(m)) return m;
-    throw ModelError("unknown method '" + name + "'");
-}
-
 int run_replay(const CompiledSystem& sys, const std::shared_ptr<const MacroBlock>& root,
                const std::string& path) {
     const runtime::Trace recorded = runtime::load_trace(path);
@@ -61,7 +37,7 @@ int run_replay(const CompiledSystem& sys, const std::shared_ptr<const MacroBlock
         std::fprintf(stderr, "replay: trace is %zux%zu but model has %zu inputs, %zu outputs\n",
                      recorded.num_inputs, recorded.num_outputs, root->num_inputs(),
                      root->num_outputs());
-        return 1;
+        return cli::kExitError;
     }
     const runtime::Trace generated = runtime::replay(sys, root, recorded);
     const runtime::Trace reference = runtime::simulate_reference(*root, recorded);
@@ -70,7 +46,7 @@ int run_replay(const CompiledSystem& sys, const std::shared_ptr<const MacroBlock
     std::printf("replay: %zu instants, generated code %s, reference simulator %s\n",
                 recorded.instants(), gen_ok ? "MATCH" : "MISMATCH",
                 sim_ok ? "MATCH" : "MISMATCH");
-    return gen_ok && sim_ok ? 0 : 1;
+    return gen_ok && sim_ok ? cli::kExitOk : cli::kExitError;
 }
 
 } // namespace
@@ -83,55 +59,74 @@ int main(int argc, char** argv) {
     std::string method_name = "dynamic";
     std::string record_path;
     std::string replay_path;
-    std::string input_path;
     std::string cache_dir;
     bool print = false;
+    cli::ObsOptions obs_opts;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--instances") instances = std::stoull(value());
-        else if (arg == "--instants") instants = std::stoull(value());
-        else if (arg == "--threads") threads = std::stoull(value());
-        else if (arg == "--method") method_name = value();
-        else if (arg == "--seed") seed = std::stoull(value());
-        else if (arg == "--record") record_path = value();
-        else if (arg == "--replay") replay_path = value();
-        else if (arg == "--cache-dir") cache_dir = value();
-        else if (arg == "--print") print = true;
-        else if (arg == "--help" || arg == "-h") return usage(argv[0]);
-        else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
-        else input_path = arg;
+    cli::ArgParser parser("sbd-run", "model.sbd");
+    parser.flag("--instances", "N", "concurrent instances to host       (default 1)",
+                &instances);
+    parser.flag("--instants", "T", "synchronous instants to execute    (default 100)",
+                &instants);
+    parser.flag("--threads", "K", "threads stepping each tick         (default 1)", &threads);
+    parser.flag("--method", "M",
+                "monolithic | step-get | dynamic | disjoint-sat |\n"
+                "                 disjoint-greedy | singletons       (default: dynamic)",
+                &method_name);
+    parser.flag("--seed", "S", "base input seed; instance i uses S+i (default 1)", &seed);
+    parser.flag("--record", "FILE",
+                "save instance 0's I/O trace (.csv for text,\n"
+                "                 anything else for SBDT binary)",
+                &record_path);
+    parser.flag("--replay", "FILE",
+                "replay a recorded trace through a fresh instance\n"
+                "                 and the reference simulator; fail on any bit diff",
+                &replay_path);
+    parser.flag("--cache-dir", "D", "reuse compiled profiles from D (shared with sbdc)",
+                &cache_dir);
+    parser.flag("--print", "print instance 0's outputs per instant", &print);
+    cli::add_obs_flags(parser, &obs_opts);
+    if (const auto code = parser.parse(argc, argv)) return *code;
+
+    if (parser.positionals().size() != 1 || instances == 0)
+        return parser.usage(stderr), cli::kExitUsage;
+    const std::string input_path = parser.positionals().front();
+    const auto method = cli::parse_method(method_name);
+    if (!method) {
+        std::fprintf(stderr, "sbd-run: unknown method '%s'\n", method_name.c_str());
+        return cli::kExitUsage;
     }
-    if (input_path.empty() || instances == 0) return usage(argv[0]);
+
+    obs::MetricsRegistry registry;
+    cli::ScopedTracing tracing(obs_opts);
+    const auto finish = [&](int code) {
+        const int obs_code = cli::write_obs_outputs(obs_opts, &registry, tracing);
+        return code != cli::kExitOk ? code : obs_code;
+    };
 
     text::ParsedFile file;
     try {
         file = text::parse_sbd_file(input_path);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "parse error: %s\n", e.what());
-        return 3;
+        return finish(cli::kExitParse);
     }
 
     try {
         const std::shared_ptr<const MacroBlock> root = file.root;
         PipelineOptions popts;
-        popts.method = parse_method(method_name);
+        popts.method = *method;
         popts.cache_dir = cache_dir;
+        popts.metrics = &registry;
         Pipeline pipeline(popts);
         const CompiledSystem sys = pipeline.compile(root);
 
-        if (!replay_path.empty()) return run_replay(sys, root, replay_path);
+        if (!replay_path.empty()) return finish(run_replay(sys, root, replay_path));
 
         runtime::EngineConfig cfg;
         cfg.capacity = instances;
         cfg.threads = threads;
+        if (obs_opts.enabled()) cfg.metrics = &registry;
         runtime::Engine engine(sys, root, cfg);
         const std::vector<runtime::InstanceId> ids = engine.create(instances);
 
@@ -178,12 +173,12 @@ int main(int argc, char** argv) {
                      "%.3f s, %.0f instance-instants/s (checksum %.6g)\n",
                      instances, instants, engine.threads(), method_name.c_str(), sec,
                      sec > 0 ? total / sec : 0.0, checksum);
-        return 0;
+        return finish(cli::kExitOk);
     } catch (const SdgCycleError& e) {
         std::fprintf(stderr, "rejected: %s\n", e.what());
-        return 4;
+        return finish(cli::kExitCycle);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return finish(cli::kExitError);
     }
 }

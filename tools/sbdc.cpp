@@ -11,18 +11,18 @@
 //   sbdc --simulate 10 model.sbd            # run the generated code
 //   sbdc --stats model.sbd                  # per-block metrics table
 //   sbdc --lint model.sbd                   # static analysis only
+//   sbdc --metrics-out m.prom model.sbd     # export the metrics registry
+//   sbdc --trace-out t.json model.sbd       # record compile trace spans
 //
 // Exit codes: 0 ok, 1 other error, 2 usage, 3 parse error,
 //             4 compile (cycle) rejection, 5 lint errors (--lint).
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <iostream>
 #include <sstream>
-#include <random>
 
 #include "analysis/lint.hpp"
+#include "cli_common.hpp"
 #include "core/emit_cpp.hpp"
 #include "core/pipeline.hpp"
 #include "core/exec.hpp"
@@ -35,41 +35,6 @@ namespace {
 using namespace sbd;
 using namespace sbd::codegen;
 
-int usage(const char* argv0) {
-    std::fprintf(stderr,
-                 "usage: %s [options] model.sbd\n"
-                 "  --method M     monolithic | step-get | dynamic | disjoint-sat |\n"
-                 "                 disjoint-greedy | singletons        (default: dynamic)\n"
-                 "  --root NAME    compile this block as the root (default: last defined)\n"
-                 "  --emit WHAT    pseudo | cpp | profile | dot | sbd  (default: pseudo)\n"
-                 "  --simulate N   execute N instants with deterministic random inputs\n"
-                 "  --seed S       input seed for --simulate (default 1)\n"
-                 "  --instances N  host N concurrent instances during --simulate (default 1;\n"
-                 "                 instance i is driven with seed S+i, instance 0 is printed)\n"
-                 "  --threads K    step --simulate instances with K threads (default 1)\n"
-                 "  --stats        print the per-block metrics table and the pipeline\n"
-                 "                 cache/timing counters as JSON\n"
-                 "  --cache-dir D  persist compiled profiles in D (content-addressed;\n"
-                 "                 reused across runs and shared between tools)\n"
-                 "  --jobs K       compile independent sub-diagrams with K threads\n"
-                 "                 (default 1; results are identical for every K)\n"
-                 "  --lint         run static analysis instead of compiling; exit 5 on\n"
-                 "                 errors (--method selects the cycle-analysis method)\n"
-                 "  --format F     text | json diagnostics for --lint    (default: text)\n"
-                 "  --verify-contracts  re-check every generated profile against the\n"
-                 "                 modular compilation contract while compiling\n"
-                 "  --out FILE     write the artifact to FILE instead of stdout\n",
-                 argv0);
-    return 2;
-}
-
-Method parse_method(const std::string& name) {
-    for (const Method m : {Method::Monolithic, Method::StepGet, Method::Dynamic,
-                           Method::DisjointSat, Method::DisjointGreedy, Method::Singletons})
-        if (name == to_string(m)) return m;
-    throw ModelError("unknown method '" + name + "'");
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -77,7 +42,6 @@ int main(int argc, char** argv) {
     std::string emit = "pseudo";
     std::string root_name;
     std::string out_path;
-    std::string input_path;
     std::string cache_dir;
     std::size_t simulate = 0;
     std::size_t instances = 1;
@@ -88,54 +52,88 @@ int main(int argc, char** argv) {
     bool lint = false;
     bool verify_contracts = false;
     std::string format = "text";
+    cli::ObsOptions obs_opts;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--method") method_name = value();
-        else if (arg == "--emit") emit = value();
-        else if (arg == "--root") root_name = value();
-        else if (arg == "--out") out_path = value();
-        else if (arg == "--simulate") simulate = std::stoull(value());
-        else if (arg == "--instances") instances = std::stoull(value());
-        else if (arg == "--threads") threads = std::stoull(value());
-        else if (arg == "--jobs") jobs = std::stoull(value());
-        else if (arg == "--cache-dir") cache_dir = value();
-        else if (arg == "--seed") seed = std::stoull(value());
-        else if (arg == "--stats") stats = true;
-        else if (arg == "--lint") lint = true;
-        else if (arg == "--verify-contracts") verify_contracts = true;
-        else if (arg == "--format") format = value();
-        else if (arg == "--help" || arg == "-h") return usage(argv[0]);
-        else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
-        else input_path = arg;
+    cli::ArgParser parser("sbdc", "model.sbd");
+    parser.flag("--method", "M",
+                "monolithic | step-get | dynamic | disjoint-sat |\n"
+                "                 disjoint-greedy | singletons        (default: dynamic)",
+                &method_name);
+    parser.flag("--root", "NAME", "compile this block as the root (default: last defined)",
+                &root_name);
+    parser.flag("--emit", "WHAT", "pseudo | cpp | profile | dot | sbd  (default: pseudo)",
+                &emit);
+    parser.flag("--simulate", "N", "execute N instants with deterministic random inputs",
+                &simulate);
+    parser.flag("--seed", "S", "input seed for --simulate (default 1)", &seed);
+    parser.flag("--instances", "N",
+                "host N concurrent instances during --simulate (default 1;\n"
+                "                 instance i is driven with seed S+i, instance 0 is printed)",
+                &instances);
+    parser.flag("--threads", "K", "step --simulate instances with K threads (default 1)",
+                &threads);
+    parser.flag("--stats",
+                "print the per-block metrics table and the pipeline\n"
+                "                 cache/timing counters as JSON",
+                &stats);
+    parser.flag("--cache-dir", "D",
+                "persist compiled profiles in D (content-addressed;\n"
+                "                 reused across runs and shared between tools)",
+                &cache_dir);
+    parser.flag("--jobs", "K",
+                "compile independent sub-diagrams with K threads\n"
+                "                 (default 1; results are identical for every K)",
+                &jobs);
+    parser.flag("--lint",
+                "run static analysis instead of compiling; exit 5 on\n"
+                "                 errors (--method selects the cycle-analysis method)",
+                &lint);
+    parser.flag("--format", "F", "text | json diagnostics for --lint    (default: text)",
+                &format);
+    parser.flag("--verify-contracts",
+                "re-check every generated profile against the\n"
+                "                 modular compilation contract while compiling",
+                &verify_contracts);
+    parser.flag("--out", "FILE", "write the artifact to FILE instead of stdout", &out_path);
+    cli::add_obs_flags(parser, &obs_opts);
+    if (const auto code = parser.parse(argc, argv)) return *code;
+
+    if (parser.positionals().size() != 1 || instances == 0)
+        return parser.usage(stderr), cli::kExitUsage;
+    const std::string input_path = parser.positionals().front();
+    if (format != "text" && format != "json") return parser.usage(stderr), cli::kExitUsage;
+    const auto method = cli::parse_method(method_name);
+    if (!method) {
+        std::fprintf(stderr, "sbdc: unknown method '%s'\n", method_name.c_str());
+        return cli::kExitUsage;
     }
-    if (input_path.empty() || instances == 0) return usage(argv[0]);
-    if (format != "text" && format != "json") return usage(argv[0]);
+
+    // One registry for everything this invocation does (pipeline, cache,
+    // engine); --stats and --metrics-out both read it.
+    obs::MetricsRegistry registry;
+    cli::ScopedTracing tracing(obs_opts);
+    const auto finish = [&](int code) {
+        const int obs_code = cli::write_obs_outputs(obs_opts, &registry, tracing);
+        return code != cli::kExitOk ? code : obs_code;
+    };
 
     if (lint) {
         // Static analysis replaces compilation entirely: lenient parse,
         // all passes, diagnostics to stdout.
         try {
             analysis::LintOptions lopts;
-            lopts.method = parse_method(method_name);
+            lopts.method = *method;
             if (!cache_dir.empty())
-                lopts.cache = std::make_shared<ProfileCache>(0, cache_dir);
+                lopts.cache = std::make_shared<ProfileCache>(0, cache_dir, &registry);
             const auto report = analysis::lint_file(input_path, lopts);
             std::fputs((format == "json" ? analysis::render_json(report)
                                          : analysis::render_text(report))
                            .c_str(),
                        stdout);
-            return report.has_errors() ? 5 : 0;
+            return finish(report.has_errors() ? cli::kExitLint : cli::kExitOk);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
-            return 1;
+            return finish(cli::kExitError);
         }
     }
 
@@ -144,7 +142,7 @@ int main(int argc, char** argv) {
         file = text::parse_sbd_file(input_path);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "parse error: %s\n", e.what());
-        return 3;
+        return finish(cli::kExitParse);
     }
 
     try {
@@ -156,10 +154,11 @@ int main(int argc, char** argv) {
             root = std::static_pointer_cast<const MacroBlock>(it->second);
         }
         PipelineOptions popts;
-        popts.method = parse_method(method_name);
+        popts.method = *method;
         popts.cluster.verify_contracts = verify_contracts;
         popts.threads = jobs;
         popts.cache_dir = cache_dir;
+        popts.metrics = &registry;
         Pipeline pipeline(popts);
         const CompiledSystem sys = pipeline.compile(root);
 
@@ -201,6 +200,8 @@ int main(int argc, char** argv) {
                             cb.clustering->replicated_nodes(*cb.sdg),
                             false_io_dependencies(*cb.sdg, *cb.clustering).size(), rep.score());
             }
+            // stats() is a registry read: the same numbers --metrics-out
+            // exports, rendered in the stable JSON shape.
             std::printf("\npipeline: %s\n", pipeline.stats().to_json().c_str());
             std::printf("options: {\"method\": \"%s\", \"jobs\": %zu, \"cluster\": \"%s\"}\n\n",
                         to_string(popts.method), jobs,
@@ -224,6 +225,7 @@ int main(int argc, char** argv) {
             runtime::EngineConfig cfg;
             cfg.capacity = instances;
             cfg.threads = threads;
+            if (obs_opts.enabled()) cfg.metrics = &registry;
             runtime::Engine engine(sys, root, cfg);
             const std::vector<runtime::InstanceId> ids = engine.create(instances);
             std::vector<runtime::LcgInputSource> sources;
@@ -242,14 +244,14 @@ int main(int argc, char** argv) {
                 std::printf("\n");
             }
         }
-        return 0;
+        return finish(cli::kExitOk);
     } catch (const SdgCycleError& e) {
         std::fprintf(stderr, "rejected: %s\n(hint: use --method dynamic or disjoint-sat for "
                              "maximal reusability)\n",
                      e.what());
-        return 4;
+        return finish(cli::kExitCycle);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return finish(cli::kExitError);
     }
 }
