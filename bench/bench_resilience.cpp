@@ -1,0 +1,173 @@
+// Resilience overhead benchmark: what do the compiled-in fault points cost
+// when nothing is armed (the shipped default)?
+//
+// The unarmed check is one relaxed atomic load and a branch, so its cost
+// cannot be measured by differencing two noisy end-to-end timings — the
+// delta drowns in scheduler jitter. Instead this bench measures the two
+// factors directly and multiplies:
+//   * per-check cost  — a tight microbenchmark of SBD_FAULT_HIT against a
+//     point that is never scheduled (best-of-R, amortized over 2^24 checks);
+//   * checks per run  — counted exactly, by arming an all-"off" plan (every
+//     catalog point scheduled Never, so behaviour is unchanged) around one
+//     cold compile + engine workload and reading the registry snapshot.
+// overhead_pct = per_check_ns * checks_per_run / unarmed_run_ns.
+//
+// Gates (exit 1 on failure, so CI can run this as a check):
+//   * projected unarmed overhead on the cold-compile workload <= +1%;
+//   * armed-with-off-schedules runs render bit-identically to unarmed runs
+//     (a plan that injects nothing must change nothing).
+//
+// Also reported (not gated): the measured wall-clock of the armed-off
+// configuration, whose per-hit mutex is the documented testing-mode cost.
+//
+// Machine-readable output: BENCH_resilience.json in the working directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "resilience/fault.hpp"
+#include "runtime/engine.hpp"
+#include "suite/random_models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+using namespace sbd::resilience;
+
+constexpr int kRepeats = 7;
+constexpr std::uint64_t kMicroChecks = 1u << 24;
+constexpr std::size_t kEngineInstances = 64;
+constexpr std::size_t kEngineInstants = 50;
+
+std::string render(const CompiledSystem& sys) {
+    std::string out;
+    for (const Block* b : sys.order()) {
+        const auto& cb = sys.at(*b);
+        out += cb.profile.to_string();
+        if (cb.code) out += cb.code->to_pseudocode();
+    }
+    return out;
+}
+
+/// The gated workload: one cold compile (fresh pipeline, no cache reuse)
+/// plus a short engine run — every fault point on the normal path executes.
+std::string run_workload(const std::shared_ptr<const MacroBlock>& root) {
+    Pipeline pipeline{PipelineOptions{}};
+    const CompiledSystem sys = pipeline.compile(root);
+    runtime::EngineConfig cfg;
+    cfg.capacity = kEngineInstances;
+    runtime::Engine engine(sys, root, cfg);
+    const auto ids = engine.create(kEngineInstances);
+    std::vector<runtime::LcgInputSource> sources;
+    sources.reserve(kEngineInstances);
+    for (std::size_t i = 0; i < kEngineInstances; ++i) sources.emplace_back(1 + i);
+    for (std::size_t t = 0; t < kEngineInstants; ++t) {
+        for (std::size_t i = 0; i < kEngineInstances; ++i)
+            sources[i].fill(engine.pool().inputs(ids[i]));
+        engine.tick();
+    }
+    return render(sys);
+}
+
+double best_ms(const std::function<void()>& fn) {
+    double best = 1e300;
+    for (int r = 0; r < kRepeats; ++r) best = std::min(best, sbd::bench::time_ms(fn));
+    return best;
+}
+
+/// ns per unarmed SBD_FAULT_HIT, amortized over a tight loop. The volatile
+/// sink keeps the optimizer from hoisting the whole check.
+double per_check_ns() {
+    volatile bool sink = false;
+    double best = 1e300;
+    for (int r = 0; r < kRepeats; ++r) {
+        const double ms = sbd::bench::time_ms([&] {
+            for (std::uint64_t i = 0; i < kMicroChecks; ++i)
+                sink = sink | SBD_FAULT_HIT("bench.unarmed");
+        });
+        best = std::min(best, ms);
+    }
+    (void)sink;
+    return best * 1e6 / static_cast<double>(kMicroChecks);
+}
+
+FaultPlan all_off_plan() {
+    FaultPlan plan;
+    plan.seed = 1;
+    for (const char* point : kFaultPointCatalog)
+        plan.points.emplace_back(point, Schedule{}); // ScheduleKind::Never
+    return plan;
+}
+
+} // namespace
+
+int main() {
+    std::mt19937_64 rng(17);
+    suite::DeepModelParams params;
+    params.levels = 5;
+    const auto root = suite::random_deep_model(rng, params);
+
+    std::printf("Resilience overhead: cold compile + %zu x %zu engine ticks, best of %d\n",
+                kEngineInstances, kEngineInstants, kRepeats);
+    sbd::bench::rule('-', 72);
+
+    // Behavioural gate first: an armed plan that injects nothing must not
+    // change one bit of the output.
+    const std::string unarmed_render = run_workload(root);
+    std::string armed_render;
+    std::uint64_t checks_per_run = 0;
+    {
+        ScopedFaultPlan armed(all_off_plan());
+        armed_render = run_workload(root);
+        for (const PointStats& pt : FaultRegistry::instance().snapshot())
+            checks_per_run += pt.hits;
+    }
+    const bool bit_exact = armed_render == unarmed_render;
+
+    const double unarmed_ms = best_ms([&] { (void)run_workload(root); });
+    double armed_ms = 0.0;
+    {
+        ScopedFaultPlan armed(all_off_plan());
+        armed_ms = best_ms([&] { (void)run_workload(root); });
+    }
+    const double check_ns = per_check_ns();
+    const double projected_pct =
+        check_ns * static_cast<double>(checks_per_run) / (unarmed_ms * 1e6) * 100.0;
+    const double armed_pct = (armed_ms / unarmed_ms - 1.0) * 100.0;
+
+    std::printf("%-34s | %9.2f ms |\n", "unarmed (shipped default)", unarmed_ms);
+    std::printf("%-34s | %9.2f ms | %+6.2f%%\n", "armed, all schedules off", armed_ms,
+                armed_pct);
+    std::printf("%-34s | %9.3f ns/check x %llu checks\n", "unarmed check (microbench)",
+                check_ns, static_cast<unsigned long long>(checks_per_run));
+    sbd::bench::rule('-', 72);
+    std::printf("bit-exact (armed-off == unarmed): %s\n", bit_exact ? "PASS" : "FAIL");
+    std::printf("projected unarmed overhead: %.4f%% (gate: <= 1%%): %s\n", projected_pct,
+                projected_pct <= 1.0 ? "PASS" : "FAIL");
+
+    const bool pass = bit_exact && projected_pct <= 1.0;
+    std::FILE* f = std::fopen("BENCH_resilience.json", "w");
+    if (f != nullptr) {
+        std::fprintf(f, "{\n  \"bench\": \"resilience_overhead\",\n");
+        std::fprintf(f, "  \"repeats\": %d,\n", kRepeats);
+        std::fprintf(f, "  \"unarmed_ms\": %.3f,\n", unarmed_ms);
+        std::fprintf(f, "  \"armed_off_ms\": %.3f,\n  \"armed_off_overhead_pct\": %.2f,\n",
+                     armed_ms, armed_pct);
+        std::fprintf(f, "  \"per_check_ns\": %.4f,\n  \"checks_per_run\": %llu,\n", check_ns,
+                     static_cast<unsigned long long>(checks_per_run));
+        std::fprintf(f, "  \"projected_unarmed_overhead_pct\": %.4f,\n", projected_pct);
+        std::fprintf(f, "  \"bit_exact\": %s,\n", bit_exact ? "true" : "false");
+        std::fprintf(f, "  \"overhead_gate_pct\": 1.0,\n");
+        std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote BENCH_resilience.json\n");
+    } else {
+        std::fprintf(stderr, "cannot write BENCH_resilience.json\n");
+    }
+    return pass ? 0 : 1;
+}

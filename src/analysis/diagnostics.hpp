@@ -42,6 +42,8 @@ const char* to_string(Severity s);
 ///   SBD019  generated profile violates the modular           error
 ///           compilation contract
 ///   SBD020  generated PDG edge unjustified by any dataflow   warning
+///   SBD021  SAT conflict budget exhausted: clustering        warning
+///           degraded (or compilation gave up) on this block
 struct Diagnostic {
     std::string code; ///< "SBDnnn"
     Severity severity = Severity::Error;

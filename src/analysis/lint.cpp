@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/contract.hpp"
+#include "resilience/budget.hpp"
 #include "sbd/flatten.hpp"
 #include "sbd/opaque.hpp"
 
@@ -180,6 +181,13 @@ void pass_cycles(const text::ParsedFile& file, const LintOptions& opts, LintRepo
                                     f.message, {}});
                         }
                         result = std::move(gen.profile);
+                    } catch (const resilience::BudgetExhausted& e) {
+                        rep.diagnostics.push_back(
+                            Diagnostic{"SBD021", Severity::Warning, m.def_loc(),
+                                       "macro '" + m.type_name() +
+                                           "': clustering abandoned under resource budget: " +
+                                           e.what(),
+                                       {}});
                     } catch (const std::exception& e) {
                         rep.diagnostics.push_back(
                             Diagnostic{"SBD019", Severity::Error, m.def_loc(),

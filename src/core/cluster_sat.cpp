@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "core/methods.hpp"
+#include "resilience/budget.hpp"
+#include "resilience/fault.hpp"
 #include "sat/solver.hpp"
 
 namespace sbd::codegen {
@@ -130,6 +132,9 @@ sat::Cnf build_fk(const Instance& inst, std::size_t k, const ClusterOptions& opt
 /// index.
 bool solve_fk(const Instance& inst, std::size_t k, const ClusterOptions& opts,
               std::vector<std::size_t>* assignment, SatClusterStats* stats) {
+    // Deterministic budget-trip injection for the chaos harness: the site
+    // mirrors the real exhaustion path exactly (same exception, same spot).
+    if (SBD_FAULT_HIT("sat.budget")) throw sat::Solver::BudgetExceeded{};
     const sat::Cnf cnf = build_fk(inst, k, opts);
     sat::Solver solver;
     if (opts.sat_conflict_budget != 0) solver.set_conflict_budget(opts.sat_conflict_budget);
@@ -140,7 +145,19 @@ bool solve_fk(const Instance& inst, std::size_t k, const ClusterOptions& opts,
         stats->vars = cnf.num_vars;
         stats->clauses = cnf.clauses.size();
     }
-    const bool sat = solver.solve();
+    bool sat = false;
+    try {
+        sat = solver.solve();
+    } catch (const sat::Solver::BudgetExceeded&) {
+        // Record what the aborted solve cost before handing the trip to
+        // cluster_disjoint_sat's degradation logic.
+        if (stats != nullptr) {
+            stats->conflicts += solver.stats().conflicts;
+            stats->decisions += solver.stats().decisions;
+            stats->propagations += solver.stats().propagations;
+        }
+        throw;
+    }
     if (stats != nullptr) {
         stats->conflicts += solver.stats().conflicts;
         stats->decisions += solver.stats().decisions;
@@ -199,22 +216,41 @@ Clustering cluster_disjoint_sat(const Sdg& sdg, const ClusterOptions& opts,
     if (stats != nullptr) stats->first_k = k0;
 
     std::vector<std::size_t> assignment;
-    for (std::size_t k = k0; k <= B; ++k) {
-        if (stats != nullptr) ++stats->iterations;
-        if (solve_fk(inst, k, opts, &assignment, stats)) {
-            result.clusters.assign(k, {});
-            for (std::size_t b = 0; b < B; ++b)
-                result.clusters[assignment[b]].push_back(inst.internal[b]);
-            for (auto& cl : result.clusters) std::sort(cl.begin(), cl.end());
-            if (stats != nullptr) stats->final_k = k;
-            // Lemma 5: the first satisfiable k yields a clustering that is
-            // not just almost valid but valid; verify defensively.
-            const auto report = check_validity(sdg, result);
-            if (!report.valid())
-                throw std::logic_error(
-                    "cluster_disjoint_sat: extracted clustering failed validation");
-            return result;
+    try {
+        for (std::size_t k = k0; k <= B; ++k) {
+            if (stats != nullptr) ++stats->iterations;
+            if (solve_fk(inst, k, opts, &assignment, stats)) {
+                result.clusters.assign(k, {});
+                for (std::size_t b = 0; b < B; ++b)
+                    result.clusters[assignment[b]].push_back(inst.internal[b]);
+                for (auto& cl : result.clusters) std::sort(cl.begin(), cl.end());
+                if (stats != nullptr) stats->final_k = k;
+                // Lemma 5: the first satisfiable k yields a clustering that is
+                // not just almost valid but valid; verify defensively.
+                const auto report = check_validity(sdg, result);
+                if (!report.valid())
+                    throw std::logic_error(
+                        "cluster_disjoint_sat: extracted clustering failed validation");
+                return result;
+            }
         }
+    } catch (const sat::Solver::BudgetExceeded&) {
+        if (stats != nullptr) stats->budget_exhausted = true;
+        if (!opts.sat_budget_degrade)
+            throw resilience::BudgetExhausted(
+                "cluster_disjoint_sat: SAT conflict budget (" +
+                std::to_string(opts.sat_conflict_budget) +
+                ") exhausted; rerun with a larger --sat-conflict-budget or enable "
+                "degradation [SBD021]");
+        // Degradation ladder (DESIGN.md "Resilience"): optimal-disjoint ->
+        // step-get (disjoint, at most two functions; valid for every SDG
+        // built from a diagram) -> dynamic (valid for every SDG, possibly
+        // overlapping). Both keep the compile-or-reject contract: the
+        // result is correct, only non-optimal.
+        Clustering degraded = cluster_stepget(sdg);
+        if (!check_validity(sdg, degraded).valid())
+            degraded = cluster_dynamic(sdg, opts);
+        return degraded;
     }
     throw std::logic_error("cluster_disjoint_sat: no clustering found (unreachable)");
 }

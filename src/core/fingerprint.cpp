@@ -21,7 +21,7 @@ std::uint64_t mix(std::uint64_t z) {
 /// The cache-key schema version. Bump whenever the fingerprint recipe or
 /// the serialized artifact layout changes: old on-disk entries then miss
 /// instead of deserializing garbage.
-constexpr std::uint64_t kKeySchemaVersion = 1;
+constexpr std::uint64_t kKeySchemaVersion = 2; // v2: ClusterOptions::sat_budget_degrade
 
 } // namespace
 

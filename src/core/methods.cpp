@@ -41,7 +41,9 @@ std::string canonical_options(const ClusterOptions& opts) {
     // Add-a-field tripwire: if ClusterOptions grows, its size changes and
     // this assert fires, forcing the new field into the serialization below
     // (and thereby into the profile-cache fingerprint). 32 bytes on LP64 =
-    // bool+pad, int, bool+pad, uint64, bool+pad.
+    // bool+pad, int, bool+pad, uint64, bool, bool + pad. A new field that
+    // packs into existing padding keeps the size unchanged — serialize it
+    // here anyway and bump kKeySchemaVersion, as sat_budget_degrade did.
     static_assert(sizeof(void*) != 8 || sizeof(ClusterOptions) == 32,
                   "ClusterOptions changed: serialize the new field in "
                   "canonical_options() and bump kKeySchemaVersion in fingerprint.cpp");
@@ -51,6 +53,7 @@ std::string canonical_options(const ClusterOptions& opts) {
     s += ";sat_symmetry_breaking=" + std::to_string(opts.sat_symmetry_breaking ? 1 : 0);
     s += ";sat_conflict_budget=" + std::to_string(opts.sat_conflict_budget);
     s += ";verify_contracts=" + std::to_string(opts.verify_contracts ? 1 : 0);
+    s += ";sat_budget_degrade=" + std::to_string(opts.sat_budget_degrade ? 1 : 0);
     return s;
 }
 

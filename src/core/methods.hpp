@@ -20,14 +20,22 @@ struct ClusterOptions {
     /// SAT method: add symmetry-breaking clauses (cluster ids ordered by
     /// minimal member node).
     bool sat_symmetry_breaking = true;
-    /// SAT method: abort (throw Solver::BudgetExceeded) past this many
-    /// conflicts accumulated over all iterations; 0 = unlimited.
+    /// SAT method: per-F_k conflict budget; 0 = unlimited. When a solve
+    /// trips the budget, cluster_disjoint_sat either throws the coded
+    /// resilience::BudgetExhausted or, with sat_budget_degrade, walks the
+    /// degradation ladder below.
     std::uint64_t sat_conflict_budget = 0;
     /// Debug gate: after generating each macro block's code, re-check the
     /// exported profile against the block's SDG (core/contract.hpp) and
     /// throw std::logic_error on any fatal finding. Off by default; turned
     /// on by sbdc --verify-contracts and the test suite.
     bool verify_contracts = false;
+    /// SAT method: on conflict-budget exhaustion, degrade to the step-get
+    /// clustering (or, should that fail validation, the always-valid
+    /// dynamic clustering) instead of throwing — a valid but possibly
+    /// non-optimal result, flagged via SatClusterStats::budget_exhausted
+    /// and diagnostic SBD021.
+    bool sat_budget_degrade = false;
 };
 
 /// Canonical serialization of *every* ClusterOptions field, in declaration
@@ -48,6 +56,10 @@ struct SatClusterStats {
     std::uint64_t conflicts = 0;
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
+    /// The conflict budget tripped; with sat_budget_degrade the clustering
+    /// came from the degradation ladder, otherwise BudgetExhausted was
+    /// thrown after filling these stats.
+    bool budget_exhausted = false;
 };
 
 /// One cluster containing every internal node: the folk "single step()"

@@ -13,6 +13,7 @@
 
 #include "core/contract.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault.hpp"
 #include "sbd/opaque.hpp"
 
 namespace sbd::codegen {
@@ -39,7 +40,7 @@ std::uint64_t ns_since(Clock::time_point t0) {
 // deserialize_entry's bounds checks — downgrades to a recompute.
 
 constexpr char kMagic[4] = {'S', 'B', 'D', 'P'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2; // v2: SatClusterStats::budget_exhausted
 /// Upper bound on any element count in a record; rejects "billions of
 /// clusters" style garbage before it turns into an allocation.
 constexpr std::uint64_t kSaneCount = 1ull << 24;
@@ -409,6 +410,7 @@ std::vector<std::uint8_t> serialize_entry(const CacheEntry& entry) {
     w.u64(d.conflicts);
     w.u64(d.decisions);
     w.u64(d.propagations);
+    w.u8(d.budget_exhausted ? 1 : 0);
     return std::move(w.buf);
 }
 
@@ -428,6 +430,7 @@ std::optional<CacheEntry> deserialize_entry(std::span<const std::uint8_t> payloa
         e.sat_delta.conflicts = r.u64();
         e.sat_delta.decisions = r.u64();
         e.sat_delta.propagations = r.u64();
+        e.sat_delta.budget_exhausted = r.u8() != 0;
         if (r.pos != payload.size()) return std::nullopt; // trailing garbage
         return e;
     } catch (const CorruptRecord&) {
@@ -438,12 +441,14 @@ std::optional<CacheEntry> deserialize_entry(std::span<const std::uint8_t> payloa
 // ------------------------------------------------------------ PipelineStats
 
 std::string PipelineStats::to_json() const {
-    char buf[1024];
+    char buf[1536];
     std::snprintf(
         buf, sizeof(buf),
         "{\"cache\": {\"mem_hits\": %llu, \"mem_misses\": %llu, \"evictions\": %llu, "
         "\"disk_hits\": %llu, \"disk_misses\": %llu, \"disk_rejects\": %llu, "
         "\"disk_stores\": %llu}, "
+        "\"resilience\": {\"disk_retries\": %llu, \"disk_backoff_ns\": %llu, "
+        "\"store_drops\": %llu, \"deadline_misses\": %llu}, "
         "\"work\": {\"macro_compiles\": %llu, \"macro_reuses\": %llu, "
         "\"atomic_profiles\": %llu, \"hit_rate\": %.4f}, "
         "\"timing_ns\": {\"fingerprint\": %llu, \"sdg\": %llu, \"cluster\": %llu, "
@@ -453,6 +458,10 @@ std::string PipelineStats::to_json() const {
         static_cast<unsigned long long>(disk_misses),
         static_cast<unsigned long long>(disk_rejects),
         static_cast<unsigned long long>(disk_stores),
+        static_cast<unsigned long long>(disk_retries),
+        static_cast<unsigned long long>(disk_backoff_ns),
+        static_cast<unsigned long long>(store_drops),
+        static_cast<unsigned long long>(deadline_misses),
         static_cast<unsigned long long>(macro_compiles),
         static_cast<unsigned long long>(macro_reuses),
         static_cast<unsigned long long>(atomic_profiles), hit_rate(),
@@ -466,11 +475,13 @@ std::string PipelineStats::to_json() const {
 // ------------------------------------------------------------- ProfileCache
 
 ProfileCache::ProfileCache(std::size_t capacity, std::string cache_dir,
-                           obs::MetricsRegistry* metrics)
-    : capacity_(capacity), dir_(std::move(cache_dir)) {
+                           obs::MetricsRegistry* metrics, std::size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes), dir_(std::move(cache_dir)) {
     if (!dir_.empty()) {
         std::error_code ec;
         fs::create_directories(dir_, ec);
+        if (SBD_FAULT_HIT("cache.dir_create"))
+            ec = std::make_error_code(std::errc::permission_denied);
         if (ec)
             throw std::runtime_error("profile cache: cannot create cache dir '" + dir_ +
                                      "': " + ec.message());
@@ -497,6 +508,39 @@ ProfileCache::ProfileCache(std::size_t capacity, std::string cache_dir,
                                        "profile-cache entries written to disk");
     c_disk_ns_ = metrics_->counter("sbd_cache_disk_ns_total",
                                    "cumulative wall time spent on cache disk I/O, nanoseconds");
+    c_disk_retries_ = metrics_->counter("sbd_cache_disk_retries_total",
+                                        "cache disk operations retried after a failure");
+    c_disk_backoff_ns_ = metrics_->counter("sbd_cache_disk_backoff_ns_total",
+                                           "time slept between cache disk retries, nanoseconds");
+    c_store_drops_ = metrics_->counter("sbd_cache_store_drops_total",
+                                       "cache disk stores abandoned after exhausting retries");
+    g_mem_bytes_ =
+        metrics_->gauge("sbd_cache_mem_bytes", "serialized bytes held by the in-memory cache");
+}
+
+void ProfileCache::insert_locked(const Fingerprint& key,
+                                 std::shared_ptr<const CacheEntry> entry, std::size_t bytes) {
+    lru_.push_front(Node{key, std::move(entry), bytes});
+    map_.emplace(key, lru_.begin());
+    total_bytes_ += bytes;
+    // Count budget, then byte budget. Both stop at one entry so the value
+    // just inserted survives — a budget too small for a single entry must
+    // degrade the cache to "remember the last result", not break it.
+    while (capacity_ != 0 && lru_.size() > capacity_) {
+        const Node& victim = lru_.back();
+        total_bytes_ -= victim.bytes;
+        map_.erase(victim.key);
+        lru_.pop_back();
+        c_evictions_.inc();
+    }
+    while (max_bytes_ != 0 && total_bytes_ > max_bytes_ && lru_.size() > 1) {
+        const Node& victim = lru_.back();
+        total_bytes_ -= victim.bytes;
+        map_.erase(victim.key);
+        lru_.pop_back();
+        c_evictions_.inc();
+    }
+    g_mem_bytes_.set(static_cast<std::int64_t>(total_bytes_));
 }
 
 std::shared_ptr<const CacheEntry> ProfileCache::lookup(const Fingerprint& key) {
@@ -506,7 +550,7 @@ std::shared_ptr<const CacheEntry> ProfileCache::lookup(const Fingerprint& key) {
         if (it != map_.end()) {
             c_mem_hits_.inc();
             lru_.splice(lru_.begin(), lru_, it->second); // move to MRU
-            return it->second->second;
+            return it->second->entry;
         }
         c_mem_misses_.inc();
     }
@@ -514,22 +558,18 @@ std::shared_ptr<const CacheEntry> ProfileCache::lookup(const Fingerprint& key) {
     auto entry = disk_load(key);
     if (entry) {
         // Promote to memory so repeated hits skip the disk.
+        const std::size_t bytes = max_bytes_ != 0 ? serialize_entry(*entry).size() : 0;
         std::lock_guard lock(m_);
         const auto it = map_.find(key);
-        if (it != map_.end()) return it->second->second;
-        lru_.emplace_front(key, entry);
-        map_.emplace(key, lru_.begin());
-        while (capacity_ != 0 && lru_.size() > capacity_) {
-            map_.erase(lru_.back().first);
-            lru_.pop_back();
-            c_evictions_.inc();
-        }
+        if (it != map_.end()) return it->second->entry;
+        insert_locked(key, entry, bytes);
     }
     return entry;
 }
 
 std::shared_ptr<const CacheEntry> ProfileCache::store(const Fingerprint& key, CacheEntry entry) {
     auto shared = std::make_shared<const CacheEntry>(std::move(entry));
+    const std::size_t bytes = max_bytes_ != 0 ? serialize_entry(*shared).size() : 0;
     bool won = false;
     {
         std::lock_guard lock(m_);
@@ -537,20 +577,19 @@ std::shared_ptr<const CacheEntry> ProfileCache::store(const Fingerprint& key, Ca
         if (it != map_.end()) {
             // Concurrent same-key compile: first store wins, the duplicate
             // result (bit-identical by determinism) is discarded.
-            shared = it->second->second;
+            shared = it->second->entry;
         } else {
-            lru_.emplace_front(key, shared);
-            map_.emplace(key, lru_.begin());
+            insert_locked(key, shared, bytes);
             won = true;
-            while (capacity_ != 0 && lru_.size() > capacity_) {
-                map_.erase(lru_.back().first);
-                lru_.pop_back();
-                c_evictions_.inc();
-            }
         }
     }
     if (won && !dir_.empty()) disk_store(key, *shared);
     return shared;
+}
+
+std::size_t ProfileCache::mem_bytes() const {
+    std::lock_guard lock(m_);
+    return total_bytes_;
 }
 
 bool ProfileCache::contains(const Fingerprint& key) const {
@@ -574,6 +613,9 @@ PipelineStats ProfileCache::stats() const {
     s.disk_rejects = c_disk_rejects_.value();
     s.disk_stores = c_disk_stores_.value();
     s.disk_ns = c_disk_ns_.value();
+    s.disk_retries = c_disk_retries_.value();
+    s.disk_backoff_ns = c_disk_backoff_ns_.value();
+    s.store_drops = c_store_drops_.value();
     return s;
 }
 
@@ -581,6 +623,8 @@ void ProfileCache::clear() {
     std::lock_guard lock(m_);
     lru_.clear();
     map_.clear();
+    total_bytes_ = 0;
+    g_mem_bytes_.set(0);
 }
 
 std::shared_ptr<const CacheEntry> ProfileCache::disk_load(const Fingerprint& key) {
@@ -588,15 +632,33 @@ std::shared_ptr<const CacheEntry> ProfileCache::disk_load(const Fingerprint& key
     obs::TraceSpan span("disk-load", "cache", key.hex());
     const fs::path path = fs::path(dir_) / (key.hex() + ".sbdp");
     std::vector<std::uint8_t> raw;
-    {
+    // Transient read failures (injected or real stream errors) are retried
+    // with backoff; a read that stays broken degrades to a recompute, never
+    // an error — a sick disk cache may only cost time.
+    bool read_ok = false;
+    for (int attempt = 1; attempt <= retry_.attempts && !read_ok; ++attempt) {
+        if (attempt > 1) {
+            c_disk_retries_.inc();
+            c_disk_backoff_ns_.inc(resilience::backoff_sleep(retry_.backoff_ns(attempt - 1)));
+        }
+        if (SBD_FAULT_HIT("cache.disk_read")) continue; // simulated EIO
         std::ifstream f(path, std::ios::binary);
         if (!f) {
+            // Absent file: the everyday miss, not a transient failure.
             c_disk_misses_.inc();
             c_disk_ns_.inc(ns_since(t0));
             return nullptr;
         }
         raw.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+        read_ok = !f.bad();
     }
+    if (!read_ok) {
+        c_disk_misses_.inc();
+        c_disk_ns_.inc(ns_since(t0));
+        return nullptr;
+    }
+    if (SBD_FAULT_HIT("cache.disk_corrupt") && !raw.empty())
+        raw[raw.size() / 2] ^= 0xFF; // flips through the checksum/reject path
     const auto reject = [&]() -> std::shared_ptr<const CacheEntry> {
         // Corrupt/truncated/foreign record: drop the file (best effort) and
         // recompute — a bad cache must never be able to produce bad output.
@@ -663,24 +725,57 @@ void ProfileCache::disk_store(const Fingerprint& key, const CacheEntry& entry) {
                               std::this_thread::get_id()) %
                           1000000) +
                           "." + std::to_string(serial));
-    {
+
+    // Losing a disk store is recoverable (the entry stays in memory, the
+    // next run recomputes), so every failure here degrades instead of
+    // throwing — but transient EEXIST/EACCES-class errors get retried with
+    // backoff first, and an abandoned store is counted and warned about
+    // once rather than dropped silently.
+    const auto drop = [&]() {
+        std::error_code rc;
+        fs::remove(tmp_path, rc);
+        c_store_drops_.inc();
+        bool warn = false;
+        {
+            std::lock_guard lock(m_);
+            warn = !warned_store_drop_;
+            warned_store_drop_ = true;
+        }
+        if (warn)
+            std::fprintf(stderr,
+                         "sbd: warning: profile cache '%s' is not accepting writes "
+                         "(entry %s dropped after %d attempts); compilation continues "
+                         "without disk caching\n",
+                         dir_.c_str(), key.hex().c_str(), retry_.attempts);
+        c_disk_ns_.inc(ns_since(t0));
+    };
+    const auto retry_pause = [&](int failures) {
+        c_disk_retries_.inc();
+        c_disk_backoff_ns_.inc(resilience::backoff_sleep(retry_.backoff_ns(failures)));
+    };
+
+    bool written = false;
+    for (int attempt = 1; attempt <= retry_.attempts && !written; ++attempt) {
+        if (attempt > 1) retry_pause(attempt - 1);
+        if (SBD_FAULT_HIT("cache.disk_write")) continue; // simulated ENOSPC/EIO
         std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!f) return; // read-only cache dir: degrade to memory-only
+        if (!f) continue;
         f.write(reinterpret_cast<const char*>(w.buf.data()),
                 static_cast<std::streamsize>(w.buf.size()));
-        if (!f) {
-            f.close();
-            std::error_code ec;
-            fs::remove(tmp_path, ec);
-            return;
-        }
+        f.close();
+        written = f.good();
     }
-    std::error_code ec;
-    fs::rename(tmp_path, final_path); // atomic: readers see old/none/new
-    if (ec) {
-        fs::remove(tmp_path, ec);
-        return;
+    if (!written) return drop();
+
+    bool renamed = false;
+    for (int attempt = 1; attempt <= retry_.attempts && !renamed; ++attempt) {
+        if (attempt > 1) retry_pause(attempt - 1);
+        if (SBD_FAULT_HIT("cache.disk_rename")) continue; // simulated EACCES
+        std::error_code ec;
+        fs::rename(tmp_path, final_path, ec); // atomic: readers see old/none/new
+        renamed = !ec;
     }
+    if (!renamed) return drop();
     c_disk_stores_.inc();
     c_disk_ns_.inc(ns_since(t0));
 }
@@ -721,6 +816,7 @@ CompiledBlock block_from_entry(const BlockPtr& block, const CacheEntry& e) {
 /// semantics of cluster_disjoint_sat, so accumulating deltas in post-order
 /// reproduces the serial path's accumulator byte for byte.
 void merge_sat_delta(SatClusterStats& acc, const SatClusterStats& d) {
+    acc.budget_exhausted = acc.budget_exhausted || d.budget_exhausted;
     if (d.iterations == 0) return; // block did no SAT work
     acc.iterations += d.iterations;
     acc.first_k = d.first_k;
@@ -736,14 +832,16 @@ void merge_sat_delta(SatClusterStats& acc, const SatClusterStats& d) {
 
 Pipeline::Pipeline(PipelineOptions opts) : opts_(std::move(opts)) {
     init_metrics();
-    cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir, metrics_);
+    cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir, metrics_,
+                                            opts_.budgets.memory_bytes);
 }
 
 Pipeline::Pipeline(PipelineOptions opts, std::shared_ptr<ProfileCache> cache)
     : opts_(std::move(opts)), cache_(std::move(cache)) {
     init_metrics();
     if (!cache_)
-        cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir, metrics_);
+        cache_ = std::make_shared<ProfileCache>(opts_.cache_capacity, opts_.cache_dir, metrics_,
+                                                opts_.budgets.memory_bytes);
 }
 
 void Pipeline::init_metrics() {
@@ -790,6 +888,12 @@ void Pipeline::init_metrics() {
     c_sat_decisions_ = metrics_->counter("sbd_sat_decisions_total", "SAT solver decisions");
     c_sat_propagations_ =
         metrics_->counter("sbd_sat_propagations_total", "SAT solver unit propagations");
+    c_sat_budget_exhausted_ = metrics_->counter(
+        "sbd_sat_budget_exhausted_total",
+        "macro compiles whose SAT conflict budget tripped (degraded or aborted)");
+    c_deadline_misses_ = metrics_->counter(
+        "sbd_pipeline_deadline_misses_total",
+        "pipeline tasks refused because the wall-clock deadline had expired");
     g_sat_first_k_ =
         metrics_->gauge("sbd_sat_first_k", "k of the first (smallest) F_k instance");
     g_sat_final_k_ = metrics_->gauge("sbd_sat_final_k", "k of the satisfiable F_k instance");
@@ -801,6 +905,7 @@ void Pipeline::init_metrics() {
 /// same counters the cold path does, so a warm compile's registry snapshot
 /// equals a cold one's byte for byte.
 void Pipeline::record_sat_delta(const SatClusterStats& d) {
+    if (d.budget_exhausted) c_sat_budget_exhausted_.inc();
     if (d.iterations == 0) return; // block did no SAT work
     c_sat_iterations_.inc(d.iterations);
     g_sat_first_k_.set(static_cast<std::int64_t>(d.first_k));
@@ -823,6 +928,7 @@ PipelineStats Pipeline::stats() const {
     s.codegen_ns = c_codegen_ns_.value();
     s.contract_ns = c_contract_ns_.value();
     s.total_ns = c_total_ns_.value();
+    s.deadline_misses = c_deadline_misses_.value();
     return s;
 }
 
@@ -830,6 +936,11 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
     if (!root) throw std::invalid_argument("compile_hierarchy: null root");
     const auto t_total = Clock::now();
     obs::TraceSpan compile_span("compile", "pipeline", root->type_name());
+    // Armed once per compile; every task boundary is a cooperative
+    // cancellation point. The pipeline.deadline fault forces the verdict
+    // deterministically in tests.
+    const resilience::Deadline deadline =
+        resilience::Deadline::after_ms(opts_.budgets.deadline_ms);
 
     CompiledSystem sys;
     sys.root_ = root;
@@ -908,6 +1019,15 @@ CompiledSystem Pipeline::compile(BlockPtr root, SatClusterStats* sat_stats) {
         obs::TraceSpan task_span("compile-block", "pipeline", t.block->type_name());
         const auto t_task = Clock::now();
         try {
+            if (deadline.due("pipeline.deadline")) {
+                c_deadline_misses_.inc();
+                throw resilience::DeadlineExceeded(
+                    "pipeline: deadline expired before compiling subtree '" +
+                    t.block->type_name() + "' (partial result discarded)");
+            }
+            if (SBD_FAULT_HIT("pipeline.task"))
+                throw resilience::FaultInjected("pipeline: injected task fault at subtree '" +
+                                                t.block->type_name() + "'");
             if (auto entry = cache_->lookup(t.key)) {
                 t.result = block_from_entry(t.block, *entry);
                 t.sat_delta = entry->sat_delta;

@@ -14,6 +14,7 @@
 #include "core/compiler.hpp"
 #include "core/fingerprint.hpp"
 #include "obs/metrics.hpp"
+#include "resilience/budget.hpp"
 
 namespace sbd::codegen {
 
@@ -34,6 +35,12 @@ struct PipelineStats {
     std::uint64_t disk_misses = 0;  ///< no usable file on disk
     std::uint64_t disk_rejects = 0; ///< file present but corrupt/mismatched
     std::uint64_t disk_stores = 0;  ///< entries written to disk
+
+    // Resilience (retry-with-backoff on transient disk I/O, budgets).
+    std::uint64_t disk_retries = 0;    ///< disk operations retried after a failure
+    std::uint64_t disk_backoff_ns = 0; ///< total time slept between retries
+    std::uint64_t store_drops = 0;     ///< disk stores abandoned after all retries
+    std::uint64_t deadline_misses = 0; ///< pipeline tasks refused: deadline expired
 
     // Work actually performed.
     std::uint64_t macro_compiles = 0;  ///< macro blocks compiled (cache misses)
@@ -93,9 +100,11 @@ public:
     /// non-empty enables the on-disk store (the directory is created).
     /// `metrics` is where the cache counters live; when nullptr the cache
     /// creates a private registry, so counting always works and stats()
-    /// always has a source of truth.
+    /// always has a source of truth. `max_bytes` bounds the in-memory
+    /// entries by their serialized size (0 = unbounded); eviction keeps at
+    /// least the most recent entry so a store always succeeds.
     explicit ProfileCache(std::size_t capacity = 0, std::string cache_dir = {},
-                          obs::MetricsRegistry* metrics = nullptr);
+                          obs::MetricsRegistry* metrics = nullptr, std::size_t max_bytes = 0);
 
     std::shared_ptr<const CacheEntry> lookup(const Fingerprint& key);
     /// Inserts (first writer wins) and returns the entry that won.
@@ -104,7 +113,16 @@ public:
     bool contains(const Fingerprint& key) const;
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
+    std::size_t max_bytes() const { return max_bytes_; }
+    /// Serialized bytes currently held in memory (0 when no byte budget is
+    /// set — weights are only computed under a budget).
+    std::size_t mem_bytes() const;
     const std::string& cache_dir() const { return dir_; }
+
+    /// Retry policy for transient disk-I/O failures (reads, writes, the
+    /// atomic rename). Tests shrink the backoff to keep wall time low.
+    void set_retry_policy(resilience::RetryPolicy policy) { retry_ = policy; }
+    const resilience::RetryPolicy& retry_policy() const { return retry_; }
 
     /// Snapshot of the cache-side counters (work/timing fields are zero),
     /// read back from the registry series.
@@ -114,21 +132,36 @@ public:
     void clear(); ///< drops the in-memory entries (disk files stay)
 
 private:
+    struct Node {
+        Fingerprint key;
+        std::shared_ptr<const CacheEntry> entry;
+        std::size_t bytes = 0; ///< serialized weight; 0 when no byte budget
+    };
+
     std::shared_ptr<const CacheEntry> disk_load(const Fingerprint& key);
     void disk_store(const Fingerprint& key, const CacheEntry& entry);
+    /// Inserts at MRU and evicts past the count/byte budgets (lock held).
+    void insert_locked(const Fingerprint& key, std::shared_ptr<const CacheEntry> entry,
+                       std::size_t bytes);
 
     mutable std::mutex m_;
     std::size_t capacity_;
+    std::size_t max_bytes_ = 0;
+    std::size_t total_bytes_ = 0;
     std::string dir_;
-    /// MRU-first list of (key, entry); map points into it.
-    std::list<std::pair<Fingerprint, std::shared_ptr<const CacheEntry>>> lru_;
+    resilience::RetryPolicy retry_;
+    /// MRU-first list; map points into it.
+    std::list<Node> lru_;
     std::unordered_map<Fingerprint, decltype(lru_)::iterator, FingerprintHash> map_;
     std::uint64_t tmp_serial_ = 0; ///< unique temp-file suffixes
+    bool warned_store_drop_ = false; ///< one-shot stderr warning latch
 
     std::shared_ptr<obs::MetricsRegistry> owned_metrics_;
     obs::MetricsRegistry* metrics_ = nullptr;
     obs::Counter c_mem_hits_, c_mem_misses_, c_evictions_;
     obs::Counter c_disk_hits_, c_disk_misses_, c_disk_rejects_, c_disk_stores_, c_disk_ns_;
+    obs::Counter c_disk_retries_, c_disk_backoff_ns_, c_store_drops_;
+    obs::Gauge g_mem_bytes_;
 };
 
 struct PipelineOptions {
@@ -145,6 +178,11 @@ struct PipelineOptions {
     /// and the cache it owns. nullptr = the pipeline creates a private
     /// registry (stats() still works; nothing is exported unless asked).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Resource budgets: deadline_ms arms a wall-clock deadline checked at
+    /// every task boundary (expiry -> DeadlineExceeded naming the block the
+    /// pipeline refused to compile); memory_bytes bounds the owned cache's
+    /// in-memory footprint. Zero = unlimited.
+    resilience::Budgets budgets;
 };
 
 /// The compilation pipeline: compiles a block hierarchy bottom-up through
@@ -184,7 +222,8 @@ private:
     obs::Counter c_macro_compiles_, c_macro_reuses_, c_atomic_profiles_;
     obs::Counter c_fingerprint_ns_, c_sdg_ns_, c_cluster_ns_, c_codegen_ns_, c_contract_ns_,
         c_total_ns_;
-    obs::Counter c_sat_iterations_, c_sat_conflicts_, c_sat_decisions_, c_sat_propagations_;
+    obs::Counter c_sat_iterations_, c_sat_conflicts_, c_sat_decisions_, c_sat_propagations_,
+        c_sat_budget_exhausted_, c_deadline_misses_;
     obs::Gauge g_sat_first_k_, g_sat_final_k_, g_sat_vars_, g_sat_clauses_;
     obs::Histogram h_sdg_, h_cluster_, h_codegen_, h_contract_, h_task_;
     obs::Gauge g_ready_depth_;

@@ -1,0 +1,39 @@
+#include "resilience/budget.hpp"
+
+#include <thread>
+
+#include "resilience/fault.hpp"
+
+namespace sbd::resilience {
+
+Deadline Deadline::after_ms(std::uint64_t ms) {
+    Deadline d;
+    if (ms == 0) return d;
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+}
+
+bool Deadline::due(const char* fault_point) const {
+    if (fault_point != nullptr && SBD_FAULT_HIT(fault_point)) return true;
+    return armed_ && std::chrono::steady_clock::now() >= at_;
+}
+
+void Deadline::check(const char* what, const char* fault_point) const {
+    if (due(fault_point))
+        throw DeadlineExceeded(std::string(what) + ": deadline exceeded");
+}
+
+std::uint64_t RetryPolicy::backoff_ns(int attempt) const {
+    double ns = static_cast<double>(initial_backoff_ns);
+    for (int i = 1; i < attempt; ++i) ns *= factor;
+    if (ns > 1e12) ns = 1e12; // cap at 1s: a retry loop must stay bounded
+    return static_cast<std::uint64_t>(ns);
+}
+
+std::uint64_t backoff_sleep(std::uint64_t ns) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return ns;
+}
+
+} // namespace sbd::resilience

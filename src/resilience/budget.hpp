@@ -1,0 +1,89 @@
+#ifndef SBD_RESILIENCE_BUDGET_HPP
+#define SBD_RESILIENCE_BUDGET_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sbd::resilience {
+
+/// Coded, recoverable outcomes. The contract: resource exhaustion and
+/// injected faults surface as one of these three types, never as a bare
+/// logic_error or a crash, so callers (and the CLI exit-code table) can
+/// distinguish "input rejected" from "gave up under budget" from "the
+/// environment failed".
+
+/// A configured resource budget (SAT conflicts, memory) ran out before the
+/// work completed. The result, if any, is degraded — never silently wrong.
+class BudgetExhausted : public std::runtime_error {
+public:
+    explicit BudgetExhausted(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A wall-clock deadline expired at a cooperative cancellation point.
+class DeadlineExceeded : public std::runtime_error {
+public:
+    explicit DeadlineExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An armed fault plan told this site to fail and no degradation absorbed
+/// it. Only reachable in testing mode (a plan armed via --fault-plan).
+class FaultInjected : public std::runtime_error {
+public:
+    explicit FaultInjected(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Wall-clock + memory budgets threaded through PipelineOptions and
+/// EngineConfig. Zero means unlimited; a default Budgets imposes nothing.
+struct Budgets {
+    std::uint64_t deadline_ms = 0;   ///< wall-clock budget for the whole run
+    std::uint64_t memory_bytes = 0;  ///< cache memory budget (ProfileCache)
+
+    bool any() const { return deadline_ms != 0 || memory_bytes != 0; }
+};
+
+/// A cooperative wall-clock deadline. Disarmed by default (every check is a
+/// single bool test). Checks accept an optional fault-point name so tests
+/// can force a deterministic "expired" verdict without real waiting.
+class Deadline {
+public:
+    Deadline() = default;
+
+    /// Armed deadline `ms` from now (steady clock). ms == 0 stays disarmed.
+    static Deadline after_ms(std::uint64_t ms);
+
+    bool armed() const { return armed_; }
+
+    /// True when the deadline has passed (or `fault_point`, if given, is
+    /// told to inject). Never true when disarmed and no plan forces it.
+    bool due(const char* fault_point = nullptr) const;
+
+    /// Throws DeadlineExceeded naming `what` when due().
+    void check(const char* what, const char* fault_point = nullptr) const;
+
+private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point at_{};
+};
+
+/// Bounded retry with exponential backoff for transient I/O. Callers loop
+/// `attempts` times, sleeping `backoff_ns(attempt)` between tries and
+/// accumulating the returned nanoseconds into their metrics.
+struct RetryPolicy {
+    int attempts = 3;                         ///< total tries (>= 1)
+    std::uint64_t initial_backoff_ns = 100'000; ///< sleep after the first failure
+    double factor = 2.0;                      ///< exponential growth per retry
+
+    /// Backoff before retry number `attempt` (1-based count of failures so
+    /// far): initial * factor^(attempt-1).
+    std::uint64_t backoff_ns(int attempt) const;
+};
+
+/// Sleeps for `ns` and returns the requested duration (what metrics count;
+/// the OS may round up).
+std::uint64_t backoff_sleep(std::uint64_t ns);
+
+} // namespace sbd::resilience
+
+#endif

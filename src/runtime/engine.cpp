@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/trace.hpp"
+#include "resilience/fault.hpp"
 
 namespace sbd::runtime {
 
@@ -23,6 +24,7 @@ Engine::Engine(const codegen::CompiledSystem& sys, BlockPtr root, EngineConfig c
     cfg_.threads = std::max<std::size_t>(1, cfg_.threads);
     cfg_.chunk = std::max<std::size_t>(1, cfg_.chunk);
     cfg_.step_sample = std::max<std::size_t>(1, cfg_.step_sample);
+    deadline_ = resilience::Deadline::after_ms(cfg_.deadline_ms);
     if (cfg_.metrics != nullptr) {
         obs_on_ = true;
         obs::MetricsRegistry* reg = cfg_.metrics;
@@ -36,6 +38,8 @@ Engine::Engine(const codegen::CompiledSystem& sys, BlockPtr root, EngineConfig c
         pool_live_ = reg->gauge("sbd_engine_pool_live", "live instances in the pool");
         pool_capacity_ = reg->gauge("sbd_engine_pool_capacity", "instance pool capacity");
         pool_capacity_.set(static_cast<std::int64_t>(cfg_.capacity));
+        deadline_misses_ = reg->counter("sbd_engine_deadline_misses_total",
+                                        "ticks refused because the deadline had expired");
     }
     workers_.reserve(cfg_.threads - 1);
     for (std::size_t t = 1; t < cfg_.threads; ++t)
@@ -96,6 +100,17 @@ void Engine::run_chunks() {
 
 void Engine::tick() {
     obs::TraceSpan span("tick", "engine");
+    // Cooperative cancellation between batches: checked before any worker
+    // is released, so an expired deadline leaves every instance at the
+    // state of the last completed instant — no torn ticks.
+    if (deadline_.due("engine.deadline")) {
+        deadline_misses_.inc();
+        throw resilience::DeadlineExceeded("engine: deadline expired before tick " +
+                                           std::to_string(ticks_ + 1));
+    }
+    if (SBD_FAULT_HIT("engine.tick"))
+        throw resilience::FaultInjected("engine: injected tick fault at tick " +
+                                        std::to_string(ticks_ + 1));
     Clock::time_point t0;
     if (obs_on_) t0 = Clock::now();
     const std::size_t live_count = pool_.size();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "resilience/budget.hpp"
 #include "runtime/pool.hpp"
 
 namespace sbd::runtime {
@@ -45,6 +46,12 @@ struct EngineConfig {
     /// Per-instance step latency is sampled 1-in-step_sample (clamped to
     /// >= 1) so instrumentation stays off the clock on the step hot path.
     std::size_t step_sample = 16;
+    /// Wall-clock budget for the engine's lifetime, armed at construction
+    /// and checked cooperatively between batches (at every tick() start,
+    /// before workers are released). 0 = no deadline. Expiry throws
+    /// resilience::DeadlineExceeded; instances keep the state of the last
+    /// completed tick, so the caller can drain or extend.
+    std::uint64_t deadline_ms = 0;
 };
 
 /// Hosts a pool of independent instances of one compiled block and advances
@@ -94,11 +101,12 @@ private:
 
     InstancePool pool_;
     EngineConfig cfg_;
+    resilience::Deadline deadline_; ///< armed at construction when deadline_ms != 0
     std::vector<std::thread> workers_;
 
     // Observability (all detached when cfg_.metrics == nullptr).
     bool obs_on_ = false;
-    obs::Counter ticks_total_, steps_total_;
+    obs::Counter ticks_total_, steps_total_, deadline_misses_;
     obs::Histogram tick_ns_, step_ns_;
     obs::Gauge pool_live_, pool_capacity_;
 

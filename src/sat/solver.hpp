@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "sat/literal.hpp"
@@ -57,7 +58,13 @@ public:
     /// bound is hit, solve() throws BudgetExceeded.
     void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
 
-    struct BudgetExceeded {};
+    /// Derives std::runtime_error so a budget trip that escapes a caller
+    /// still lands in generic catch(std::exception) handlers instead of
+    /// terminating; core/cluster_sat translates it into the coded
+    /// resilience::BudgetExhausted before it ever leaves the clustering API.
+    struct BudgetExceeded : std::runtime_error {
+        BudgetExceeded() : std::runtime_error("sat: conflict budget exceeded") {}
+    };
 
 private:
     using ClauseIdx = std::uint32_t;

@@ -477,6 +477,9 @@ TEST(CacheAdversary, CompileKeySeparatesMethodsAndOptions) {
     {
         ClusterOptions o; o.verify_contracts = true; differs("verify_contracts", o);
     }
+    {
+        ClusterOptions o; o.sat_budget_degrade = true; differs("sat_budget_degrade", o);
+    }
 }
 
 // ------------------------------------------------------ adversary: disk

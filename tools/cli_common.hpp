@@ -18,12 +18,14 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/budget.hpp"
+#include "resilience/fault.hpp"
 
 namespace sbd::cli {
 
 /// One released artifact, one version: every tool reports this via
 /// --version as "<tool> <version>".
-inline constexpr const char* kVersion = "0.5.0";
+inline constexpr const char* kVersion = "0.6.0";
 
 // Exit-code contract shared by every tool (tools use the subset that
 // applies to them; no tool assigns a different meaning to these values).
@@ -33,6 +35,8 @@ inline constexpr int kExitUsage = 2;    ///< bad command line
 inline constexpr int kExitParse = 3;    ///< model parse error
 inline constexpr int kExitCycle = 4;    ///< compile (cycle) rejection
 inline constexpr int kExitLint = 5;     ///< lint diagnostics with errors
+inline constexpr int kExitBudget = 6;   ///< resource budget exhausted (SBD021)
+inline constexpr int kExitDeadline = 7; ///< wall-clock deadline exceeded
 
 /// Flag-table argument parser. Flags are registered against variables; the
 /// table then drives both parsing and the usage text, so the two cannot
@@ -115,7 +119,10 @@ public:
     /// --help/--version every tool has).
     void usage(std::FILE* to) const {
         std::fprintf(to, "usage: %s [options] %s\n", tool_.c_str(), positional_.c_str());
-        for (const Entry& e : entries_) print_entry(to, e.name, e.value_name, e.help);
+        // help == nullptr marks a hidden (testing-only) flag: parsed but
+        // not advertised.
+        for (const Entry& e : entries_)
+            if (e.help != nullptr) print_entry(to, e.name, e.value_name, e.help);
         print_entry(to, "--version", nullptr, "print tool name and version, then exit");
         print_entry(to, "--help", nullptr, "print this help, then exit");
     }
@@ -204,6 +211,46 @@ inline void add_obs_flags(ArgParser& p, ObsOptions* o) {
            &o->trace_out);
 }
 
+/// The resilience surface shared by the tools: budgets (user-facing) and
+/// the hidden deterministic fault-plan flag the chaos tests drive.
+struct ResilienceOptions {
+    std::uint64_t deadline_ms = 0;           ///< 0 = no deadline
+    std::uint64_t sat_conflict_budget = 0;   ///< 0 = unlimited
+    bool sat_budget_degrade = false;         ///< degrade instead of exit 6
+    std::string fault_plan;                  ///< testing: FaultPlan text spec
+};
+
+inline void add_resilience_flags(ArgParser& p, ResilienceOptions* r, bool sat_flags = true) {
+    p.flag("--deadline-ms", "MS",
+           "wall-clock budget; expiry exits 7 with a partial-result error", &r->deadline_ms);
+    if (sat_flags) {
+        p.flag("--sat-conflict-budget", "N",
+               "per-instance SAT conflict budget for the sat method;\n"
+               "                 exhaustion exits 6 (see --sat-degrade)",
+               &r->sat_conflict_budget);
+        p.flag("--sat-degrade",
+               "on SAT budget exhaustion degrade to a valid non-optimal\n"
+               "                 clustering (warns SBD021) instead of exiting 6",
+               &r->sat_budget_degrade);
+    }
+    // --fault-plan is intentionally absent from the usage text: it is the
+    // chaos-testing hook (tests/test_resilience.cpp), not a user feature.
+    p.flag("--fault-plan", "SPEC", nullptr, &r->fault_plan);
+}
+
+/// Arms the process-global fault registry when --fault-plan was given.
+/// Returns kExitUsage on a malformed spec, nullopt to continue.
+inline std::optional<int> arm_fault_plan(const char* tool, const ResilienceOptions& r) {
+    if (r.fault_plan.empty()) return std::nullopt;
+    try {
+        resilience::FaultRegistry::instance().arm(resilience::FaultPlan::parse(r.fault_plan));
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s: %s\n", tool, e.what());
+        return kExitUsage;
+    }
+    return std::nullopt;
+}
+
 /// RAII activation of span collection for the duration of a tool run:
 /// installs a collector iff --trace-out was given (otherwise TraceSpan
 /// stays a no-op costing one relaxed atomic load).
@@ -227,6 +274,8 @@ private:
 inline int write_obs_outputs(const ObsOptions& o, obs::MetricsRegistry* reg,
                              ScopedTracing& tracing) {
     bool ok = true;
+    if (reg != nullptr && resilience::fault_armed())
+        resilience::FaultRegistry::instance().export_metrics(*reg);
     if (!o.metrics_out.empty() && reg != nullptr)
         ok = obs::write_metrics_file(reg->snapshot(), o.metrics_out, o.metrics_format) && ok;
     if (!o.trace_out.empty() && tracing.collector() != nullptr) {

@@ -1,7 +1,7 @@
 // sbd-lint — static analyzer for textual .sbd block-diagram models.
 //
 // Parses each model leniently, runs every analysis pass (see
-// src/analysis/diagnostics.hpp for the SBD001..SBD020 catalog) and prints
+// src/analysis/diagnostics.hpp for the SBD001..SBD021 catalog) and prints
 // the diagnostics, compiler-style or as JSON.
 //
 //   sbd-lint model.sbd                     # text diagnostics
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     std::string format = "text";
     std::string method_name = "dynamic";
     std::string cache_dir;
+    std::string fault_plan;
     bool no_contracts = false;
     bool quiet = false;
 
@@ -40,7 +41,15 @@ int main(int argc, char** argv) {
                 "                 probes, files and runs (content-addressed, on disk)",
                 &cache_dir);
     parser.flag("--quiet", "print nothing for clean files", &quiet);
+    // Hidden chaos-testing hook (same spec as sbdc --fault-plan); lint
+    // reports injected SAT budget exhaustion as SBD021.
+    parser.flag("--fault-plan", "SPEC", nullptr, &fault_plan);
     if (const auto code = parser.parse(argc, argv)) return *code;
+    {
+        sbd::cli::ResilienceOptions res;
+        res.fault_plan = fault_plan;
+        if (const auto code = sbd::cli::arm_fault_plan("sbd-lint", res)) return *code;
+    }
 
     const std::vector<std::string>& inputs = parser.positionals();
     if (inputs.empty()) return parser.usage(stderr), sbd::cli::kExitUsage;

@@ -12,7 +12,8 @@
 //   sbd-run --metrics-out m.prom --trace-out t.json model.sbd
 //
 // Exit codes: 0 ok, 1 runtime/replay mismatch, 2 usage,
-//             3 parse error, 4 compile (cycle) rejection.
+//             3 parse error, 4 compile (cycle) rejection,
+//             6 resource budget exhausted, 7 deadline exceeded.
 
 #include <chrono>
 #include <cstdio>
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
     std::string cache_dir;
     bool print = false;
     cli::ObsOptions obs_opts;
+    cli::ResilienceOptions res_opts;
 
     cli::ArgParser parser("sbd-run", "model.sbd");
     parser.flag("--instances", "N", "concurrent instances to host       (default 1)",
@@ -86,7 +88,9 @@ int main(int argc, char** argv) {
                 &cache_dir);
     parser.flag("--print", "print instance 0's outputs per instant", &print);
     cli::add_obs_flags(parser, &obs_opts);
+    cli::add_resilience_flags(parser, &res_opts);
     if (const auto code = parser.parse(argc, argv)) return *code;
+    if (const auto code = cli::arm_fault_plan("sbd-run", res_opts)) return *code;
 
     if (parser.positionals().size() != 1 || instances == 0)
         return parser.usage(stderr), cli::kExitUsage;
@@ -116,8 +120,11 @@ int main(int argc, char** argv) {
         const std::shared_ptr<const MacroBlock> root = file.root;
         PipelineOptions popts;
         popts.method = *method;
+        popts.cluster.sat_conflict_budget = res_opts.sat_conflict_budget;
+        popts.cluster.sat_budget_degrade = res_opts.sat_budget_degrade;
         popts.cache_dir = cache_dir;
         popts.metrics = &registry;
+        popts.budgets.deadline_ms = res_opts.deadline_ms;
         Pipeline pipeline(popts);
         const CompiledSystem sys = pipeline.compile(root);
 
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
         runtime::EngineConfig cfg;
         cfg.capacity = instances;
         cfg.threads = threads;
+        cfg.deadline_ms = res_opts.deadline_ms;
         if (obs_opts.enabled()) cfg.metrics = &registry;
         runtime::Engine engine(sys, root, cfg);
         const std::vector<runtime::InstanceId> ids = engine.create(instances);
@@ -177,6 +185,12 @@ int main(int argc, char** argv) {
     } catch (const SdgCycleError& e) {
         std::fprintf(stderr, "rejected: %s\n", e.what());
         return finish(cli::kExitCycle);
+    } catch (const resilience::BudgetExhausted& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitBudget);
+    } catch (const resilience::DeadlineExceeded& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitDeadline);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return finish(cli::kExitError);

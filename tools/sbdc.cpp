@@ -15,7 +15,8 @@
 //   sbdc --trace-out t.json model.sbd       # record compile trace spans
 //
 // Exit codes: 0 ok, 1 other error, 2 usage, 3 parse error,
-//             4 compile (cycle) rejection, 5 lint errors (--lint).
+//             4 compile (cycle) rejection, 5 lint errors (--lint),
+//             6 resource budget exhausted, 7 deadline exceeded.
 
 #include <cstdio>
 #include <fstream>
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
     bool verify_contracts = false;
     std::string format = "text";
     cli::ObsOptions obs_opts;
+    cli::ResilienceOptions res_opts;
 
     cli::ArgParser parser("sbdc", "model.sbd");
     parser.flag("--method", "M",
@@ -96,7 +98,9 @@ int main(int argc, char** argv) {
                 &verify_contracts);
     parser.flag("--out", "FILE", "write the artifact to FILE instead of stdout", &out_path);
     cli::add_obs_flags(parser, &obs_opts);
+    cli::add_resilience_flags(parser, &res_opts);
     if (const auto code = parser.parse(argc, argv)) return *code;
+    if (const auto code = cli::arm_fault_plan("sbdc", res_opts)) return *code;
 
     if (parser.positionals().size() != 1 || instances == 0)
         return parser.usage(stderr), cli::kExitUsage;
@@ -156,11 +160,21 @@ int main(int argc, char** argv) {
         PipelineOptions popts;
         popts.method = *method;
         popts.cluster.verify_contracts = verify_contracts;
+        popts.cluster.sat_conflict_budget = res_opts.sat_conflict_budget;
+        popts.cluster.sat_budget_degrade = res_opts.sat_budget_degrade;
         popts.threads = jobs;
         popts.cache_dir = cache_dir;
         popts.metrics = &registry;
+        popts.budgets.deadline_ms = res_opts.deadline_ms;
         Pipeline pipeline(popts);
-        const CompiledSystem sys = pipeline.compile(root);
+        SatClusterStats sat_stats;
+        const CompiledSystem sys = pipeline.compile(root, &sat_stats);
+        if (sat_stats.budget_exhausted)
+            // Degraded, not wrong: the emitted code is valid but the SAT
+            // clustering gave up, so modularity is below optimal (SBD021).
+            std::fprintf(stderr,
+                         "sbdc: warning: SBD021: SAT conflict budget exhausted; emitted a "
+                         "degraded (valid, non-optimal) clustering\n");
 
         std::ostringstream body;
         if (emit == "pseudo") {
@@ -250,6 +264,12 @@ int main(int argc, char** argv) {
                              "maximal reusability)\n",
                      e.what());
         return finish(cli::kExitCycle);
+    } catch (const resilience::BudgetExhausted& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitBudget);
+    } catch (const resilience::DeadlineExceeded& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitDeadline);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return finish(cli::kExitError);
