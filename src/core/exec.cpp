@@ -62,6 +62,30 @@ void Instance::init() {
     for (const auto& sub : subs_) sub->init();
 }
 
+std::size_t Instance::state_size() const {
+    std::size_t n = state_.size() + slots_.size() + counters_.size();
+    for (const auto& sub : subs_) n += sub->state_size();
+    return n;
+}
+
+void Instance::save_state(std::vector<double>& out) const {
+    out.insert(out.end(), state_.begin(), state_.end());
+    out.insert(out.end(), slots_.begin(), slots_.end());
+    for (const std::int32_t c : counters_) out.push_back(static_cast<double>(c));
+    for (const auto& sub : subs_) sub->save_state(out);
+}
+
+std::size_t Instance::restore_state(std::span<const double> in) {
+    if (in.size() < state_size())
+        throw std::invalid_argument("Instance::restore_state: state blob too short");
+    std::size_t at = 0;
+    for (double& v : state_) v = in[at++];
+    for (double& v : slots_) v = in[at++];
+    for (std::int32_t& c : counters_) c = static_cast<std::int32_t>(in[at++]);
+    for (const auto& sub : subs_) at += sub->restore_state(in.subspan(at));
+    return at;
+}
+
 std::size_t Instance::results_size(std::size_t fn) const {
     return compiled_->profile.functions.at(fn).writes.size();
 }

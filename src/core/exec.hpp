@@ -58,6 +58,20 @@ public:
     const Profile& profile() const { return compiled_->profile; }
     const Block& block() const { return *block_; }
 
+    /// Number of doubles save_state() appends: the complete persistent
+    /// footprint (atomic block state, signal slots, guard counters,
+    /// sub-instances depth-first). Fixed for a given compiled system.
+    std::size_t state_size() const;
+    /// Appends the instance's complete persistent state to `out` in the
+    /// fixed state_size() layout. Guard counters are widened to double
+    /// (int32 values are exactly representable), so a state blob is a flat
+    /// double vector that snapshots and restores bit-exactly.
+    void save_state(std::vector<double>& out) const;
+    /// Restores state written by save_state() into this instance; returns
+    /// the number of values consumed. Throws std::invalid_argument when
+    /// `in` holds fewer than state_size() values.
+    std::size_t restore_state(std::span<const double> in);
+
 private:
     void call_atomic_into(std::size_t fn, std::span<const double> args,
                           std::span<double> results);

@@ -133,6 +133,13 @@ inline constexpr const char* kFaultPointCatalog[] = {
     "pipeline.deadline",  // Pipeline worker: deadline check reports expired
     "engine.tick",        // Engine::tick: tick fails before stepping
     "engine.deadline",    // Engine::tick: deadline check reports expired
+    "serve.accept",       // Server accept loop: accepting a connection fails
+    "serve.dispatch",     // Server dispatch: a request fails before touching
+                          // any shard (client sees FAULT_INJECTED)
+    "serve.tick",         // Server TICK: instant refused before any shard
+                          // advances (atomic reject, never a torn instant)
+    "serve.deadline",     // Server TICK: deadline check reports expired
+                          // before an instant (coded DEADLINE_EXCEEDED)
 };
 
 } // namespace sbd::resilience

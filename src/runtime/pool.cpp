@@ -43,7 +43,13 @@ void InstancePool::destroy(InstanceId id) {
     live_[s.live_pos] = last;
     slots_[last].live_pos = s.live_pos;
     live_.pop_back();
-    free_.push_back(slot);
+    // Generation exhaustion: a wrap back to 0 would let a handle minted
+    // 2^32 destroys ago validate against a fresh occupant. Retire the slot
+    // instead of recycling it — correctness over capacity.
+    if (s.generation == UINT32_MAX)
+        ++retired_;
+    else
+        free_.push_back(slot);
 }
 
 void InstancePool::reset(InstanceId id) {
@@ -64,6 +70,37 @@ std::uint32_t InstancePool::check(InstanceId id) const {
 
 void InstancePool::step_slot(std::uint32_t slot) {
     slots_[slot].inst->step_instant_into(inputs_of(slot), outputs_of(slot));
+}
+
+std::size_t InstancePool::state_size(InstanceId id) const {
+    return slots_[check(id)].inst->state_size() + stride_;
+}
+
+std::vector<double> InstancePool::snapshot_state(InstanceId id) const {
+    const std::uint32_t slot = check(id);
+    std::vector<double> blob;
+    blob.reserve(slots_[slot].inst->state_size() + stride_);
+    slots_[slot].inst->save_state(blob);
+    const std::span<const double> in = inputs_of(slot);
+    const std::span<const double> out = outputs_of(slot);
+    blob.insert(blob.end(), in.begin(), in.end());
+    blob.insert(blob.end(), out.begin(), out.end());
+    return blob;
+}
+
+void InstancePool::restore_state(InstanceId id, std::span<const double> blob) {
+    const std::uint32_t slot = check(id);
+    codegen::Instance& inst = *slots_[slot].inst;
+    if (blob.size() != inst.state_size() + stride_)
+        throw std::invalid_argument("InstancePool: snapshot blob size mismatch");
+    const std::size_t consumed = inst.restore_state(blob);
+    std::copy_n(blob.data() + consumed, stride_, arena_.data() + slot * stride_);
+}
+
+void InstancePool::debug_set_generation(std::uint32_t slot, std::uint32_t generation) {
+    if (slot >= slots_.size() || slots_[slot].live || slots_[slot].generation == UINT32_MAX)
+        throw std::invalid_argument("InstancePool: bad slot for debug_set_generation");
+    slots_[slot].generation = generation;
 }
 
 } // namespace sbd::runtime

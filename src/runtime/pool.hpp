@@ -41,6 +41,12 @@ public:
     InstanceId create();
     /// Destroys a live instance; its slot becomes reusable. Throws
     /// std::invalid_argument on a stale or invalid id.
+    ///
+    /// Handle-churn edge: each destroy bumps the slot's generation, and a
+    /// slot whose generation reaches UINT32_MAX is *retired* — taken out of
+    /// circulation instead of wrapping to 0 — so an ancient handle minted
+    /// before 2^32 destroys of one slot can never validate against a new
+    /// occupant (no ABA, ever). Retired slots reduce the usable capacity.
     void destroy(InstanceId id);
     /// Re-initializes a live instance's state and zeroes its I/O buffers.
     void reset(InstanceId id);
@@ -48,6 +54,8 @@ public:
     bool alive(InstanceId id) const;
     std::size_t size() const { return live_.size(); }
     std::size_t capacity() const { return slots_.size(); }
+    /// Slots permanently taken out of circulation by generation exhaustion.
+    std::size_t retired() const { return retired_; }
 
     codegen::Instance& instance(InstanceId id) { return *slots_[check(id)].inst; }
     std::span<double> inputs(InstanceId id) { return inputs_of(check(id)); }
@@ -72,6 +80,26 @@ public:
 
     const codegen::CompiledSystem& system() const { return *sys_; }
     BlockPtr root() const { return root_; }
+
+    /// Serialized footprint of one instance's snapshot: the interpreter's
+    /// persistent state (Instance::state_size) plus the input and output
+    /// buffers. Identical for every slot of the pool; requires a live id
+    /// because instances are built lazily on first create().
+    std::size_t state_size(InstanceId id) const;
+    /// The complete state of one live instance as a flat double blob —
+    /// persistent state, then inputs, then outputs — suitable for wire
+    /// transfer (the serve layer's SNAPSHOT) or migration.
+    std::vector<double> snapshot_state(InstanceId id) const;
+    /// Restores a blob written by snapshot_state() into a live instance of
+    /// the same compiled system. Throws std::invalid_argument on a size
+    /// mismatch; on success the instance is bit-identical to the snapshot
+    /// source, including its I/O buffers.
+    void restore_state(InstanceId id, std::span<const double> blob);
+
+    /// Testing hook (wraparound regression tests): forces the generation
+    /// counter of a non-live slot. Throws std::invalid_argument for a live
+    /// or out-of-range slot, or a slot already retired.
+    void debug_set_generation(std::uint32_t slot, std::uint32_t generation);
 
 private:
     struct Slot {
@@ -98,6 +126,7 @@ private:
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_; ///< reusable slot indices (LIFO)
     std::vector<std::uint32_t> live_;
+    std::size_t retired_ = 0; ///< slots lost to generation exhaustion
     std::vector<double> arena_; ///< capacity * (num_inputs + num_outputs)
     std::size_t nin_;
     std::size_t nout_;

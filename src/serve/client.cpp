@@ -1,0 +1,136 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+namespace sbd::serve {
+
+Frame Client::call_raw(Op op, std::vector<std::uint8_t> payload) {
+    Frame req;
+    req.opcode = op;
+    req.request_id = next_request_id_++;
+    req.payload = std::move(payload);
+    conn_.send_frame(req);
+    std::optional<Frame> resp = conn_.recv_frame();
+    if (!resp) throw std::runtime_error("serve: server closed the connection");
+    if (resp->request_id != req.request_id)
+        throw std::runtime_error("serve: response id does not match the request");
+    return std::move(*resp);
+}
+
+Frame Client::call(Op op, std::vector<std::uint8_t> payload) {
+    Frame resp = call_raw(op, std::move(payload));
+    if (resp.status != Err::Ok) {
+        std::string message = "(no message)";
+        try {
+            PayloadReader r(resp.payload);
+            message = r.str();
+        } catch (const ServeError&) {
+        }
+        throw ServeError(resp.status,
+                         std::string(to_string(resp.status)) + ": " + message);
+    }
+    return resp;
+}
+
+std::vector<WireHandle> Client::create_instances(std::uint64_t tenant, std::uint32_t count) {
+    PayloadWriter w;
+    w.u64(tenant);
+    w.u32(count);
+    const Frame resp = call(Op::CreateInstances, w.take());
+    PayloadReader r(resp.payload);
+    const std::uint32_t n = r.u32();
+    std::vector<WireHandle> handles(n);
+    for (WireHandle& h : handles) h = read_handle(r);
+    r.done();
+    return handles;
+}
+
+void Client::destroy_instances(std::uint64_t tenant, std::span<const WireHandle> handles) {
+    PayloadWriter w;
+    w.u64(tenant);
+    w.u32(static_cast<std::uint32_t>(handles.size()));
+    for (const WireHandle& h : handles) write_handle(w, h);
+    call(Op::DestroyInstances, w.take());
+}
+
+void Client::post_inputs(std::uint64_t tenant, std::span<const WireHandle> handles,
+                         std::span<const double> rows) {
+    if (handles.empty() && rows.empty()) {
+        PayloadWriter w;
+        w.u64(tenant);
+        w.u32(0);
+        call(Op::PostInputs, w.take());
+        return;
+    }
+    if (handles.empty() || rows.size() % handles.size() != 0)
+        throw std::invalid_argument("post_inputs: rows must be handles * num_inputs doubles");
+    const std::size_t nin = rows.size() / handles.size();
+    PayloadWriter w;
+    w.u64(tenant);
+    w.u32(static_cast<std::uint32_t>(handles.size()));
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        write_handle(w, handles[i]);
+        w.f64s(rows.subspan(i * nin, nin));
+    }
+    call(Op::PostInputs, w.take());
+}
+
+TickResult Client::tick(std::uint64_t tenant, std::uint32_t n) {
+    PayloadWriter w;
+    w.u64(tenant);
+    w.u32(n);
+    const Frame resp = call(Op::Tick, w.take());
+    PayloadReader r(resp.payload);
+    TickResult t;
+    t.server_ticks = r.u64();
+    t.executed = r.u32();
+    r.done();
+    return t;
+}
+
+std::vector<double> Client::read_outputs(std::uint64_t tenant,
+                                         std::span<const WireHandle> handles) {
+    PayloadWriter w;
+    w.u64(tenant);
+    w.u32(static_cast<std::uint32_t>(handles.size()));
+    for (const WireHandle& h : handles) write_handle(w, h);
+    const Frame resp = call(Op::ReadOutputs, w.take());
+    PayloadReader r(resp.payload);
+    const std::uint32_t count = r.u32();
+    if (r.remaining() % 8 != 0 || (count != 0 && (r.remaining() / 8) % count != 0))
+        throw ServeError(Err::BadPayload, "malformed READ_OUTPUTS response");
+    std::vector<double> rows(r.remaining() / 8);
+    r.f64s(rows);
+    r.done();
+    return rows;
+}
+
+std::vector<double> Client::snapshot(std::uint64_t tenant, const WireHandle& handle) {
+    PayloadWriter w;
+    w.u64(tenant);
+    write_handle(w, handle);
+    const Frame resp = call(Op::Snapshot, w.take());
+    PayloadReader r(resp.payload);
+    std::vector<double> blob(r.u32());
+    r.f64s(blob);
+    r.done();
+    return blob;
+}
+
+std::string Client::stats(std::uint64_t tenant) {
+    PayloadWriter w;
+    w.u64(tenant);
+    const Frame resp = call(Op::Stats, w.take());
+    PayloadReader r(resp.payload);
+    std::string text = r.str();
+    r.done();
+    return text;
+}
+
+void Client::shutdown(std::uint64_t tenant) {
+    PayloadWriter w;
+    w.u64(tenant);
+    call(Op::Shutdown, w.take());
+}
+
+} // namespace sbd::serve

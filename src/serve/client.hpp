@@ -1,0 +1,57 @@
+// Typed client for the SBDS protocol: one blocking connection, one method
+// per opcode. Coded server rejections surface as ServeError (the CLI tools
+// map them to exit code 8); transport failures surface as runtime_error.
+#ifndef SBD_SERVE_CLIENT_HPP
+#define SBD_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace sbd::serve {
+
+struct TickResult {
+    std::uint64_t server_ticks = 0; ///< global instants executed since boot
+    std::uint32_t executed = 0;     ///< instants this request ran
+};
+
+class Client {
+public:
+    explicit Client(Conn conn) : conn_(std::move(conn)) {}
+
+    /// Connects to a server endpoint; throws std::runtime_error on failure.
+    static Client connect(const Endpoint& ep) { return Client(Conn::connect(ep)); }
+
+    std::vector<WireHandle> create_instances(std::uint64_t tenant, std::uint32_t count);
+    void destroy_instances(std::uint64_t tenant, std::span<const WireHandle> handles);
+    /// `rows` is handles.size() * num_inputs doubles, instance-major.
+    void post_inputs(std::uint64_t tenant, std::span<const WireHandle> handles,
+                     std::span<const double> rows);
+    TickResult tick(std::uint64_t tenant, std::uint32_t n);
+    /// Returns handles.size() * num_outputs doubles, instance-major.
+    std::vector<double> read_outputs(std::uint64_t tenant,
+                                     std::span<const WireHandle> handles);
+    std::vector<double> snapshot(std::uint64_t tenant, const WireHandle& handle);
+    std::string stats(std::uint64_t tenant);
+    void shutdown(std::uint64_t tenant);
+
+    /// Raw round-trip (tests use this for hand-built payloads): sends one
+    /// request, returns the matching response frame without status mapping.
+    Frame call_raw(Op op, std::vector<std::uint8_t> payload);
+
+private:
+    /// call_raw + status check: non-Ok throws ServeError with the server's
+    /// message; the returned frame is always Ok.
+    Frame call(Op op, std::vector<std::uint8_t> payload);
+
+    Conn conn_;
+    std::uint64_t next_request_id_ = 1;
+};
+
+} // namespace sbd::serve
+
+#endif

@@ -1,0 +1,109 @@
+#include "serve/protocol.hpp"
+
+#include <bit>
+
+namespace sbd::serve {
+
+static_assert(std::endian::native == std::endian::little,
+              "the SBDS wire format is little-endian; big-endian hosts need byte swaps");
+
+const char* to_string(Op op) {
+    switch (op) {
+    case Op::CreateInstances: return "CREATE_INSTANCES";
+    case Op::DestroyInstances: return "DESTROY_INSTANCES";
+    case Op::PostInputs: return "POST_INPUTS";
+    case Op::Tick: return "TICK";
+    case Op::ReadOutputs: return "READ_OUTPUTS";
+    case Op::Snapshot: return "SNAPSHOT";
+    case Op::Stats: return "STATS";
+    case Op::Shutdown: return "SHUTDOWN";
+    }
+    return "UNKNOWN";
+}
+
+const char* to_string(Err err) {
+    switch (err) {
+    case Err::Ok: return "OK";
+    case Err::BadFrame: return "BAD_FRAME";
+    case Err::BadVersion: return "BAD_VERSION";
+    case Err::BadOpcode: return "BAD_OPCODE";
+    case Err::BadPayload: return "BAD_PAYLOAD";
+    case Err::BadHandle: return "BAD_HANDLE";
+    case Err::PoolFull: return "POOL_FULL";
+    case Err::TenantBudget: return "TENANT_BUDGET";
+    case Err::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Err::FaultInjected: return "FAULT_INJECTED";
+    case Err::ShuttingDown: return "SHUTTING_DOWN";
+    case Err::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+template <typename T> T read_le(const std::uint8_t* p) {
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+    if (f.payload.size() > kMaxPayload)
+        throw std::length_error("encode_frame: payload exceeds kMaxPayload");
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderSize + f.payload.size());
+    put_u32(out, kMagic);
+    put_u16(out, f.version);
+    put_u16(out, static_cast<std::uint16_t>(f.opcode));
+    put_u16(out, static_cast<std::uint16_t>(f.status));
+    put_u16(out, 0); // reserved
+    put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+    put_u64(out, f.request_id);
+    put_u64(out, fnv1a64(f.payload));
+    out.insert(out.end(), f.payload.begin(), f.payload.end());
+    return out;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
+    if (bytes.size() < 4) return {DecodeStatus::NeedMore, 0};
+    if (read_le<std::uint32_t>(bytes.data()) != kMagic) return {DecodeStatus::BadMagic, 0};
+    if (bytes.size() < kHeaderSize) return {DecodeStatus::NeedMore, 0};
+    const std::uint16_t version = read_le<std::uint16_t>(bytes.data() + 4);
+    if (version != kProtocolVersion) return {DecodeStatus::BadVersion, 0};
+    const std::uint32_t payload_len = read_le<std::uint32_t>(bytes.data() + 12);
+    if (payload_len > kMaxPayload) return {DecodeStatus::Oversized, 0};
+    if (bytes.size() < kHeaderSize + payload_len) return {DecodeStatus::NeedMore, 0};
+    const std::span<const std::uint8_t> payload = bytes.subspan(kHeaderSize, payload_len);
+    if (fnv1a64(payload) != read_le<std::uint64_t>(bytes.data() + 24))
+        return {DecodeStatus::BadChecksum, 0};
+    out.version = version;
+    out.opcode = static_cast<Op>(read_le<std::uint16_t>(bytes.data() + 6));
+    out.status = static_cast<Err>(read_le<std::uint16_t>(bytes.data() + 8));
+    out.request_id = read_le<std::uint64_t>(bytes.data() + 16);
+    out.payload.assign(payload.begin(), payload.end());
+    return {DecodeStatus::Ok, kHeaderSize + payload_len};
+}
+
+} // namespace sbd::serve

@@ -1,0 +1,486 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/export.hpp"
+#include "resilience/budget.hpp"
+#include "resilience/fault.hpp"
+
+namespace sbd::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+/// Lock acquisition that surfaces contention as a queue-depth gauge: the
+/// gauge counts requests currently waiting for the state lock.
+template <typename LockT> class QueuedLock {
+public:
+    QueuedLock(std::shared_mutex& m, obs::Gauge& depth) : lk_(m, std::defer_lock) {
+        depth.add(1);
+        lk_.lock();
+        depth.add(-1);
+    }
+
+private:
+    LockT lk_;
+};
+
+using QueuedExclusive = QueuedLock<std::unique_lock<std::shared_mutex>>;
+using QueuedShared = QueuedLock<std::shared_lock<std::shared_mutex>>;
+
+} // namespace
+
+Server::Server(const codegen::CompiledSystem& sys, BlockPtr root, ServerConfig cfg)
+    : sys_(&sys), root_(std::move(root)), cfg_(std::move(cfg)), listener_(cfg_.endpoint) {
+    if (cfg_.shards == 0) throw std::invalid_argument("serve: shards must be > 0");
+    if (cfg_.shard_capacity == 0)
+        throw std::invalid_argument("serve: shard capacity must be > 0");
+    if (cfg_.metrics == nullptr) {
+        owned_metrics_ = std::make_shared<obs::MetricsRegistry>();
+        metrics_ = owned_metrics_.get();
+    } else {
+        metrics_ = cfg_.metrics;
+    }
+    shards_.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        runtime::EngineConfig ec;
+        ec.capacity = cfg_.shard_capacity;
+        ec.threads = cfg_.engine_threads;
+        shards_.push_back(std::make_unique<Shard>(*sys_, root_, ec));
+    }
+    for (std::uint16_t opv = 1; opv <= 8; ++opv)
+        c_requests_[opv] =
+            metrics_->counter("sbd_serve_requests_total", "protocol requests received",
+                              {{"op", to_string(static_cast<Op>(opv))}});
+    c_errors_total_ = metrics_->counter("sbd_serve_errors_total", "coded request rejections");
+    c_shed_total_ = metrics_->counter("sbd_serve_shed_total",
+                                      "requests shed by per-tenant budget admission");
+    c_ticks_total_ = metrics_->counter("sbd_serve_ticks_total",
+                                       "global synchronous instants executed");
+    c_accept_faults_ = metrics_->counter("sbd_serve_accept_faults_total",
+                                         "connections dropped by the accept fault point");
+    c_http_scrapes_ = metrics_->counter("sbd_serve_http_scrapes_total",
+                                        "HTTP GET /metrics scrapes answered");
+    c_connections_total_ =
+        metrics_->counter("sbd_serve_connections_total", "connections accepted");
+    h_request_ns_ = metrics_->histogram("sbd_serve_request_ns",
+                                        obs::exponential_bounds(1000, 4.0, 14),
+                                        "request handling latency, nanoseconds");
+    h_tick_ns_ = metrics_->histogram("sbd_serve_tick_ns",
+                                     obs::exponential_bounds(1000, 4.0, 14),
+                                     "whole-instant latency across all shards, nanoseconds");
+    g_connections_ = metrics_->gauge("sbd_serve_connections", "open client connections");
+    g_queue_depth_ =
+        metrics_->gauge("sbd_serve_queue_depth", "requests waiting for the state lock");
+    g_shard_instances_.reserve(cfg_.shards);
+    g_shard_capacity_.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        const obs::Labels labels = {{"shard", std::to_string(s)}};
+        g_shard_instances_.push_back(
+            metrics_->gauge("sbd_serve_shard_instances", "live instances in the shard", labels));
+        g_shard_capacity_.push_back(
+            metrics_->gauge("sbd_serve_shard_capacity", "instance slots in the shard", labels));
+        g_shard_capacity_.back().set(static_cast<std::int64_t>(cfg_.shard_capacity));
+    }
+}
+
+Server::~Server() {
+    request_stop();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard lk(conns_m_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread& t : handlers) t.join();
+}
+
+void Server::start() {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::wait() {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard lk(conns_m_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread& t : handlers) t.join();
+}
+
+void Server::request_stop() {
+    stopping_.store(true, std::memory_order_relaxed);
+    listener_.shutdown();
+    std::lock_guard lk(conns_m_);
+    for (const std::weak_ptr<Conn>& w : conns_)
+        if (const std::shared_ptr<Conn> c = w.lock()) c->shutdown_both();
+}
+
+void Server::accept_loop() {
+    for (;;) {
+        Conn c = listener_.accept();
+        if (stopping_.load(std::memory_order_relaxed)) break;
+        if (!c.valid()) {
+            // Transient accept failure (e.g. fd pressure): back off instead
+            // of spinning; listener shutdown is reported via stopping_.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+        }
+        if (SBD_FAULT_HIT("serve.accept")) {
+            // Clean degradation: the connection is dropped before any state
+            // is touched; the client observes EOF and may reconnect.
+            c_accept_faults_.inc();
+            continue;
+        }
+        auto conn = std::make_shared<Conn>(std::move(c));
+        std::lock_guard lk(conns_m_);
+        std::erase_if(conns_, [](const std::weak_ptr<Conn>& w) { return w.expired(); });
+        conns_.push_back(conn);
+        handlers_.emplace_back([this, conn] { handle_conn(conn); });
+    }
+}
+
+void Server::handle_conn(std::shared_ptr<Conn> conn) {
+    g_connections_.add(1);
+    c_connections_total_.inc();
+    try {
+        std::uint8_t head[4];
+        if (conn->recv_exact(head)) {
+            if (std::memcmp(head, "GET ", 4) == 0) {
+                conn->unread(head);
+                handle_http(*conn);
+            } else {
+                conn->unread(head);
+                for (;;) {
+                    std::optional<Frame> req;
+                    try {
+                        req = conn->recv_frame();
+                    } catch (const ServeError& e) {
+                        // Framing violation: the stream cannot be resynced,
+                        // so answer with the coded error and drop it.
+                        Frame err;
+                        err.opcode = static_cast<Op>(0);
+                        err.status = e.code();
+                        PayloadWriter w;
+                        w.str(e.what());
+                        err.payload = w.take();
+                        conn->send_frame(err);
+                        break;
+                    }
+                    if (!req) break; // clean EOF
+                    const Frame resp = handle_request(*req);
+                    conn->send_frame(resp);
+                    if (req->opcode == Op::Shutdown && resp.status == Err::Ok) {
+                        request_stop();
+                        break;
+                    }
+                }
+            }
+        }
+    } catch (const std::exception&) {
+        // Broken stream (peer vanished, shutdown during a read): drop.
+    }
+    g_connections_.add(-1);
+}
+
+void Server::handle_http(Conn& conn) {
+    // Minimal HTTP/1.0 for scrapes: read the request head (we only care
+    // about the path), answer one response, close.
+    std::string head;
+    std::uint8_t buf[1024];
+    while (head.find("\r\n\r\n") == std::string::npos && head.size() < 16384) {
+        const std::size_t n = conn.recv_some(buf);
+        if (n == 0) break;
+        head.append(reinterpret_cast<const char*>(buf), n);
+    }
+    const std::size_t line_end = head.find('\r');
+    const std::string line = head.substr(0, line_end == std::string::npos ? 0 : line_end);
+    std::string body;
+    std::string status = "200 OK";
+    if (line.rfind("GET /metrics", 0) == 0) {
+        body = metrics_text();
+        c_http_scrapes_.inc();
+    } else {
+        status = "404 Not Found";
+        body = "only GET /metrics is served here\n";
+    }
+    std::string resp = "HTTP/1.0 " + status +
+                       "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                       "Content-Length: " +
+                       std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    conn.send_all(std::span(reinterpret_cast<const std::uint8_t*>(resp.data()), resp.size()));
+}
+
+std::string Server::metrics_text() {
+    {
+        QueuedShared lk(state_m_, g_queue_depth_);
+        refresh_shard_gauges();
+    }
+    if (resilience::fault_armed())
+        resilience::FaultRegistry::instance().export_metrics(*metrics_);
+    return obs::to_prometheus(metrics_->snapshot());
+}
+
+void Server::refresh_shard_gauges() {
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        g_shard_instances_[s].set(static_cast<std::int64_t>(shards_[s]->size()));
+}
+
+ServerStats Server::stats_view() const {
+    ServerStats st;
+    for (std::uint16_t opv = 1; opv <= 8; ++opv) st.requests += c_requests_[opv].value();
+    st.errors = c_errors_total_.value();
+    st.ticks = c_ticks_total_.value();
+    st.shed = c_shed_total_.value();
+    for (const auto& s : shards_) st.live_instances += s->size();
+    return st;
+}
+
+Frame Server::ok_frame(const Frame& req, std::vector<std::uint8_t> payload) {
+    Frame f;
+    f.opcode = req.opcode;
+    f.status = Err::Ok;
+    f.request_id = req.request_id;
+    f.payload = std::move(payload);
+    return f;
+}
+
+Frame Server::error_frame(const Frame& req, Err code, const std::string& message) {
+    c_errors_total_.inc();
+    metrics_
+        ->counter("sbd_serve_errors_by_code_total", "coded request rejections by code",
+                  {{"code", to_string(code)}})
+        .inc();
+    PayloadWriter w;
+    w.str(message);
+    Frame f;
+    f.opcode = req.opcode;
+    f.status = code;
+    f.request_id = req.request_id;
+    f.payload = w.take();
+    return f;
+}
+
+Frame Server::handle_request(const Frame& req) {
+    const Clock::time_point t0 = Clock::now();
+    const std::uint16_t opv = static_cast<std::uint16_t>(req.opcode);
+    if (opv >= 1 && opv <= 8) c_requests_[opv].inc();
+    Frame resp;
+    try {
+        if (SBD_FAULT_HIT("serve.dispatch")) {
+            // Injected before any shard state is read or written: the
+            // request fails coded and the service state is untouched.
+            resp = error_frame(req, Err::FaultInjected,
+                               "injected dispatch fault (" + std::string(to_string(req.opcode)) +
+                                   ")");
+        } else {
+            PayloadReader r(req.payload);
+            switch (req.opcode) {
+            case Op::CreateInstances: resp = do_create(req, r); break;
+            case Op::DestroyInstances: resp = do_destroy(req, r); break;
+            case Op::PostInputs: resp = do_post_inputs(req, r); break;
+            case Op::Tick: resp = do_tick(req, r); break;
+            case Op::ReadOutputs: resp = do_read_outputs(req, r); break;
+            case Op::Snapshot: resp = do_snapshot(req, r); break;
+            case Op::Stats: resp = do_stats(req, r); break;
+            case Op::Shutdown: resp = do_shutdown(req, r); break;
+            default:
+                resp = error_frame(req, Err::BadOpcode,
+                                   "unknown opcode " + std::to_string(opv));
+            }
+        }
+    } catch (const ServeError& e) {
+        resp = error_frame(req, e.code(), e.what());
+    } catch (const resilience::DeadlineExceeded& e) {
+        resp = error_frame(req, Err::DeadlineExceeded, e.what());
+    } catch (const resilience::FaultInjected& e) {
+        resp = error_frame(req, Err::FaultInjected, e.what());
+    } catch (const std::exception& e) {
+        resp = error_frame(req, Err::Internal, e.what());
+    }
+    h_request_ns_.observe(ns_since(t0));
+    return resp;
+}
+
+Err Server::resolve(const WireHandle& h, std::uint64_t tenant, runtime::InstanceId* out) const {
+    if (h.shard >= shards_.size()) return Err::BadHandle;
+    const runtime::InstanceId id{h.slot, h.generation};
+    if (!shards_[h.shard]->owned_by(id, tenant)) return Err::BadHandle;
+    *out = id;
+    return Err::Ok;
+}
+
+Frame Server::do_create(const Frame& req, PayloadReader& r) {
+    const std::uint64_t tenant = r.u64();
+    const std::uint32_t count = r.u32();
+    r.done();
+    QueuedExclusive lk(state_m_, g_queue_depth_);
+    if (stopping_.load(std::memory_order_relaxed))
+        return error_frame(req, Err::ShuttingDown, "server is shutting down");
+    const std::size_t live = tenant_instances_[tenant];
+    if (cfg_.tenant_max_instances != 0 && live + count > cfg_.tenant_max_instances) {
+        c_shed_total_.inc();
+        return error_frame(req, Err::TenantBudget,
+                           "tenant " + std::to_string(tenant) + " over budget: " +
+                               std::to_string(live) + " live + " + std::to_string(count) +
+                               " requested > " + std::to_string(cfg_.tenant_max_instances));
+    }
+    std::size_t total_free = 0;
+    for (const auto& s : shards_) total_free += s->free();
+    if (count > total_free)
+        return error_frame(req, Err::PoolFull,
+                           "no capacity: " + std::to_string(count) + " requested, " +
+                               std::to_string(total_free) + " free");
+    // Admission passed for the whole batch: placement cannot fail now.
+    PayloadWriter w;
+    w.u32(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        while (shards_[next_shard_]->free() == 0)
+            next_shard_ = (next_shard_ + 1) % shards_.size();
+        const runtime::InstanceId id = shards_[next_shard_]->create(tenant);
+        write_handle(w, {static_cast<std::uint32_t>(next_shard_), id.slot, id.generation});
+        next_shard_ = (next_shard_ + 1) % shards_.size();
+    }
+    tenant_instances_[tenant] = live + count;
+    refresh_shard_gauges();
+    return ok_frame(req, w.take());
+}
+
+Frame Server::do_destroy(const Frame& req, PayloadReader& r) {
+    const std::uint64_t tenant = r.u64();
+    const std::uint32_t count = r.u32();
+    std::vector<WireHandle> handles(count);
+    for (WireHandle& h : handles) h = read_handle(r);
+    r.done();
+    QueuedExclusive lk(state_m_, g_queue_depth_);
+    // Validate the whole batch before destroying anything: a bad handle
+    // rejects the request without side effects.
+    std::vector<runtime::InstanceId> ids(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        if (resolve(handles[i], tenant, &ids[i]) != Err::Ok)
+            return error_frame(req, Err::BadHandle,
+                               "stale or foreign handle at index " + std::to_string(i));
+    for (std::uint32_t i = 0; i < count; ++i) shards_[handles[i].shard]->destroy(ids[i]);
+    tenant_instances_[tenant] -= count;
+    refresh_shard_gauges();
+    return ok_frame(req);
+}
+
+Frame Server::do_post_inputs(const Frame& req, PayloadReader& r) {
+    const std::uint64_t tenant = r.u64();
+    const std::uint32_t count = r.u32();
+    const std::size_t nin = shards_[0]->pool().num_inputs();
+    std::vector<WireHandle> handles(count);
+    std::vector<double> rows(static_cast<std::size_t>(count) * nin);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        handles[i] = read_handle(r);
+        r.f64s(std::span(rows).subspan(static_cast<std::size_t>(i) * nin, nin));
+    }
+    r.done();
+    QueuedShared lk(state_m_, g_queue_depth_);
+    std::vector<runtime::InstanceId> ids(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        if (resolve(handles[i], tenant, &ids[i]) != Err::Ok)
+            return error_frame(req, Err::BadHandle,
+                               "stale or foreign handle at index " + std::to_string(i));
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::span<double> dst = shards_[handles[i].shard]->pool().inputs(ids[i]);
+        const std::span<const double> src(rows.data() + static_cast<std::size_t>(i) * nin, nin);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return ok_frame(req);
+}
+
+Frame Server::do_tick(const Frame& req, PayloadReader& r) {
+    (void)r.u64(); // tenant: the tick is a global instant; admission is per request
+    const std::uint32_t n = r.u32();
+    r.done();
+    QueuedExclusive lk(state_m_, g_queue_depth_);
+    if (stopping_.load(std::memory_order_relaxed))
+        return error_frame(req, Err::ShuttingDown, "server is shutting down");
+    const resilience::Deadline deadline = resilience::Deadline::after_ms(cfg_.tick_deadline_ms);
+    std::uint32_t executed = 0;
+    for (std::uint32_t t = 0; t < n; ++t) {
+        // Every admission check fires before the first shard of the instant
+        // steps, so a rejection here leaves all shards at a consistent,
+        // fully completed instant — shed, never torn.
+        if (deadline.due("serve.deadline"))
+            return error_frame(req, Err::DeadlineExceeded,
+                               "tick deadline expired after " + std::to_string(executed) +
+                                   " of " + std::to_string(n) + " instants");
+        if (SBD_FAULT_HIT("serve.tick"))
+            return error_frame(req, Err::FaultInjected,
+                               "injected tick fault after " + std::to_string(executed) +
+                                   " of " + std::to_string(n) + " instants");
+        const Clock::time_point t0 = Clock::now();
+        for (const auto& s : shards_) s->engine().tick();
+        h_tick_ns_.observe(ns_since(t0));
+        c_ticks_total_.inc();
+        ticks_.fetch_add(1, std::memory_order_relaxed);
+        ++executed;
+    }
+    PayloadWriter w;
+    w.u64(ticks_.load(std::memory_order_relaxed));
+    w.u32(executed);
+    return ok_frame(req, w.take());
+}
+
+Frame Server::do_read_outputs(const Frame& req, PayloadReader& r) {
+    const std::uint64_t tenant = r.u64();
+    const std::uint32_t count = r.u32();
+    std::vector<WireHandle> handles(count);
+    for (WireHandle& h : handles) h = read_handle(r);
+    r.done();
+    QueuedShared lk(state_m_, g_queue_depth_);
+    std::vector<runtime::InstanceId> ids(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        if (resolve(handles[i], tenant, &ids[i]) != Err::Ok)
+            return error_frame(req, Err::BadHandle,
+                               "stale or foreign handle at index " + std::to_string(i));
+    PayloadWriter w;
+    w.u32(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        w.f64s(shards_[handles[i].shard]->pool().outputs(ids[i]));
+    return ok_frame(req, w.take());
+}
+
+Frame Server::do_snapshot(const Frame& req, PayloadReader& r) {
+    const std::uint64_t tenant = r.u64();
+    const WireHandle h = read_handle(r);
+    r.done();
+    QueuedShared lk(state_m_, g_queue_depth_);
+    runtime::InstanceId id;
+    if (resolve(h, tenant, &id) != Err::Ok)
+        return error_frame(req, Err::BadHandle, "stale or foreign handle");
+    const std::vector<double> blob = shards_[h.shard]->pool().snapshot_state(id);
+    PayloadWriter w;
+    w.u32(static_cast<std::uint32_t>(blob.size()));
+    w.f64s(blob);
+    return ok_frame(req, w.take());
+}
+
+Frame Server::do_stats(const Frame& req, PayloadReader& r) {
+    (void)r.u64(); // tenant
+    r.done();
+    PayloadWriter w;
+    w.str(metrics_text()); // takes the shared lock itself
+    return ok_frame(req, w.take());
+}
+
+Frame Server::do_shutdown(const Frame& req, PayloadReader& r) {
+    (void)r.u64(); // tenant
+    r.done();
+    // The reply goes out first; handle_conn() then calls request_stop(), so
+    // the client always sees its SHUTDOWN acknowledged.
+    return ok_frame(req);
+}
+
+} // namespace sbd::serve

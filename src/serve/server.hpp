@@ -1,0 +1,152 @@
+// sbd_serve — a long-running, sharded, multi-tenant simulation service.
+//
+// The server hosts N shards, each an Engine-backed InstancePool of one
+// compiled model, and speaks the SBDS length-prefixed binary protocol over
+// a TCP or Unix socket (protocol.hpp). A connection whose first bytes are
+// "GET " instead of the frame magic gets a one-shot HTTP response carrying
+// the Prometheus text exposition of the server's metrics registry — the
+// `GET /metrics` scrape endpoint, no HTTP library required.
+//
+// Concurrency model: one accept thread, one handler thread per connection,
+// and a server-wide reader/writer lock over shard state. Structural
+// operations and the global tick (CREATE / DESTROY / TICK / SHUTDOWN) take
+// the lock exclusively; data-plane operations (POST_INPUTS / READ_OUTPUTS /
+// SNAPSHOT / STATS) share it — tenants own disjoint slots with disjoint
+// arena buffers, so same-mode requests never race. A TICK advances every
+// shard one synchronous instant under the exclusive lock; admission checks
+// (deadline, fault points, shutdown) all happen *before* the first shard
+// steps, so a rejected tick leaves every instance untouched — coded
+// rejections, never a torn instant.
+#ifndef SBD_SERVE_SERVER_HPP
+#define SBD_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/shard.hpp"
+#include "serve/socket.hpp"
+
+namespace sbd::serve {
+
+struct ServerConfig {
+    Endpoint endpoint;                 ///< listen address (tcp port 0 = ephemeral)
+    std::size_t shards = 1;            ///< engine shards
+    std::size_t shard_capacity = 1024; ///< instance slots per shard
+    std::size_t engine_threads = 1;    ///< worker threads per shard engine
+    /// Wall-clock budget for one TICK request (all requested instants).
+    /// Checked before each instant; expiry rejects with DEADLINE_EXCEEDED
+    /// before any shard of that instant advances. 0 = no deadline.
+    std::uint64_t tick_deadline_ms = 0;
+    /// Per-tenant live-instance budget; a CREATE_INSTANCES that would
+    /// exceed it is shed with TENANT_BUDGET (nothing is created). 0 = off.
+    std::uint64_t tenant_max_instances = 0;
+    /// Metrics sink (serve request/tick/latency families, per-shard
+    /// gauges). nullptr = the server creates a private registry, so STATS
+    /// and /metrics always work.
+    obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Aggregate counters mirrored from the metrics registry (for tools/tests).
+struct ServerStats {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t shed = 0; ///< TENANT_BUDGET rejections
+    std::size_t live_instances = 0;
+};
+
+class Server {
+public:
+    /// Binds the listen socket immediately (so an ephemeral port is known
+    /// before start()); throws std::runtime_error on bind failure.
+    Server(const codegen::CompiledSystem& sys, BlockPtr root, ServerConfig cfg);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// The bound endpoint (tcp port resolved when 0 was requested).
+    const Endpoint& endpoint() const { return listener_.bound_endpoint(); }
+
+    void start();        ///< launches the accept loop in a background thread
+    void wait();         ///< blocks until the accept loop exits (shutdown)
+    void run() {         ///< start() + wait() — the daemon entry point
+        start();
+        wait();
+    }
+    /// Initiates shutdown: stops accepting, unblocks every connection.
+    /// Idempotent; safe from any thread (including request handlers).
+    void request_stop();
+    bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
+
+    std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+    ServerStats stats_view() const;
+    obs::MetricsRegistry* metrics() const { return metrics_; }
+
+    /// Prometheus text of the registry with shard gauges refreshed — what
+    /// both STATS and GET /metrics return.
+    std::string metrics_text();
+
+private:
+    void accept_loop();
+    void handle_conn(std::shared_ptr<Conn> conn);
+    void handle_http(Conn& conn);
+    Frame handle_request(const Frame& req);
+
+    Frame do_create(const Frame& req, PayloadReader& r);
+    Frame do_destroy(const Frame& req, PayloadReader& r);
+    Frame do_post_inputs(const Frame& req, PayloadReader& r);
+    Frame do_tick(const Frame& req, PayloadReader& r);
+    Frame do_read_outputs(const Frame& req, PayloadReader& r);
+    Frame do_snapshot(const Frame& req, PayloadReader& r);
+    Frame do_stats(const Frame& req, PayloadReader& r);
+    Frame do_shutdown(const Frame& req, PayloadReader& r);
+
+    Frame ok_frame(const Frame& req, std::vector<std::uint8_t> payload = {});
+    Frame error_frame(const Frame& req, Err code, const std::string& message);
+
+    /// Resolves a wire handle to (shard, id); Err::Ok when live and owned.
+    Err resolve(const WireHandle& h, std::uint64_t tenant, runtime::InstanceId* out) const;
+    void refresh_shard_gauges();
+
+    const codegen::CompiledSystem* sys_;
+    BlockPtr root_;
+    ServerConfig cfg_;
+    Listener listener_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /// Exclusive: CREATE/DESTROY/TICK/SHUTDOWN; shared: POST/READ/SNAPSHOT/
+    /// STATS. See the concurrency model note above.
+    std::shared_mutex state_m_;
+    std::unordered_map<std::uint64_t, std::size_t> tenant_instances_;
+    std::size_t next_shard_ = 0; ///< round-robin start for balanced creates
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> ticks_{0};
+    std::thread accept_thread_;
+    std::mutex conns_m_;
+    std::vector<std::weak_ptr<Conn>> conns_;
+    std::vector<std::thread> handlers_;
+
+    std::shared_ptr<obs::MetricsRegistry> owned_metrics_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    obs::Counter c_requests_[9];    ///< by Op (index = opcode, 0 unused)
+    obs::Counter c_errors_total_, c_shed_total_, c_ticks_total_, c_accept_faults_,
+        c_http_scrapes_, c_connections_total_;
+    obs::Histogram h_request_ns_, h_tick_ns_;
+    obs::Gauge g_connections_, g_queue_depth_;
+    std::vector<obs::Gauge> g_shard_instances_, g_shard_capacity_;
+};
+
+} // namespace sbd::serve
+
+#endif

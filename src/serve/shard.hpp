@@ -1,0 +1,57 @@
+// One shard of the simulation service: an Engine-hosted instance pool plus
+// per-slot tenant ownership. The server owns N shards and spreads instances
+// across them; all cross-shard coordination (locking, admission, the global
+// tick) lives in Server — a Shard is deliberately lock-free and single-
+// writer from its point of view.
+#ifndef SBD_SERVE_SHARD_HPP
+#define SBD_SERVE_SHARD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace sbd::serve {
+
+class Shard {
+public:
+    Shard(const codegen::CompiledSystem& sys, BlockPtr root, runtime::EngineConfig cfg)
+        : engine_(sys, std::move(root), cfg), owner_(cfg.capacity, 0) {}
+
+    runtime::Engine& engine() { return engine_; }
+    const runtime::Engine& engine() const { return engine_; }
+    runtime::InstancePool& pool() { return engine_.pool(); }
+    const runtime::InstancePool& pool() const { return engine_.pool(); }
+
+    /// Creates an instance owned by `tenant`. Caller checks free() first;
+    /// throws std::length_error if the pool is actually full.
+    runtime::InstanceId create(std::uint64_t tenant) {
+        const runtime::InstanceId id = engine_.create();
+        owner_[id.slot] = tenant;
+        return id;
+    }
+
+    void destroy(runtime::InstanceId id) {
+        engine_.destroy(id);
+        owner_[id.slot] = 0;
+    }
+
+    /// True iff `id` is a live handle whose slot `tenant` owns.
+    bool owned_by(runtime::InstanceId id, std::uint64_t tenant) const {
+        return pool().alive(id) && owner_[id.slot] == tenant;
+    }
+
+    std::size_t size() const { return pool().size(); }
+    std::size_t capacity() const { return pool().capacity(); }
+    /// Slots still available for create(): capacity minus live minus the
+    /// slots retired by generation exhaustion.
+    std::size_t free() const { return capacity() - size() - pool().retired(); }
+
+private:
+    runtime::Engine engine_;
+    std::vector<std::uint64_t> owner_; ///< by slot; valid while the slot is live
+};
+
+} // namespace sbd::serve
+
+#endif

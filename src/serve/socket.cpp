@@ -1,0 +1,231 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sbd::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+std::string Endpoint::to_string() const {
+    if (is_unix) return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+    Endpoint ep;
+    if (spec.rfind("unix:", 0) == 0) {
+        ep.is_unix = true;
+        ep.path = spec.substr(5);
+        if (ep.path.empty())
+            throw std::invalid_argument("endpoint: empty unix socket path in '" + spec + "'");
+        if (ep.path.size() >= sizeof(sockaddr_un{}.sun_path))
+            throw std::invalid_argument("endpoint: unix socket path too long in '" + spec + "'");
+        return ep;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        const std::string rest = spec.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            throw std::invalid_argument("endpoint: expected tcp:HOST:PORT, got '" + spec + "'");
+        ep.host = rest.substr(0, colon);
+        const std::string port_s = rest.substr(colon + 1);
+        if (port_s.empty() || port_s.find_first_not_of("0123456789") != std::string::npos ||
+            port_s.size() > 5)
+            throw std::invalid_argument("endpoint: bad port in '" + spec + "'");
+        const unsigned long p = std::stoul(port_s);
+        if (p > 65535) throw std::invalid_argument("endpoint: bad port in '" + spec + "'");
+        ep.port = static_cast<std::uint16_t>(p);
+        return ep;
+    }
+    throw std::invalid_argument("endpoint: expected tcp:HOST:PORT or unix:PATH, got '" + spec +
+                                "'");
+}
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+void Fd::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Conn Conn::connect(const Endpoint& ep) {
+    if (ep.is_unix) {
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid()) sys_fail("socket");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+        if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+            sys_fail("connect " + ep.to_string());
+        return Conn(std::move(fd));
+    }
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) sys_fail("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("connect: bad IPv4 address '" + ep.host + "'");
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+        sys_fail("connect " + ep.to_string());
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Conn(std::move(fd));
+}
+
+void Conn::send_all(std::span<const std::uint8_t> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_.get(), bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            sys_fail("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::size_t Conn::take_pushback(std::span<std::uint8_t> out) {
+    const std::size_t n = std::min(out.size(), pushback_.size());
+    if (n != 0) {
+        std::memcpy(out.data(), pushback_.data(), n);
+        pushback_.erase(pushback_.begin(),
+                        pushback_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    return n;
+}
+
+bool Conn::recv_exact(std::span<std::uint8_t> out) {
+    std::size_t got = take_pushback(out);
+    while (got < out.size()) {
+        const ssize_t n = ::recv(fd_.get(), out.data() + got, out.size() - got, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            sys_fail("recv");
+        }
+        if (n == 0) {
+            if (got == 0) return false; // clean EOF at a frame boundary
+            throw std::runtime_error("recv: connection closed mid-frame");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::size_t Conn::recv_some(std::span<std::uint8_t> out) {
+    if (const std::size_t n = take_pushback(out); n != 0) return n;
+    for (;;) {
+        const ssize_t n = ::recv(fd_.get(), out.data(), out.size(), 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            sys_fail("recv");
+        }
+        return static_cast<std::size_t>(n);
+    }
+}
+
+std::optional<Frame> Conn::recv_frame() {
+    std::vector<std::uint8_t> buf(kHeaderSize);
+    if (!recv_exact(buf)) return std::nullopt;
+    // Decode the header via decode_frame on the header-only prefix: any
+    // status other than NeedMore/Ok is a framing violation.
+    Frame f;
+    DecodeResult r = decode_frame(buf, f);
+    if (r.status == DecodeStatus::BadMagic)
+        throw ServeError(Err::BadFrame, "bad frame magic");
+    if (r.status == DecodeStatus::BadVersion)
+        throw ServeError(Err::BadVersion, "unsupported protocol version");
+    if (r.status == DecodeStatus::Oversized)
+        throw ServeError(Err::BadFrame, "oversized frame payload");
+    std::uint32_t payload_len;
+    std::memcpy(&payload_len, buf.data() + 12, 4);
+    buf.resize(kHeaderSize + payload_len);
+    if (payload_len != 0 && !recv_exact(std::span(buf).subspan(kHeaderSize)))
+        throw std::runtime_error("recv: connection closed mid-frame");
+    r = decode_frame(buf, f);
+    if (r.status == DecodeStatus::BadChecksum)
+        throw ServeError(Err::BadFrame, "frame checksum mismatch");
+    if (r.status != DecodeStatus::Ok) throw ServeError(Err::BadFrame, "malformed frame");
+    return f;
+}
+
+void Conn::shutdown_both() {
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Listener::Listener(const Endpoint& ep) {
+    if (ep.is_unix) {
+        fd_ = Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd_.valid()) sys_fail("socket");
+        ::unlink(ep.path.c_str());
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+        if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+            sys_fail("bind " + ep.to_string());
+        if (::listen(fd_.get(), 64) != 0) sys_fail("listen " + ep.to_string());
+        bound_ = ep;
+        return;
+    }
+    fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd_.valid()) sys_fail("socket");
+    const int one = 1;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("bind: bad IPv4 address '" + ep.host + "'");
+    if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+        sys_fail("bind " + ep.to_string());
+    if (::listen(fd_.get(), 64) != 0) sys_fail("listen " + ep.to_string());
+    bound_ = ep;
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&got), &len) == 0)
+        bound_.port = ntohs(got.sin_port); // resolve an ephemeral port 0
+}
+
+Listener::~Listener() {
+    if (fd_.valid() && bound_.is_unix) ::unlink(bound_.path.c_str());
+}
+
+Conn Listener::accept() {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd < 0) return Conn();
+    if (!bound_.is_unix) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return Conn(Fd(fd));
+}
+
+void Listener::shutdown() {
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+} // namespace sbd::serve

@@ -1,0 +1,124 @@
+// Minimal RAII socket layer for the serve subsystem: endpoint parsing
+// ("tcp:HOST:PORT" | "unix:PATH"), a listener, and a blocking connection
+// that sends/receives whole protocol frames. POSIX only (the repository
+// targets Linux); nothing here is exposed outside src/serve and the tools.
+#ifndef SBD_SERVE_SOCKET_HPP
+#define SBD_SERVE_SOCKET_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace sbd::serve {
+
+/// A parsed listen/connect endpoint. tcp: empty `path`; unix: empty
+/// host/port.
+struct Endpoint {
+    bool is_unix = false;
+    std::string host;   ///< tcp only
+    std::uint16_t port = 0; ///< tcp only (0 = ephemeral, server picks)
+    std::string path;   ///< unix only
+
+    std::string to_string() const;
+
+    /// Parses "tcp:HOST:PORT" or "unix:PATH"; throws std::invalid_argument
+    /// naming the problem on anything else.
+    static Endpoint parse(const std::string& spec);
+};
+
+/// Owned file descriptor (move-only).
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { close(); }
+    Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Fd& operator=(Fd&& o) noexcept;
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void close();
+
+private:
+    int fd_ = -1;
+};
+
+/// A connected byte stream speaking SBDS frames (plus the raw escape
+/// hatches the HTTP fallback and the malformed-frame tests use).
+class Conn {
+public:
+    Conn() = default;
+    explicit Conn(Fd fd) : fd_(std::move(fd)) {}
+
+    bool valid() const { return fd_.valid(); }
+    int native() const { return fd_.get(); }
+
+    /// Connects to an endpoint; throws std::runtime_error on failure.
+    static Conn connect(const Endpoint& ep);
+
+    /// Sends all of `bytes`; throws std::runtime_error on a broken stream.
+    void send_all(std::span<const std::uint8_t> bytes);
+    /// Reads exactly n bytes; returns false on clean EOF at a frame
+    /// boundary (0 bytes read), throws on mid-read EOF or errors.
+    bool recv_exact(std::span<std::uint8_t> out);
+
+    /// Sends one encoded frame.
+    void send_frame(const Frame& f) { send_all(encode_frame(f)); }
+    /// Receives one frame; nullopt on clean EOF before a header. Throws
+    /// ServeError(Err::BadFrame/BadVersion) on malformed input — receivers
+    /// cannot continue a stream whose framing is broken.
+    std::optional<Frame> recv_frame();
+
+    /// Reads whatever is available, up to `max` bytes (for the HTTP
+    /// request-line peek). Returns bytes read (0 = EOF).
+    std::size_t recv_some(std::span<std::uint8_t> out);
+
+    /// Pushes bytes back onto the stream: the next recv_* consumes them
+    /// before touching the socket. Used by the server to sniff whether a
+    /// fresh connection speaks SBDS frames or an HTTP GET /metrics.
+    void unread(std::span<const std::uint8_t> bytes) {
+        pushback_.insert(pushback_.end(), bytes.begin(), bytes.end());
+    }
+
+    void shutdown_both(); ///< interrupts blocked reads from another thread
+
+private:
+    std::size_t take_pushback(std::span<std::uint8_t> out);
+
+    Fd fd_;
+    std::vector<std::uint8_t> pushback_;
+};
+
+/// A listening socket bound to an endpoint.
+class Listener {
+public:
+    Listener() = default;
+    /// Binds and listens; throws std::runtime_error on failure. For tcp
+    /// with port 0 the kernel assigns a port — see bound_endpoint(). A unix
+    /// path is unlinked first (stale sockets from a crashed server).
+    explicit Listener(const Endpoint& ep);
+    ~Listener();
+    Listener(Listener&&) = default;
+    Listener& operator=(Listener&&) = default;
+
+    /// Accepts one connection; an invalid Conn means the listener was shut
+    /// down (or accept failed transiently).
+    Conn accept();
+    /// Unblocks a pending accept() from another thread.
+    void shutdown();
+
+    const Endpoint& bound_endpoint() const { return bound_; }
+
+private:
+    Fd fd_;
+    Endpoint bound_;
+};
+
+} // namespace sbd::serve
+
+#endif

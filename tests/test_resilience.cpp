@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -23,6 +24,8 @@
 #include "resilience/budget.hpp"
 #include "resilience/fault.hpp"
 #include "runtime/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "suite/npred.hpp"
 #include "suite/random_models.hpp"
 
@@ -546,6 +549,7 @@ struct ChaosConfig {
     Method method = Method::Dynamic;
     std::string expected;                       ///< fault-free rendering
     std::vector<std::vector<double>> reference; ///< fault-free engine outputs
+    std::vector<double> serve_reference;        ///< fault-free served outputs (zero inputs)
     fs::path cache_dir;                         ///< pre-populated (warm) disk cache
 };
 
@@ -569,6 +573,44 @@ Outcome chaos_run(const ChaosConfig& cfg, const fs::path& cache_dir, std::size_t
         EXPECT_EQ(render(sys), cfg.expected) << "fault-absorbing run diverged from oracle";
         const auto outs = engine_outputs(sys, cfg.root, cfg.reference.size());
         EXPECT_EQ(outs, cfg.reference) << "engine trajectory diverged from oracle";
+
+        // Serve phase: the same compiled system behind a live loopback
+        // server, one short tenant session per run. The serve.* points
+        // (and the engine points firing inside the shards) must surface as
+        // coded rejections or a cleanly dropped connection — never a crash
+        // or a torn instant; a session that completes must read back the
+        // fault-free outputs bit-for-bit.
+        try {
+            serve::ServerConfig scfg;
+            scfg.endpoint = serve::Endpoint::parse("tcp:127.0.0.1:0");
+            scfg.shards = 2;
+            scfg.shard_capacity = 2;
+            serve::Server server(sys, cfg.root, scfg);
+            server.start();
+            auto client = serve::Client::connect(server.endpoint());
+            const auto handles = client.create_instances(1, 2);
+            for (std::size_t t = 0; t < cfg.reference.size(); ++t) (void)client.tick(1, 1);
+            const auto served = client.read_outputs(1, handles);
+            const std::size_t nout = cfg.serve_reference.size();
+            EXPECT_EQ(served.size(), 2 * nout) << "served output row count diverged";
+            for (std::size_t i = 0; served.size() == 2 * nout && i < 2; ++i)
+                EXPECT_EQ(std::memcmp(served.data() + i * nout, cfg.serve_reference.data(),
+                                      nout * sizeof(double)),
+                          0)
+                    << "served outputs diverged from oracle (instance " << i << ")";
+        } catch (const serve::ServeError& e) {
+            if (e.code() == serve::Err::FaultInjected) return Outcome::Injected;
+            if (e.code() == serve::Err::DeadlineExceeded) return Outcome::Deadline;
+            throw; // any other coded rejection is undocumented here: fail
+        } catch (const std::runtime_error&) {
+            // serve.accept drops the connection before the first frame, so
+            // the client sees a transport error. That drop is the documented
+            // degradation — but only accept it when the registry confirms
+            // the point actually fired; anything else is a real bug.
+            for (const PointStats& pt : FaultRegistry::instance().snapshot())
+                if (pt.name == "serve.accept" && pt.injected > 0) return Outcome::Injected;
+            throw;
+        }
         return Outcome::Identical;
     } catch (const BudgetExhausted&) {
         return Outcome::Budget;
@@ -608,6 +650,17 @@ TEST(Chaos, DifferentialHarness) {
             const CompiledSystem sys = p.compile(cfg.root);
             cfg.expected = render(sys);
             cfg.reference = engine_outputs(sys, cfg.root, kTicks);
+            {
+                // Fault-free serve oracle: the session posts no inputs, so
+                // it equals a direct zero-input engine run of kTicks.
+                runtime::EngineConfig ecfg;
+                ecfg.capacity = 1;
+                runtime::Engine engine(sys, cfg.root, ecfg);
+                const auto id = engine.create(1).front();
+                engine.tick(kTicks);
+                const auto outs = engine.pool().outputs(id);
+                cfg.serve_reference.assign(outs.begin(), outs.end());
+            }
             configs.push_back(std::move(cfg));
         }
 

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "core/compiler.hpp"
@@ -328,6 +330,110 @@ TEST_F(TraceRoundtrip, ReplayReproducesRecordedOutputs) {
     // outputs: the trace is a method-independent regression artifact.
     const auto sys2 = compile_hierarchy(block, Method::Singletons);
     EXPECT_TRUE(bit_equal(replay(sys2, block, t), t));
+}
+
+// ---------------------------------------------------------------------------
+// Handle-churn edge cases: generational ids under heavy slot recycling, and
+// the generation-exhaustion path — a slot whose generation counter reaches
+// UINT32_MAX is retired rather than wrapped to 0, so a handle minted 2^32
+// destroys ago can never validate against a fresh occupant (no ABA, ever).
+
+TEST(PoolChurn, StaleHandlesNeverAliasUnderHeavyRecycling) {
+    const auto block = suite::thermostat();
+    const auto sys = compile_hierarchy(block, Method::Dynamic);
+    InstancePool pool(sys, block, 4);
+    std::vector<InstanceId> stale;
+    for (int round = 0; round < 256; ++round) {
+        const InstanceId a = pool.create();
+        const InstanceId b = pool.create();
+        pool.destroy(a);
+        pool.destroy(b);
+        stale.push_back(a);
+        stale.push_back(b);
+    }
+    // Every handle ever destroyed is dead forever, even though its slot has
+    // been recycled hundreds of times since.
+    const InstanceId live = pool.create();
+    for (const InstanceId id : stale) {
+        EXPECT_FALSE(pool.alive(id));
+        EXPECT_THROW(pool.inputs(id), std::invalid_argument);
+        EXPECT_THROW(pool.destroy(id), std::invalid_argument);
+    }
+    EXPECT_TRUE(pool.alive(live));
+    EXPECT_EQ(pool.retired(), 0u);
+}
+
+TEST(PoolChurn, GenerationExhaustionRetiresTheSlot) {
+    const auto block = suite::thermostat();
+    const auto sys = compile_hierarchy(block, Method::Dynamic);
+    InstancePool pool(sys, block, 2);
+    // Age one slot to the brink of wraparound (the testing hook stands in
+    // for 2^32 - 2 real destroys).
+    const InstanceId first = pool.create();
+    const std::uint32_t slot = first.slot;
+    pool.destroy(first);
+    pool.debug_set_generation(slot, UINT32_MAX - 1);
+    const InstanceId last = pool.create();
+    EXPECT_EQ(last.slot, slot);
+    EXPECT_EQ(last.generation, UINT32_MAX - 1);
+    pool.destroy(last); // generation hits UINT32_MAX: the slot is retired
+    EXPECT_EQ(pool.retired(), 1u);
+    EXPECT_FALSE(pool.alive(last));
+    // Neither the pre-retirement handle nor a hypothetical wrapped one can
+    // ever validate again.
+    EXPECT_FALSE(pool.alive({slot, 0}));
+    EXPECT_FALSE(pool.alive({slot, UINT32_MAX}));
+    // The retired slot is out of circulation: the remaining capacity is one
+    // slot, and filling it reports a full pool, not a recycled zombie.
+    const InstanceId a = pool.create();
+    EXPECT_NE(a.slot, slot);
+    EXPECT_THROW(pool.create(), std::length_error);
+    pool.destroy(a);
+    // The hook rejects nonsense: live slots, retired slots, bad indices.
+    const InstanceId live = pool.create();
+    EXPECT_THROW(pool.debug_set_generation(live.slot, 7), std::invalid_argument);
+    EXPECT_THROW(pool.debug_set_generation(slot, 7), std::invalid_argument);
+    EXPECT_THROW(pool.debug_set_generation(99, 7), std::invalid_argument);
+}
+
+TEST(PoolChurn, SnapshotRestoreRoundTripsBitExact) {
+    const auto block = suite::fuel_controller();
+    const auto sys = compile_hierarchy(block, Method::Dynamic);
+    EngineConfig cfg;
+    cfg.capacity = 2;
+    Engine engine(sys, block, cfg);
+    const InstanceId src = engine.create();
+    LcgInputSource in(77);
+    for (int t = 0; t < 25; ++t) {
+        in.fill(engine.pool().inputs(src));
+        engine.tick();
+    }
+    const std::vector<double> blob = engine.pool().snapshot_state(src);
+    EXPECT_EQ(blob.size(), engine.pool().state_size(src));
+
+    // Restore into a brand-new instance and step both in lockstep: the
+    // clone must be bit-identical from the restore point onward.
+    const InstanceId dst = engine.create();
+    engine.pool().restore_state(dst, blob);
+    LcgInputSource in2(12345);
+    for (int t = 0; t < 25; ++t) {
+        in2.fill(engine.pool().inputs(src));
+        std::copy_n(engine.pool().inputs(src).data(), block->num_inputs(),
+                    engine.pool().inputs(dst).data());
+        engine.tick();
+        const auto a = engine.pool().outputs(src);
+        const auto b = engine.pool().outputs(dst);
+        for (std::size_t o = 0; o < a.size(); ++o) {
+            std::uint64_t ba, bb;
+            std::memcpy(&ba, &a[o], 8);
+            std::memcpy(&bb, &b[o], 8);
+            ASSERT_EQ(ba, bb) << "tick " << t << " output " << o;
+        }
+    }
+    // A wrong-sized blob is rejected before touching anything.
+    std::vector<double> bad = blob;
+    bad.pop_back();
+    EXPECT_THROW(engine.pool().restore_state(dst, bad), std::invalid_argument);
 }
 
 TEST_F(TraceRoundtrip, LoadRejectsGarbage) {

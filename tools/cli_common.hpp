@@ -25,7 +25,7 @@ namespace sbd::cli {
 
 /// One released artifact, one version: every tool reports this via
 /// --version as "<tool> <version>".
-inline constexpr const char* kVersion = "0.6.0";
+inline constexpr const char* kVersion = "0.7.0";
 
 // Exit-code contract shared by every tool (tools use the subset that
 // applies to them; no tool assigns a different meaning to these values).
@@ -37,6 +37,7 @@ inline constexpr int kExitCycle = 4;    ///< compile (cycle) rejection
 inline constexpr int kExitLint = 5;     ///< lint diagnostics with errors
 inline constexpr int kExitBudget = 6;   ///< resource budget exhausted (SBD021)
 inline constexpr int kExitDeadline = 7; ///< wall-clock deadline exceeded
+inline constexpr int kExitProtocol = 8; ///< coded wire-protocol error (serve)
 
 /// Flag-table argument parser. Flags are registered against variables; the
 /// table then drives both parsing and the usage text, so the two cannot
@@ -233,7 +234,8 @@ inline void add_resilience_flags(ArgParser& p, ResilienceOptions* r, bool sat_fl
                "                 clustering (warns SBD021) instead of exiting 6",
                &r->sat_budget_degrade);
     }
-    // --fault-plan is intentionally absent from the usage text: it is the
+    // --fault-plan is intentionally absent from the usage text (DESIGN.md
+    // "Testing hooks" documents the grammar and seed semantics): it is the
     // chaos-testing hook (tests/test_resilience.cpp), not a user feature.
     p.flag("--fault-plan", "SPEC", nullptr, &r->fault_plan);
 }

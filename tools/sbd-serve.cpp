@@ -1,0 +1,200 @@
+// sbd-serve — long-running sharded simulation service for one compiled
+// model.
+//
+// Compiles the model through the standard pipeline (honoring --cache-dir
+// and --jobs like sbdc), then hosts N engine shards behind the SBDS binary
+// protocol on a TCP or Unix socket: CREATE_INSTANCES / DESTROY_INSTANCES /
+// POST_INPUTS / TICK / READ_OUTPUTS / SNAPSHOT / STATS / SHUTDOWN. A plain
+// HTTP `GET /metrics` on the same port answers the Prometheus text
+// exposition. Per-tenant budgets shed CREATE load with coded TENANT_BUDGET
+// rejections; a tick deadline rejects whole instants, never tears one.
+//
+//   sbd-serve --listen tcp:127.0.0.1:7070 --shards 4 model.sbd
+//   sbd-serve --listen unix:/tmp/sbd.sock --tenant-max-instances 64 model.sbd
+//   sbd-serve --listen tcp:127.0.0.1:0 --endpoint-file ep.txt model.sbd &
+//
+// The daemon runs until SIGINT/SIGTERM or a protocol SHUTDOWN, then drains
+// and exits 0.
+//
+// Exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 compile (cycle)
+//             rejection, 6 budget exhausted, 7 deadline exceeded
+//             (compile-time; serving-time rejections are coded protocol
+//             errors the *client* maps to exit 8).
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "cli_common.hpp"
+#include "core/pipeline.hpp"
+#include "sbd/text_format.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace sbd;
+
+std::atomic<serve::Server*> g_server{nullptr};
+
+/// SIGINT/SIGTERM are masked in every thread and consumed by a dedicated
+/// sigwait thread, which turns them into a clean request_stop(). No
+/// async-signal-safety games: sigwait returns in a normal thread context.
+void install_signal_drain() {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    std::thread([set]() mutable {
+        int sig = 0;
+        sigwait(&set, &sig);
+        if (serve::Server* s = g_server.load()) s->request_stop();
+    }).detach();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string listen_spec = "tcp:127.0.0.1:7070";
+    std::string endpoint_file;
+    std::size_t shards = 1;
+    std::size_t capacity = 1024;
+    std::size_t engine_threads = 1;
+    std::size_t jobs = 1;
+    std::uint64_t tick_deadline_ms = 0;
+    std::uint64_t tenant_max = 0;
+    std::string method_name = "dynamic";
+    std::string cache_dir;
+    cli::ObsOptions obs_opts;
+    cli::ResilienceOptions res_opts;
+
+    cli::ArgParser parser("sbd-serve", "model.sbd");
+    parser.flag("--listen", "EP", "tcp:HOST:PORT (port 0 = ephemeral) or unix:PATH\n"
+                                  "                 (default tcp:127.0.0.1:7070)",
+                &listen_spec);
+    parser.flag("--endpoint-file", "FILE",
+                "write the bound endpoint (ephemeral port resolved) to FILE\n"
+                "                 once listening — for scripts",
+                &endpoint_file);
+    parser.flag("--shards", "N", "engine shards                      (default 1)", &shards);
+    parser.flag("--capacity", "N", "instance slots per shard           (default 1024)",
+                &capacity);
+    parser.flag("--engine-threads", "K", "worker threads per shard engine    (default 1)",
+                &engine_threads);
+    parser.flag("--jobs", "N", "parallel compilation workers       (default 1)", &jobs);
+    parser.flag("--method", "M",
+                "monolithic | step-get | dynamic | disjoint-sat |\n"
+                "                 disjoint-greedy | singletons       (default: dynamic)",
+                &method_name);
+    parser.flag("--cache-dir", "D", "reuse compiled profiles from D (shared with sbdc)",
+                &cache_dir);
+    parser.flag("--tick-deadline-ms", "MS",
+                "wall-clock budget per TICK request; expiry is a coded\n"
+                "                 DEADLINE_EXCEEDED rejection before the instant runs",
+                &tick_deadline_ms);
+    parser.flag("--tenant-max-instances", "N",
+                "per-tenant live-instance budget; excess CREATEs are shed\n"
+                "                 with TENANT_BUDGET (0 = unlimited)",
+                &tenant_max);
+    cli::add_obs_flags(parser, &obs_opts);
+    cli::add_resilience_flags(parser, &res_opts, /*sat_flags=*/true);
+    if (const auto code = parser.parse(argc, argv)) return *code;
+    if (const auto code = cli::arm_fault_plan("sbd-serve", res_opts)) return *code;
+
+    if (parser.positionals().size() != 1 || shards == 0 || capacity == 0)
+        return parser.usage(stderr), cli::kExitUsage;
+    const std::string input_path = parser.positionals().front();
+    const auto method = cli::parse_method(method_name);
+    if (!method) {
+        std::fprintf(stderr, "sbd-serve: unknown method '%s'\n", method_name.c_str());
+        return cli::kExitUsage;
+    }
+
+    serve::Endpoint endpoint;
+    try {
+        endpoint = serve::Endpoint::parse(listen_spec);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "sbd-serve: %s\n", e.what());
+        return cli::kExitUsage;
+    }
+
+    obs::MetricsRegistry registry;
+    cli::ScopedTracing tracing(obs_opts);
+    const auto finish = [&](int code) {
+        const int obs_code = cli::write_obs_outputs(obs_opts, &registry, tracing);
+        return code != cli::kExitOk ? code : obs_code;
+    };
+
+    text::ParsedFile file;
+    try {
+        file = text::parse_sbd_file(input_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "parse error: %s\n", e.what());
+        return finish(cli::kExitParse);
+    }
+
+    try {
+        codegen::PipelineOptions popts;
+        popts.method = *method;
+        popts.cluster.sat_conflict_budget = res_opts.sat_conflict_budget;
+        popts.cluster.sat_budget_degrade = res_opts.sat_budget_degrade;
+        popts.cache_dir = cache_dir;
+        popts.threads = jobs;
+        popts.metrics = &registry;
+        popts.budgets.deadline_ms = res_opts.deadline_ms;
+        codegen::Pipeline pipeline(popts);
+        const codegen::CompiledSystem sys = pipeline.compile(file.root);
+
+        serve::ServerConfig cfg;
+        cfg.endpoint = endpoint;
+        cfg.shards = shards;
+        cfg.shard_capacity = capacity;
+        cfg.engine_threads = engine_threads;
+        cfg.tick_deadline_ms = tick_deadline_ms;
+        cfg.tenant_max_instances = tenant_max;
+        cfg.metrics = &registry;
+        serve::Server server(sys, file.root, cfg);
+
+        const std::string bound = server.endpoint().to_string();
+        if (!endpoint_file.empty()) {
+            std::FILE* f = std::fopen(endpoint_file.c_str(), "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "sbd-serve: cannot write %s\n", endpoint_file.c_str());
+                return finish(cli::kExitError);
+            }
+            std::fprintf(f, "%s\n", bound.c_str());
+            std::fclose(f);
+        }
+        std::printf("sbd-serve: %zu shard(s) x %zu slots, listening on %s\n", shards,
+                    capacity, bound.c_str());
+        std::fflush(stdout);
+
+        install_signal_drain();
+        g_server.store(&server);
+        server.run();
+        g_server.store(nullptr);
+
+        const serve::ServerStats st = server.stats_view();
+        std::printf("sbd-serve: drained after %llu requests, %llu ticks, %llu shed, "
+                    "%llu coded errors\n",
+                    static_cast<unsigned long long>(st.requests),
+                    static_cast<unsigned long long>(st.ticks),
+                    static_cast<unsigned long long>(st.shed),
+                    static_cast<unsigned long long>(st.errors));
+        return finish(cli::kExitOk);
+    } catch (const codegen::SdgCycleError& e) {
+        std::fprintf(stderr, "rejected: %s\n", e.what());
+        return finish(cli::kExitCycle);
+    } catch (const resilience::BudgetExhausted& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitBudget);
+    } catch (const resilience::DeadlineExceeded& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitDeadline);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitError);
+    }
+}
