@@ -1,0 +1,175 @@
+#include "analysis/cost.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/emit_cpp.hpp"
+
+namespace sbd::analysis {
+
+namespace {
+
+constexpr codegen::Method kMethods[] = {
+    codegen::Method::Monolithic,  codegen::Method::StepGet,
+    codegen::Method::Dynamic,     codegen::Method::DisjointSat,
+    codegen::Method::DisjointGreedy, codegen::Method::Singletons,
+};
+
+MethodCost measure(const BlockPtr& root, codegen::Method method,
+                   const std::shared_ptr<codegen::ProfileCache>& cache) {
+    MethodCost mc;
+    mc.method = to_string(method);
+    codegen::CompiledSystem sys;
+    try {
+        codegen::PipelineOptions popts;
+        popts.method = method;
+        codegen::Pipeline pipeline(std::move(popts), cache);
+        sys = pipeline.compile(root);
+    } catch (const std::exception& e) {
+        mc.reject_reason = e.what();
+        return mc;
+    }
+    mc.accepted = true;
+    for (const Block* b : sys.order()) {
+        const codegen::CompiledBlock& cb = sys.at(*b);
+        if (!cb.code) continue;
+        BlockCost bc;
+        bc.block = b->type_name();
+        for (const codegen::GenFunction& fn : cb.code->functions) {
+            FunctionCost fc;
+            fc.name = fn.sig.name;
+            fc.ops = codegen::count_ops(fn);
+            bc.ops += fc.ops;
+            bc.functions.push_back(std::move(fc));
+        }
+        bc.lines = cb.code->line_count();
+        mc.functions += cb.code->functions.size();
+        mc.ops += bc.ops;
+        mc.lines += bc.lines;
+        mc.blocks.push_back(std::move(bc));
+    }
+    try {
+        mc.code_bytes = codegen::emit_cpp(sys).size();
+        mc.code_kind = "c++";
+    } catch (const std::exception&) {
+        // Some atomic has no emit-time C++ semantics (opaque vendor blocks,
+        // custom in-process atomics): measure the pseudocode instead.
+        std::size_t bytes = 0;
+        for (const Block* b : sys.order()) {
+            const codegen::CompiledBlock& cb = sys.at(*b);
+            if (cb.code) bytes += cb.code->to_pseudocode().size();
+        }
+        mc.code_bytes = bytes;
+        mc.code_kind = "pseudocode";
+    }
+    return mc;
+}
+
+void json_escape_into(std::ostringstream& os, const std::string& s) {
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+CostReport cost_report(const BlockPtr& root, const std::string& display_name,
+                       std::shared_ptr<codegen::ProfileCache> cache) {
+    CostReport report;
+    report.file = display_name;
+    report.model = root->type_name();
+    for (const codegen::Method m : kMethods) report.methods.push_back(measure(root, m, cache));
+    return report;
+}
+
+std::string render_cost_table(const CostReport& report) {
+    std::ostringstream os;
+    os << report.file << ": static cost of '" << report.model << "' per clustering method\n";
+    const char* const hdr[] = {"method", "funcs", "calls", "assigns",
+                               "guards", "bumps", "lines", "code bytes"};
+    std::vector<std::vector<std::string>> rows;
+    rows.emplace_back(hdr, hdr + 8);
+    for (const MethodCost& mc : report.methods) {
+        if (!mc.accepted) {
+            rows.push_back({mc.method, "-", "-", "-", "-", "-", "-", "rejected"});
+            continue;
+        }
+        rows.push_back({mc.method, std::to_string(mc.functions), std::to_string(mc.ops.calls),
+                        std::to_string(mc.ops.assigns), std::to_string(mc.ops.guards),
+                        std::to_string(mc.ops.bumps), std::to_string(mc.lines),
+                        std::to_string(mc.code_bytes) + " (" + mc.code_kind + ")"});
+    }
+    std::vector<std::size_t> width(8, 0);
+    for (const auto& row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+    for (const auto& row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    }
+    for (const MethodCost& mc : report.methods)
+        if (!mc.accepted)
+            os << "  " << mc.method << " rejected: " << mc.reject_reason << "\n";
+    return os.str();
+}
+
+std::string render_cost_json(const CostReport& report) {
+    std::ostringstream os;
+    os << "{\"file\": \"";
+    json_escape_into(os, report.file);
+    os << "\", \"model\": \"";
+    json_escape_into(os, report.model);
+    os << "\", \"methods\": [";
+    for (std::size_t i = 0; i < report.methods.size(); ++i) {
+        const MethodCost& mc = report.methods[i];
+        os << (i ? ", " : "") << "{\"method\": \"" << mc.method << "\", \"accepted\": "
+           << (mc.accepted ? "true" : "false");
+        if (!mc.accepted) {
+            os << ", \"reject_reason\": \"";
+            json_escape_into(os, mc.reject_reason);
+            os << "\"}";
+            continue;
+        }
+        os << ", \"functions\": " << mc.functions << ", \"calls\": " << mc.ops.calls
+           << ", \"assigns\": " << mc.ops.assigns << ", \"guards\": " << mc.ops.guards
+           << ", \"bumps\": " << mc.ops.bumps << ", \"lines\": " << mc.lines
+           << ", \"code_bytes\": " << mc.code_bytes << ", \"code_kind\": \"" << mc.code_kind
+           << "\", \"blocks\": [";
+        for (std::size_t b = 0; b < mc.blocks.size(); ++b) {
+            const BlockCost& bc = mc.blocks[b];
+            os << (b ? ", " : "") << "{\"block\": \"";
+            json_escape_into(os, bc.block);
+            os << "\", \"lines\": " << bc.lines << ", \"functions\": [";
+            for (std::size_t f = 0; f < bc.functions.size(); ++f) {
+                const FunctionCost& fc = bc.functions[f];
+                os << (f ? ", " : "") << "{\"name\": \"";
+                json_escape_into(os, fc.name);
+                os << "\", \"calls\": " << fc.ops.calls << ", \"assigns\": " << fc.ops.assigns
+                   << ", \"guards\": " << fc.ops.guards << ", \"bumps\": " << fc.ops.bumps
+                   << "}";
+            }
+            os << "]}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace sbd::analysis

@@ -1,0 +1,73 @@
+// Static cost and code-size model (sbd-lint --report-cost): per-method,
+// per-block, per-interface-function operation counts of the generated IR,
+// pseudocode line counts (the Section 5 code-size measure) and the size of
+// the emitted C++ — computed for every clustering method so the paper's
+// modularity-vs-code-size trade-off is visible per model without running
+// anything.
+#ifndef SBD_ANALYSIS_COST_HPP
+#define SBD_ANALYSIS_COST_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/ir.hpp"
+#include "core/pipeline.hpp"
+
+namespace sbd::analysis {
+
+/// Cost of one generated interface function.
+struct FunctionCost {
+    std::string name;
+    codegen::OpCounts ops;
+};
+
+/// Cost of one compiled macro block under one method.
+struct BlockCost {
+    std::string block;
+    std::vector<FunctionCost> functions;
+    codegen::OpCounts ops;  ///< totals over `functions`
+    std::size_t lines = 0;  ///< CodeUnit::line_count()
+};
+
+/// One clustering method's column of the report. When the method rejects
+/// the model (SdgCycleError or a modular-compilation failure) `accepted`
+/// is false and `reject_reason` says why; the totals are then zero.
+struct MethodCost {
+    std::string method;
+    bool accepted = false;
+    std::string reject_reason;
+    std::size_t functions = 0; ///< generated interface functions
+    codegen::OpCounts ops;     ///< statement totals over all macro blocks
+    std::size_t lines = 0;     ///< total pseudocode lines (Section 5)
+    std::size_t code_bytes = 0;
+    /// "c++" when emit_cpp succeeded, "pseudocode" when some atomic lacks
+    /// emit-time semantics (e.g. opaque vendor blocks) and the pseudocode
+    /// rendering was measured instead.
+    std::string code_kind;
+    std::vector<BlockCost> blocks;
+};
+
+/// The full per-model report: one MethodCost per clustering method, in
+/// canonical method order.
+struct CostReport {
+    std::string file;  ///< display name ("models/thermostat.sbd", "<string>")
+    std::string model; ///< root block type name
+    std::vector<MethodCost> methods;
+};
+
+/// Compiles `root` under every clustering method (through `cache`, shared
+/// with lint probes when given) and measures the generated code. Never
+/// throws on method rejection — that is recorded per method.
+CostReport cost_report(const BlockPtr& root, const std::string& display_name,
+                       std::shared_ptr<codegen::ProfileCache> cache = nullptr);
+
+/// Aligned per-method summary table (one row per method).
+std::string render_cost_table(const CostReport& report);
+
+/// Machine-readable rendering: one JSON object per report with the full
+/// per-block, per-function breakdown. Stable field names.
+std::string render_cost_json(const CostReport& report);
+
+} // namespace sbd::analysis
+
+#endif

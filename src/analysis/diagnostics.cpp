@@ -94,4 +94,92 @@ std::string render_json(const LintReport& report) {
     return os.str();
 }
 
+std::span<const CatalogEntry> catalog() {
+    static constexpr CatalogEntry kCatalog[] = {
+        {"SBD001", Severity::Error, "syntax error"},
+        {"SBD002", Severity::Error, "unknown block type or bad instantiation"},
+        {"SBD003", Severity::Error, "unknown port or instance reference"},
+        {"SBD004", Severity::Error, "multiply-driven signal"},
+        {"SBD005", Severity::Error, "self-connection (instantaneous self-loop)"},
+        {"SBD006", Severity::Error, "malformed trigger"},
+        {"SBD007", Severity::Error, "unconnected sub-block input"},
+        {"SBD008", Severity::Error, "unconnected diagram output"},
+        {"SBD009", Severity::Warning, "dangling sub-block output"},
+        {"SBD010", Severity::Warning, "unused diagram input"},
+        {"SBD011", Severity::Warning, "dead sub-block (reaches no output)"},
+        {"SBD012", Severity::Error, "dependency cycle"},
+        {"SBD013", Severity::Error, "false cycle: flat diagram acyclic, method still rejects"},
+        {"SBD014", Severity::Error, "extern: unknown port in function declaration"},
+        {"SBD015", Severity::Error, "extern: output not written by exactly one function"},
+        {"SBD016", Severity::Error, "extern: cyclic call-order relation"},
+        {"SBD017", Severity::Error, "extern: order names an unknown function"},
+        {"SBD018", Severity::Warning, "extern: inert function"},
+        {"SBD019", Severity::Error, "generated profile violates the modular compilation contract"},
+        {"SBD020", Severity::Warning, "generated PDG edge unjustified by any dataflow"},
+        {"SBD021", Severity::Warning, "SAT conflict budget exhausted: clustering degraded"},
+        {"SBD022", Severity::Error, "division by zero: denominator is always 0"},
+        {"SBD023", Severity::Warning, "possible division by zero: denominator range contains 0"},
+        {"SBD024", Severity::Error, "diagram output is NaN or infinite on every instant"},
+        {"SBD025", Severity::Warning, "diagram output may be NaN"},
+        {"SBD026", Severity::Warning, "diagram output is a compile-time constant"},
+        {"SBD027", Severity::Warning, "dead code: Switch arm never selected or trigger never fires"},
+        {"SBD028", Severity::Warning, "triggered sub-block cannot fire at instant 0"},
+    };
+    return kCatalog;
+}
+
+std::string render_sarif(std::span<const LintReport> reports, const SarifOptions& opts) {
+    // SARIF maps our severities onto its three result levels directly.
+    const auto level_of = [](Severity s) {
+        switch (s) {
+        case Severity::Error: return "error";
+        case Severity::Warning: return "warning";
+        case Severity::Note: return "note";
+        }
+        return "none";
+    };
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+          "Schemata/sarif-schema-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\n"
+       << "      \"name\": \"" << json_escape(opts.tool_name) << "\",\n";
+    if (!opts.tool_version.empty())
+        os << "      \"version\": \"" << json_escape(opts.tool_version) << "\",\n";
+    os << "      \"informationUri\": \"" << json_escape(opts.info_uri) << "\",\n"
+       << "      \"rules\": [";
+    const auto cat = catalog();
+    for (std::size_t i = 0; i < cat.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n");
+        os << "        {\"id\": \"" << cat[i].code << "\", \"shortDescription\": {\"text\": \""
+           << json_escape(cat[i].summary) << "\"}, \"defaultConfiguration\": {\"level\": \""
+           << level_of(cat[i].severity) << "\"}}";
+    }
+    os << "\n      ]\n    }},\n"
+       << "    \"results\": [";
+    bool first = true;
+    for (const LintReport& rep : reports) {
+        for (const Diagnostic& d : rep.diagnostics) {
+            os << (first ? "\n" : ",\n");
+            first = false;
+            std::string text = d.message;
+            for (const std::string& n : d.notes) text += "\nnote: " + n;
+            os << "      {\"ruleId\": \"" << json_escape(d.code) << "\", \"level\": \""
+               << level_of(d.severity) << "\", \"message\": {\"text\": \"" << json_escape(text)
+               << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+                  "\""
+               << json_escape(rep.file) << "\"}";
+            if (d.loc.valid())
+                os << ", \"region\": {\"startLine\": " << d.loc.line
+                   << ", \"startColumn\": " << d.loc.col << "}";
+            os << "}}]}";
+        }
+    }
+    if (!first) os << "\n    ";
+    os << "]\n  }]\n}\n";
+    return os.str();
+}
+
 } // namespace sbd::analysis

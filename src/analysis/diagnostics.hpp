@@ -1,6 +1,7 @@
 #ifndef SBD_ANALYSIS_DIAGNOSTICS_HPP
 #define SBD_ANALYSIS_DIAGNOSTICS_HPP
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,22 @@ const char* to_string(Severity s);
 ///   SBD020  generated PDG edge unjustified by any dataflow   warning
 ///   SBD021  SAT conflict budget exhausted: clustering        warning
 ///           degraded (or compilation gave up) on this block
+///
+/// Deep semantic analysis (sbd-lint --deep; interval abstract
+/// interpretation over the generated interface-function IR, analysis/
+/// absint.hpp):
+///
+///   SBD022  division by zero: denominator is always 0        error
+///   SBD023  possible division by zero: denominator range     warning
+///           contains 0 (or may be NaN)
+///   SBD024  a diagram output is NaN or infinite on every     error
+///           instant
+///   SBD025  a diagram output may be NaN                      warning
+///   SBD026  a diagram output is a compile-time constant      warning
+///   SBD027  dead code: a Switch arm is never selected, or a  warning
+///           triggered sub-block can never fire
+///   SBD028  a triggered sub-block cannot fire at instant 0:  warning
+///           its held outputs read as the initial value 0
 struct Diagnostic {
     std::string code; ///< "SBDnnn"
     Severity severity = Severity::Error;
@@ -76,6 +93,27 @@ std::string render_text(const LintReport& report);
 /// Machine-readable rendering: one JSON object with a "diagnostics" array
 /// and severity totals. Stable field names; strings are JSON-escaped.
 std::string render_json(const LintReport& report);
+
+/// One row of the machine-readable diagnostic catalog: the rule metadata
+/// behind the SARIF tool.driver.rules array and `sbd-lint --catalog`.
+struct CatalogEntry {
+    const char* code;
+    Severity severity;
+    const char* summary;
+};
+
+/// The full catalog, SBD001..SBD028, in code order.
+std::span<const CatalogEntry> catalog();
+
+/// SARIF 2.1.0 rendering of a batch of reports: one run, one result per
+/// diagnostic, the catalog as the rule table. `tool_version` defaults to
+/// the library version baked into the build.
+struct SarifOptions {
+    std::string tool_name = "sbd-lint";
+    std::string tool_version;
+    std::string info_uri = "https://example.org/sbd/diagnostics";
+};
+std::string render_sarif(std::span<const LintReport> reports, const SarifOptions& opts = {});
 
 } // namespace sbd::analysis
 

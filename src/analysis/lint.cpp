@@ -259,6 +259,26 @@ void pass_cycles(const text::ParsedFile& file, const LintOptions& opts, LintRepo
     for (const auto& name : file.order) (void)profile_of(file.blocks.at(name));
 }
 
+/// SBD022..SBD028: compile the root and run the interval abstract
+/// interpreter over the generated code. Models that do not compile are
+/// fully covered by the structural passes, so compile failures are
+/// silently skipped here.
+void pass_deep(const text::ParsedFile& file, const LintOptions& opts, LintReport& rep) {
+    if (!file.root) return;
+    codegen::CompiledSystem sys;
+    try {
+        codegen::PipelineOptions popts;
+        popts.method = opts.method;
+        popts.threads = opts.jobs > 0 ? opts.jobs : 1;
+        codegen::Pipeline pipeline(std::move(popts), opts.cache);
+        sys = pipeline.compile(file.root);
+    } catch (const std::exception&) {
+        return;
+    }
+    for (Diagnostic& d : deep_diagnostics(sys, file.root, opts.abs))
+        rep.diagnostics.push_back(std::move(d));
+}
+
 } // namespace
 
 LintReport lint_parsed(const text::ParsedFile& file, const LintOptions& opts,
@@ -274,6 +294,7 @@ LintReport lint_parsed(const text::ParsedFile& file, const LintOptions& opts,
             pass_connectivity(static_cast<const MacroBlock&>(*b), rep);
     }
     pass_cycles(file, opts, rep);
+    if (opts.deep) pass_deep(file, opts, rep);
     rep.sort();
     return rep;
 }
@@ -298,10 +319,26 @@ std::optional<codegen::Method> method_directive(const std::string& text) {
     return std::nullopt;
 }
 
+bool deep_directive(const std::string& text) {
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto hash = line.find('#');
+        if (hash == std::string::npos) continue;
+        auto rest = line.substr(hash + 1);
+        const auto first = rest.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        const auto last = rest.find_last_not_of(" \t\r");
+        if (rest.substr(first, last - first + 1) == "lint-deep") return true;
+    }
+    return false;
+}
+
 LintReport lint_string(const std::string& text, const LintOptions& opts,
                        std::string display_name) {
     LintOptions effective = opts;
     if (const auto m = method_directive(text)) effective.method = *m;
+    if (deep_directive(text)) effective.deep = true;
     const auto file = text::parse_sbd_string(text, text::ParseMode::Lenient);
     return lint_parsed(file, effective, std::move(display_name));
 }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/absint.hpp"
 #include "analysis/diagnostics.hpp"
 #include "core/pipeline.hpp"
 #include "sbd/text_format.hpp"
@@ -25,6 +26,16 @@ struct LintOptions {
     /// shared (possibly disk-backed, see sbd-lint --cache-dir) cache makes
     /// repeated lint runs and multi-file batches largely incremental.
     std::shared_ptr<codegen::ProfileCache> cache;
+    /// Deep semantic analysis (SBD022..SBD028): compile the model under
+    /// `method` and run the interval abstract interpreter over the
+    /// generated code. A "# lint-deep" comment directive in the model
+    /// turns this on per file.
+    bool deep = false;
+    /// Knobs of the deep analysis; abs.memo may be shared across a batch
+    /// so structurally identical blocks are summarized once.
+    AbsOptions abs;
+    /// Worker threads of the compilation pipeline used by the deep pass.
+    std::size_t jobs = 1;
 };
 
 /// Runs every analysis pass over an already-parsed model. Passes:
@@ -51,6 +62,9 @@ LintReport lint_file(const std::string& path, const LintOptions& opts = {});
 
 /// The method named by a "# lint-method: NAME" comment directive, if any.
 std::optional<codegen::Method> method_directive(const std::string& text);
+
+/// True when the text carries a "# lint-deep" comment directive.
+bool deep_directive(const std::string& text);
 
 } // namespace sbd::analysis
 

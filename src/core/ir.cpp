@@ -4,38 +4,38 @@
 
 namespace sbd::codegen {
 
-namespace {
+OpCounts count_ops(std::span<const Stmt> body) {
+    struct Visitor {
+        OpCounts c;
+        void operator()(const CallStmt&) { ++c.calls; }
+        void operator()(const AssignStmt&) { ++c.assigns; }
+        void operator()(const GuardBegin&) { ++c.guards; }
+        void operator()(const GuardEnd&) { ++c.guards; }
+        void operator()(const BumpStmt&) { ++c.bumps; }
+    } v;
+    for (const auto& s : body) std::visit(v, s);
+    return v.c;
+}
 
-struct LineCounter {
-    std::size_t lines = 0;
-    void operator()(const CallStmt&) { ++lines; }
-    void operator()(const AssignStmt&) { ++lines; }
-    void operator()(const GuardBegin&) { ++lines; }
-    void operator()(const GuardEnd&) { ++lines; }
-    void operator()(const BumpStmt&) { ++lines; }
-};
+OpCounts count_ops(const GenFunction& fn) { return count_ops(std::span<const Stmt>(fn.body)); }
 
-} // namespace
+OpCounts count_ops(const CodeUnit& cu) {
+    OpCounts total;
+    for (const auto& fn : cu.functions) total += count_ops(fn);
+    return total;
+}
 
 std::size_t CodeUnit::line_count() const {
     std::size_t lines = 0;
     for (const auto& fn : functions) {
         lines += 2; // signature line and closing brace
         if (!fn.returns.empty()) ++lines;
-        LineCounter counter;
-        for (const auto& s : fn.body) std::visit(counter, s);
-        lines += counter.lines;
+        lines += count_ops(fn).total();
     }
     return lines;
 }
 
-std::size_t CodeUnit::call_count() const {
-    std::size_t calls = 0;
-    for (const auto& fn : functions)
-        for (const auto& s : fn.body)
-            if (std::holds_alternative<CallStmt>(s)) ++calls;
-    return calls;
-}
+std::size_t CodeUnit::call_count() const { return count_ops(*this).calls; }
 
 std::string CodeUnit::to_pseudocode() const {
     std::ostringstream os;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -60,6 +61,28 @@ struct BumpStmt {
 
 using Stmt = std::variant<CallStmt, AssignStmt, GuardBegin, GuardEnd, BumpStmt>;
 
+/// Per-kind statement totals of a statement list, function or whole code
+/// unit — the walk behind line_count()/call_count() and the static cost
+/// model (analysis/cost.hpp). Guard pairs count as one `guards` each for
+/// GuardBegin and GuardEnd, matching the generated-pseudocode line count.
+struct OpCounts {
+    std::size_t calls = 0;
+    std::size_t assigns = 0;
+    std::size_t guards = 0; ///< GuardBegin + GuardEnd statements
+    std::size_t bumps = 0;
+
+    std::size_t total() const { return calls + assigns + guards + bumps; }
+    OpCounts& operator+=(const OpCounts& o) {
+        calls += o.calls;
+        assigns += o.assigns;
+        guards += o.guards;
+        bumps += o.bumps;
+        return *this;
+    }
+};
+
+OpCounts count_ops(std::span<const Stmt> body);
+
 /// A generated interface function: its exported signature, its body and the
 /// value returned for each written output port (aligned with sig.writes).
 struct GenFunction {
@@ -91,6 +114,9 @@ struct CodeUnit {
     /// Paper-style pseudocode (Figures 5 and 6).
     std::string to_pseudocode() const;
 };
+
+OpCounts count_ops(const GenFunction& fn);
+OpCounts count_ops(const CodeUnit& cu);
 
 } // namespace sbd::codegen
 

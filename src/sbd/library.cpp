@@ -145,6 +145,13 @@ AtomicPtr saturation(double lo, double hi) {
         CppSemantics{"y0 = std::clamp(u0, " + lit(lo) + ", " + lit(hi) + ");", ""}, "Saturation " + lit(lo) + " " + lit(hi));
 }
 
+AtomicPtr divide() {
+    return make_combinational(
+        "Div", {"u1", "u2"}, {"y"},
+        [](auto, std::span<const double> u, std::span<double> y) { y[0] = u[0] / u[1]; },
+        CppSemantics{"y0 = u0 / u1;", ""}, "Div");
+}
+
 AtomicPtr abs_block() {
     return make_combinational(
         "Abs", {"u"}, {"y"},

@@ -31,6 +31,9 @@ AtomicPtr fir2(double a, double b);
 AtomicPtr saturation(double lo, double hi);
 /// y = |u|.
 AtomicPtr abs_block();
+/// y = u1 / u2 (IEEE-754 semantics: x/0 = +-inf, 0/0 = NaN). The deep
+/// analyzer (sbd-lint --deep) proves or refutes division-by-zero per use.
+AtomicPtr divide();
 /// y = min(u1, u2) or max(u1, u2).
 AtomicPtr min_block();
 AtomicPtr max_block();

@@ -100,6 +100,7 @@ BlockPtr make_atomic(const Token& type, std::span<const Token> params) {
     if (t == "Fir2") { want(2); return lib::fir2(num(params[0]), num(params[1])); }
     if (t == "Saturation") { want(2); return lib::saturation(num(params[0]), num(params[1])); }
     if (t == "Abs") { want(0); return lib::abs_block(); }
+    if (t == "Div") { want(0); return lib::divide(); }
     if (t == "Min") { want(0); return lib::min_block(); }
     if (t == "Max") { want(0); return lib::max_block(); }
     if (t == "Relational") { want(1); return lib::relational(params[0].text); }

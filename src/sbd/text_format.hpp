@@ -55,7 +55,7 @@ struct ParsedFile {
 ///
 /// Atomic types: Constant c | Gain k | Sum signs | Product n |
 /// UnitDelay init | Integrator ts init | Fir2 a b | Saturation lo hi |
-/// Abs | Min | Max | Relational op | Switch thresh | Logic op n |
+/// Abs | Div | Min | Max | Relational op | Switch thresh | Logic op n |
 /// DeadZone lo hi | Lookup1D x.. / y.. | MovingAvg n | Filter1 b0 b1 a1 |
 /// Counter | Fanout m | SampleHold init
 ///

@@ -104,13 +104,16 @@ TEST(LintGolden, EveryGoldenFileMatchesItsExpectations) {
                                     << render_expectations(actual) << "rendered:\n"
                                     << analysis::render_text(report);
     }
-    // One golden per .sbd-expressible code: SBD001..SBD018.
-    EXPECT_GE(files, 18u);
+    // One golden per .sbd-expressible code: SBD001..SBD018 plus the deep
+    // diagnostics SBD022..SBD028.
+    EXPECT_GE(files, 25u);
 }
 
-// Every code SBD001..SBD018 is covered by some golden file (SBD019/SBD020
-// cannot be produced by any .sbd input — the compiler is sound — and are
-// exercised directly against the contract checker below).
+// Every code SBD001..SBD018 and SBD022..SBD028 is covered by some golden
+// file (SBD019/SBD020 cannot be produced by any .sbd input — the compiler
+// is sound — and are exercised directly against the contract checker
+// below; SBD021 needs an injected SAT budget and is covered by the chaos
+// tests).
 TEST(LintGolden, CatalogCoverage) {
     std::vector<std::string> seen;
     for (const auto& entry : fs::directory_iterator(SBD_LINT_DIR)) {
@@ -118,7 +121,8 @@ TEST(LintGolden, CatalogCoverage) {
         for (const auto& [code, sev, line] : parse_expectations(slurp(entry.path())))
             seen.push_back(code);
     }
-    for (int n = 1; n <= 18; ++n) {
+    for (int n = 1; n <= 28; ++n) {
+        if (n >= 19 && n <= 21) continue;
         char code[8];
         std::snprintf(code, sizeof code, "SBD%03d", n);
         EXPECT_NE(std::find(seen.begin(), seen.end(), code), seen.end())

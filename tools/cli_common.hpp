@@ -25,7 +25,7 @@ namespace sbd::cli {
 
 /// One released artifact, one version: every tool reports this via
 /// --version as "<tool> <version>".
-inline constexpr const char* kVersion = "0.7.0";
+inline constexpr const char* kVersion = "0.8.0";
 
 // Exit-code contract shared by every tool (tools use the subset that
 // applies to them; no tool assigns a different meaning to these values).

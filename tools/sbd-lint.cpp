@@ -1,21 +1,27 @@
 // sbd-lint — static analyzer for textual .sbd block-diagram models.
 //
 // Parses each model leniently, runs every analysis pass (see
-// src/analysis/diagnostics.hpp for the SBD001..SBD021 catalog) and prints
-// the diagnostics, compiler-style or as JSON.
+// src/analysis/diagnostics.hpp for the SBD001..SBD028 catalog) and prints
+// the diagnostics, compiler-style, as JSON or as SARIF 2.1.0.
 //
 //   sbd-lint model.sbd                     # text diagnostics
 //   sbd-lint --format json model.sbd       # machine-readable
+//   sbd-lint --format sarif *.sbd          # one SARIF log for the batch
 //   sbd-lint --method monolithic *.sbd     # cycle analysis under a method
+//   sbd-lint --deep model.sbd              # interval abstract interpretation
+//                                          # (SBD022..SBD028)
+//   sbd-lint --report-cost model.sbd       # per-method static cost table
 //
 // A "# lint-method: NAME" comment inside a model overrides --method for
-// that file. Exit codes: 0 clean (warnings allowed), 5 some file has
-// errors, 2 usage, 1 I/O or internal error.
+// that file; "# lint-deep" turns --deep on for that file. Exit codes:
+// 0 clean (warnings allowed), 5 some file has errors, 2 usage, 1 I/O or
+// internal error.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "analysis/cost.hpp"
 #include "analysis/lint.hpp"
 #include "cli_common.hpp"
 
@@ -24,16 +30,30 @@ int main(int argc, char** argv) {
     std::string method_name = "dynamic";
     std::string cache_dir;
     std::string fault_plan;
+    std::string assume_inputs;
     bool no_contracts = false;
     bool quiet = false;
+    bool deep = false;
+    bool report_cost = false;
+    unsigned jobs = 1;
 
     sbd::cli::ArgParser parser("sbd-lint", "model.sbd...");
-    parser.flag("--format", "F", "text | json                          (default: text)",
+    parser.flag("--format", "F", "text | json | sarif                  (default: text)",
                 &format);
     parser.flag("--method", "M",
                 "monolithic | step-get | dynamic | disjoint-sat |\n"
                 "                 disjoint-greedy | singletons         (default: dynamic)",
                 &method_name);
+    parser.flag("--deep", "interval abstract interpretation over the generated\n"
+                "                 code (SBD022..SBD028 deep diagnostics)",
+                &deep);
+    parser.flag("--assume-inputs", "LO,HI",
+                "input range assumed by --deep             (default: -8,8)", &assume_inputs);
+    parser.flag("--report-cost", "per-method static cost/code-size report instead\n"
+                "                 of diagnostics (text table, or JSON with --format json)",
+                &report_cost);
+    parser.flag("--jobs", "N", "pipeline worker threads for --deep/--report-cost",
+                &jobs);
     parser.flag("--no-contracts", "skip profile contract checking (SBD019/SBD020)",
                 &no_contracts);
     parser.flag("--cache-dir", "D",
@@ -53,7 +73,9 @@ int main(int argc, char** argv) {
 
     const std::vector<std::string>& inputs = parser.positionals();
     if (inputs.empty()) return parser.usage(stderr), sbd::cli::kExitUsage;
-    if (format != "text" && format != "json")
+    if (format != "text" && format != "json" && format != "sarif")
+        return parser.usage(stderr), sbd::cli::kExitUsage;
+    if (report_cost && format == "sarif")
         return parser.usage(stderr), sbd::cli::kExitUsage;
     const auto method = sbd::cli::parse_method(method_name);
     if (!method) {
@@ -64,20 +86,58 @@ int main(int argc, char** argv) {
     sbd::analysis::LintOptions opts;
     opts.check_contracts = !no_contracts;
     opts.method = *method;
+    opts.deep = deep;
+    opts.jobs = jobs > 0 ? jobs : 1;
+    if (!assume_inputs.empty()) {
+        double lo = 0.0, hi = 0.0;
+        if (std::sscanf(assume_inputs.c_str(), "%lf,%lf", &lo, &hi) != 2 || lo > hi) {
+            std::fprintf(stderr, "sbd-lint: bad --assume-inputs '%s' (want LO,HI)\n",
+                         assume_inputs.c_str());
+            return sbd::cli::kExitUsage;
+        }
+        opts.abs.assumed_inputs = sbd::analysis::Interval::make(lo, hi);
+    }
     try {
-        // One cache for the whole batch: every false-cycle probe of every
-        // file shares it (and, with --cache-dir, every future run too).
+        // One cache and one summary memo for the whole batch: every
+        // false-cycle probe and every deep summary of every file shares
+        // them (and, with --cache-dir, profiles persist across runs).
         opts.cache = std::make_shared<sbd::codegen::ProfileCache>(0, cache_dir);
+        opts.abs.memo = std::make_shared<sbd::analysis::SummaryMemo>();
+
+        if (report_cost) {
+            for (const std::string& path : inputs) {
+                const auto parsed =
+                    sbd::text::parse_sbd_file(path, sbd::text::ParseMode::Strict);
+                const auto report =
+                    sbd::analysis::cost_report(parsed.root, path, opts.cache);
+                if (format == "json")
+                    std::fputs((sbd::analysis::render_cost_json(report) + "\n").c_str(),
+                               stdout);
+                else
+                    std::fputs(sbd::analysis::render_cost_table(report).c_str(), stdout);
+            }
+            return sbd::cli::kExitOk;
+        }
 
         bool any_errors = false;
+        std::vector<sbd::analysis::LintReport> reports;
         for (const std::string& path : inputs) {
-            const auto report = sbd::analysis::lint_file(path, opts);
+            auto report = sbd::analysis::lint_file(path, opts);
             any_errors = any_errors || report.has_errors();
+            if (format == "sarif") {
+                reports.push_back(std::move(report));
+                continue;
+            }
             if (quiet && report.diagnostics.empty()) continue;
             if (format == "json")
                 std::fputs(sbd::analysis::render_json(report).c_str(), stdout);
             else
                 std::fputs(sbd::analysis::render_text(report).c_str(), stdout);
+        }
+        if (format == "sarif") {
+            sbd::analysis::SarifOptions sarif;
+            sarif.tool_version = sbd::cli::kVersion;
+            std::fputs(sbd::analysis::render_sarif(reports, sarif).c_str(), stdout);
         }
         return any_errors ? sbd::cli::kExitLint : sbd::cli::kExitOk;
     } catch (const std::exception& e) {

@@ -17,9 +17,11 @@
 // and exits 0.
 //
 // Exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 compile (cycle)
-//             rejection, 6 budget exhausted, 7 deadline exceeded
-//             (compile-time; serving-time rejections are coded protocol
-//             errors the *client* maps to exit 8).
+//             rejection, 5 deep-analysis rejection (a provably broken
+//             model: SBD022 guaranteed division by zero or SBD024
+//             always-NaN/infinite output), 6 budget exhausted, 7 deadline
+//             exceeded (compile-time; serving-time rejections are coded
+//             protocol errors the *client* maps to exit 8).
 
 #include <atomic>
 #include <csignal>
@@ -27,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "analysis/absint.hpp"
 #include "cli_common.hpp"
 #include "core/pipeline.hpp"
 #include "sbd/text_format.hpp"
@@ -146,6 +149,18 @@ int main(int argc, char** argv) {
         popts.budgets.deadline_ms = res_opts.deadline_ms;
         codegen::Pipeline pipeline(popts);
         const codegen::CompiledSystem sys = pipeline.compile(file.root);
+
+        // Deep-analysis load gate: refuse to serve a model whose outputs
+        // are provably broken on every instant — a guaranteed division by
+        // zero (SBD022) or an always-NaN/infinite output (SBD024). Serving
+        // such a model would feed every tenant garbage; failing at load
+        // gives the operator the exact site instead.
+        for (const auto& d : sbd::analysis::deep_diagnostics(sys, file.root)) {
+            if (d.code != "SBD022" && d.code != "SBD024") continue;
+            std::fprintf(stderr, "sbd-serve: model rejected: [%s] %s\n", d.code.c_str(),
+                         d.message.c_str());
+            return finish(cli::kExitLint);
+        }
 
         serve::ServerConfig cfg;
         cfg.endpoint = endpoint;

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     bool stats = false;
     bool lint = false;
+    bool deep = false;
     bool verify_contracts = false;
     std::string format = "text";
     cli::ObsOptions obs_opts;
@@ -90,6 +91,10 @@ int main(int argc, char** argv) {
                 "run static analysis instead of compiling; exit 5 on\n"
                 "                 errors (--method selects the cycle-analysis method)",
                 &lint);
+    parser.flag("--deep",
+                "with --lint: add interval abstract interpretation\n"
+                "                 over the generated code (SBD022..SBD028)",
+                &deep);
     parser.flag("--format", "F", "text | json diagnostics for --lint    (default: text)",
                 &format);
     parser.flag("--verify-contracts",
@@ -127,6 +132,8 @@ int main(int argc, char** argv) {
         try {
             analysis::LintOptions lopts;
             lopts.method = *method;
+            lopts.deep = deep;
+            lopts.jobs = jobs > 0 ? jobs : 1;
             if (!cache_dir.empty())
                 lopts.cache = std::make_shared<ProfileCache>(0, cache_dir, &registry);
             const auto report = analysis::lint_file(input_path, lopts);
