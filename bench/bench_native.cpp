@@ -1,0 +1,179 @@
+// The native AOT backend's performance claim, measured: generated-code size
+// (emitted TU and built .so) and single-instance execution throughput per
+// clustering method, interpreter vs. dlopen'ed native module, on the
+// fuel_controller-class demo models.
+//
+// The headline gate: native execution must beat the interpreter by >= 10x
+// on every accepted (model, method) cell of the fuel_controller-class
+// models — that is what justifies paying a host-compiler invocation at
+// load time.
+//
+// Machine-readable output: BENCH_native.json in the working directory, one
+// record per (model, method) cell plus the gate verdict, so the perf
+// trajectory can be tracked across PRs.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/compiler.hpp"
+#include "core/exec.hpp"
+#include "native/native.hpp"
+#include "suite/models.hpp"
+
+namespace {
+
+using namespace sbd;
+using namespace sbd::codegen;
+
+constexpr double kSpeedupGate = 10.0;
+
+struct Cell {
+    std::string model;
+    std::string method;
+    bool accepted = false;
+    std::size_t tu_bytes = 0;
+    std::size_t so_bytes = 0;
+    double compile_ms = 0.0;
+    bool cache_hit = false;
+    double interp_ips = 0.0; ///< instants per second, single instance
+    double native_ips = 0.0;
+    double speedup = 0.0;
+};
+
+double measure_ips(Instance& inst, std::span<const double> in, std::span<double> out) {
+    inst.init();
+    for (int t = 0; t < 200; ++t) inst.step_instant_into(in, out); // warm-up
+    // Scale the iteration count so slow interpreter cells still get a
+    // multi-millisecond window.
+    int iters = 2000;
+    double ms = 0.0;
+    for (;;) {
+        ms = sbd::bench::time_ms([&] {
+            for (int t = 0; t < iters; ++t) inst.step_instant_into(in, out);
+        });
+        if (ms >= 20.0 || iters >= 2000000) break;
+        iters *= 4;
+    }
+    return static_cast<double>(iters) / (ms / 1000.0);
+}
+
+void write_json(const std::string& compiler, const std::vector<Cell>& cells,
+                double min_speedup, bool pass) {
+    std::FILE* f = std::fopen("BENCH_native.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_native.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"native_backend\",\n");
+    std::fprintf(f, "  \"compiler\": \"%s\",\n", compiler.c_str());
+    std::fprintf(f, "  \"speedup_gate\": %.1f,\n", kSpeedupGate);
+    std::fprintf(f, "  \"min_speedup\": %.2f,\n", min_speedup);
+    std::fprintf(f, "  \"pass\": %s,\n  \"cells\": [\n", pass ? "true" : "false");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        if (!c.accepted) {
+            std::fprintf(f, "    {\"model\": \"%s\", \"method\": \"%s\", \"accepted\": false}%s\n",
+                         c.model.c_str(), c.method.c_str(),
+                         i + 1 < cells.size() ? "," : "");
+            continue;
+        }
+        std::fprintf(f,
+                     "    {\"model\": \"%s\", \"method\": \"%s\", \"accepted\": true, "
+                     "\"tu_bytes\": %zu, \"so_bytes\": %zu, \"compile_ms\": %.1f, "
+                     "\"cache_hit\": %s, \"interp_ips\": %.0f, \"native_ips\": %.0f, "
+                     "\"speedup\": %.2f}%s\n",
+                     c.model.c_str(), c.method.c_str(), c.tu_bytes, c.so_bytes, c.compile_ms,
+                     c.cache_hit ? "true" : "false", c.interp_ips, c.native_ips, c.speedup,
+                     i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_native.json\n");
+}
+
+} // namespace
+
+int main() {
+    constexpr Method kMethods[] = {Method::Monolithic,     Method::StepGet,
+                                   Method::Dynamic,        Method::DisjointSat,
+                                   Method::DisjointGreedy, Method::Singletons};
+    struct Row {
+        std::string name;
+        std::shared_ptr<const MacroBlock> block;
+    };
+    const std::vector<Row> rows = {{"fuel_controller", suite::fuel_controller()},
+                                   {"pi_cruise", suite::pi_cruise()},
+                                   {"abs_brake", suite::abs_brake()}};
+
+    const auto store =
+        std::filesystem::temp_directory_path() / "sbd-native-bench";
+    BackendConfig base;
+    base.backend = Backend::Native;
+    base.cache_dir = store.string();
+    const std::string driver = native::compiler_driver(base);
+    const auto version = native::compiler_version(driver);
+    if (!version) {
+        std::fprintf(stderr, "bench_native: no usable C++ compiler, cannot measure\n");
+        return 1;
+    }
+
+    std::printf("Native AOT backend vs interpreter: code size and single-instance "
+                "throughput\ncompiler: %s\n",
+                version->c_str());
+    sbd::bench::rule('-', 112);
+    std::printf("%-16s | %-15s | %8s | %8s | %9s | %12s | %12s | %8s\n", "model", "method",
+                "TU B", ".so B", "compile", "interp i/s", "native i/s", "speedup");
+    sbd::bench::rule('-', 112);
+
+    std::vector<Cell> cells;
+    double min_speedup = 1e300;
+    for (const Row& row : rows) {
+        for (const Method method : kMethods) {
+            Cell c;
+            c.model = row.name;
+            c.method = to_string(method);
+            CompiledSystem sys;
+            try {
+                sys = compile_hierarchy(row.block, method);
+            } catch (const SdgCycleError&) {
+                std::printf("%-16s | %-15s | rejected\n", row.name.c_str(), to_string(method));
+                cells.push_back(c);
+                continue;
+            }
+            c.accepted = true;
+
+            BackendConfig cfg = base;
+            cfg.method = method;
+            const auto exe = native::make_native_executable(sys, row.block, cfg);
+            const native::BuildInfo& info = *native::build_info(*exe);
+            c.tu_bytes = info.tu_bytes;
+            c.so_bytes = info.so_bytes;
+            c.compile_ms = static_cast<double>(info.compile_ns) / 1e6;
+            c.cache_hit = info.cache_hit;
+
+            InterpInstance interp(sys, row.block);
+            const std::unique_ptr<Instance> nat = exe->instantiate();
+            const std::vector<double> in(row.block->num_inputs(), 1.0);
+            std::vector<double> out(row.block->num_outputs());
+            c.interp_ips = measure_ips(interp, in, out);
+            c.native_ips = measure_ips(*nat, in, out);
+            c.speedup = c.interp_ips > 0 ? c.native_ips / c.interp_ips : 0.0;
+            min_speedup = std::min(min_speedup, c.speedup);
+
+            std::printf("%-16s | %-15s | %8zu | %8zu | %7.0fms | %12.0f | %12.0f | %7.1fx\n",
+                        row.name.c_str(), to_string(method), c.tu_bytes, c.so_bytes,
+                        c.compile_ms, c.interp_ips, c.native_ips, c.speedup);
+            cells.push_back(c);
+        }
+    }
+    sbd::bench::rule('-', 112);
+    const bool pass = min_speedup >= kSpeedupGate;
+    std::printf("gate: native >= %.0fx interpreter on every accepted cell: %s "
+                "(min %.1fx)\n",
+                kSpeedupGate, pass ? "PASS" : "FAIL", min_speedup);
+    write_json(driver, cells, min_speedup, pass);
+    return pass ? 0 : 1;
+}

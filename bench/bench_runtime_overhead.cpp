@@ -53,7 +53,7 @@ void print_table() {
     for (const auto& row : rows) {
         for (const Method method : {Method::Dynamic, Method::DisjointSat, Method::Singletons}) {
             const auto sys = compile_hierarchy(row.block, method);
-            Instance inst(sys, row.block);
+            InterpInstance inst(sys, row.block);
             const std::vector<double> in(row.block->num_inputs(), 1.0);
             // Warm up, then time many instants.
             for (int t = 0; t < 100; ++t) (void)inst.step_instant(in);
@@ -80,7 +80,7 @@ void BM_StepInstant(benchmark::State& state) {
     const auto block = suite::figure4_chain(static_cast<std::size_t>(state.range(0)));
     const Method method = static_cast<Method>(state.range(1));
     const auto sys = compile_hierarchy(block, method);
-    Instance inst(sys, block);
+    InterpInstance inst(sys, block);
     const std::vector<double> in(block->num_inputs(), 1.0);
     for (auto _ : state) benchmark::DoNotOptimize(inst.step_instant(in));
     state.SetLabel(std::string("chain/") + to_string(method));

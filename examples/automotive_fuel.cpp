@@ -54,7 +54,7 @@ int main() {
 
     // 4. Throttle-step scenario: idle -> tip-in at t=30 -> cruise.
     std::printf("\n== scenario: throttle step (modular code vs reference simulator)\n");
-    Instance inst(dyn, model);
+    InterpInstance inst(dyn, model);
     sim::Simulator reference(flatten(*model));
     std::printf("%6s %9s %11s %11s %11s\n", "t", "throttle", "fuel (gen)", "fuel (ref)",
                 "o2 mode");

@@ -51,7 +51,7 @@ int main() {
     // exactly the flattened semantics.
     std::printf("\n== closed-loop execution with the dynamic method\n");
     const auto sys = compile_hierarchy(ctx, Method::Dynamic);
-    Instance inst(sys, ctx);
+    InterpInstance inst(sys, ctx);
     sim::Simulator reference(flatten(*ctx));
     std::printf("%8s %10s %10s %10s | %10s %10s\n", "instant", "x1", "y1", "y2", "ref y1",
                 "ref y2");

@@ -36,7 +36,7 @@ int main() {
 
     // 3. Execute the generated code and cross-check with the reference
     //    simulator on the flattened diagram.
-    Instance inst(sys, p);
+    InterpInstance inst(sys, p);
     sim::Simulator reference(flatten(*p));
     std::printf("== execution (P_out = 3 * delay(0.5 * P_in))\n");
     std::printf("%8s %12s %12s %12s\n", "instant", "P_in", "modular", "reference");

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/emit_cpp.hpp"
+#include "native/native.hpp"
 
 namespace sbd::analysis {
 
@@ -49,7 +50,10 @@ MethodCost measure(const BlockPtr& root, codegen::Method method,
         mc.blocks.push_back(std::move(bc));
     }
     try {
-        mc.code_bytes = codegen::emit_cpp(sys).size();
+        // Measure the *actual* translation unit the native backend feeds
+        // the compiler (emit_cpp plus the exported C shim), so this static
+        // column and BENCH_native's measured tu_bytes agree byte-for-byte.
+        mc.code_bytes = native::emit_native_module(sys).size();
         mc.code_kind = "c++";
     } catch (const std::exception&) {
         // Some atomic has no emit-time C++ semantics (opaque vendor blocks,

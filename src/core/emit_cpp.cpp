@@ -57,11 +57,23 @@ void emit_atomic(std::ostream& os, const AtomicBlock& a, const std::string& cls)
     if (!cpp)
         throw std::runtime_error("emit_cpp: atomic block '" + a.type_name() +
                                  "' has no C++ semantics");
+    const std::size_t nstate = a.initial_state().size();
     os << "class " << cls << " {\npublic:\n";
     // init(): restore initial state.
     os << "  void init() {";
-    for (std::size_t i = 0; i < a.initial_state().size(); ++i)
+    for (std::size_t i = 0; i < nstate; ++i)
         os << " s" << i << " = " << dlit(a.initial_state()[i]) << ";";
+    os << " }\n";
+    // State serialization: the same flat-double layout the interpreter's
+    // Instance::save_state uses, so snapshots cross backends bit-exactly.
+    os << "  static constexpr std::size_t k_state_size = " << nstate << ";\n";
+    os << "  void save_state(double*& p) const {";
+    for (std::size_t i = 0; i < nstate; ++i) os << " *p++ = s" << i << ";";
+    if (nstate == 0) os << " (void)p;";
+    os << " }\n";
+    os << "  void load_state(const double*& p) {";
+    for (std::size_t i = 0; i < nstate; ++i) os << " s" << i << " = *p++;";
+    if (nstate == 0) os << " (void)p;";
     os << " }\n";
 
     const auto params = [&](bool with_inputs) {
@@ -123,12 +135,42 @@ void emit_macro(std::ostream& os, const CompiledBlock& cb, const MacroBlock& m,
     const std::string cls = names.of(m);
     os << "class " << cls << " {\npublic:\n";
 
-    // init(): counters back to zero, sequential sub-blocks re-initialized.
+    // init(): slots and counters back to zero, sub-blocks re-initialized —
+    // the same full reset the interpreter performs, so a recycled native
+    // instance is indistinguishable from a fresh one.
     os << "  void init() {\n";
+    for (std::size_t slot = 0; slot < code.num_slots; ++slot)
+        os << "    z_" << code.slot_names[slot] << " = 0;\n";
     for (std::size_t c = 0; c < code.counter_mods.size(); ++c)
         os << "    c" << c << " = 0;\n";
-    for (const std::int32_t s : code.sequential_subs)
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
         os << "    m_" << sanitize_ident(m.sub(s).name) << ".init();\n";
+    os << "  }\n";
+
+    // State serialization, interpreter layout: slots, guard counters
+    // (widened to double), then sub-instances depth-first in sub order.
+    os << "  static constexpr std::size_t k_state_size = "
+       << (code.num_slots + code.counter_mods.size());
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        os << " + " << names.of(*m.sub(s).type) << "::k_state_size";
+    os << ";\n";
+    os << "  void save_state(double*& p) const {\n";
+    for (std::size_t slot = 0; slot < code.num_slots; ++slot)
+        os << "    *p++ = z_" << code.slot_names[slot] << ";\n";
+    for (std::size_t c = 0; c < code.counter_mods.size(); ++c)
+        os << "    *p++ = static_cast<double>(c" << c << ");\n";
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        os << "    m_" << sanitize_ident(m.sub(s).name) << ".save_state(p);\n";
+    if (code.num_slots + code.counter_mods.size() + m.num_subs() == 0) os << "    (void)p;\n";
+    os << "  }\n";
+    os << "  void load_state(const double*& p) {\n";
+    for (std::size_t slot = 0; slot < code.num_slots; ++slot)
+        os << "    z_" << code.slot_names[slot] << " = *p++;\n";
+    for (std::size_t c = 0; c < code.counter_mods.size(); ++c)
+        os << "    c" << c << " = static_cast<int>(*p++);\n";
+    for (std::size_t s = 0; s < m.num_subs(); ++s)
+        os << "    m_" << sanitize_ident(m.sub(s).name) << ".load_state(p);\n";
+    if (code.num_slots + code.counter_mods.size() + m.num_subs() == 0) os << "    (void)p;\n";
     os << "  }\n";
 
     for (const GenFunction& fn : code.functions) {
@@ -168,7 +210,10 @@ void emit_macro(std::ostream& os, const CompiledBlock& cb, const MacroBlock& m,
                     invocation += (i ? ", " : "") + value(call.args[i]);
                 invocation += ")";
                 os << indent;
-                if (call.trigger) os << "if (" << value(*call.trigger) << " >= 0.5) ";
+                // NaN triggers fire: the interpreter skips only when
+                // trigger < 0.5, so the emitted guard must be the negation
+                // of that comparison, not `>= 0.5` (which NaN fails).
+                if (call.trigger) os << "if (!(" << value(*call.trigger) << " < 0.5)) ";
                 if (call.results.empty()) {
                     os << invocation << ";\n";
                 } else if (call.results.size() == 1) {
@@ -224,6 +269,13 @@ std::string emit_cpp(const CompiledSystem& sys) {
     }
     os << "} // namespace gen\n";
     return os.str();
+}
+
+std::string emit_cpp_class_name(const CompiledSystem& sys, const Block& block) {
+    // Rebuild the same name table emit_cpp produced (same visit order).
+    NameTable names;
+    for (const Block* b : sys.order()) names.of(*b);
+    return names.of(block);
 }
 
 std::vector<std::vector<double>> lcg_input_trace(std::size_t num_inputs, std::size_t steps,

@@ -26,6 +26,12 @@ std::string emit_cpp(const CompiledSystem& sys);
 /// generated code and the reference simulator.
 std::string emit_cpp_driver(const CompiledSystem& sys, std::size_t steps, std::uint64_t seed);
 
+/// The C++ class name emit_cpp assigned to `block` (namespace `gen` not
+/// included). Deterministic: rebuilds the same name table from the same
+/// visit order, so callers can reference emitted classes — the native
+/// backend's ABI shim instantiates the root class by this name.
+std::string emit_cpp_class_name(const CompiledSystem& sys, const Block& block);
+
 /// The host-side twin of the emitted driver's input generator: input values
 /// for `steps` instants of a block with `num_inputs` ports.
 std::vector<std::vector<double>> lcg_input_trace(std::size_t num_inputs, std::size_t steps,

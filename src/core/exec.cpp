@@ -1,16 +1,97 @@
 #include "core/exec.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
 namespace sbd::codegen {
+
+// ---------------------------------------------------------------------------
+// Instance: backend-neutral validation and the generic call plumbing.
 
 Instance::Instance(const CompiledSystem& sys, BlockPtr block)
     : sys_(&sys), block_(std::move(block)), compiled_(&sys.at(*block_)) {
     if (block_->is_opaque())
         throw std::logic_error("cannot execute interface-only (opaque) block '" +
                                block_->type_name() + "'");
+}
+
+std::size_t Instance::results_size(std::size_t fn) const {
+    return compiled_->profile.functions.at(fn).writes.size();
+}
+
+std::vector<double> Instance::call(std::size_t fn, std::span<const double> args) {
+    std::vector<double> results(results_size(fn));
+    call_into(fn, args, results);
+    return results;
+}
+
+void Instance::call_into(std::size_t fn, std::span<const double> args,
+                         std::span<double> results) {
+    const InterfaceFunction& sig = compiled_->profile.functions.at(fn);
+    if (args.size() != sig.reads.size())
+        throw std::invalid_argument("Instance::call: wrong argument count for " + sig.name);
+    if (results.size() != sig.writes.size())
+        throw std::invalid_argument("Instance::call: wrong result count for " + sig.name);
+    do_call_into(fn, args, results);
+}
+
+std::vector<double> Instance::step_instant(std::span<const double> inputs) {
+    std::vector<double> outputs(block_->num_outputs(), 0.0);
+    step_instant_into(inputs, outputs);
+    return outputs;
+}
+
+void Instance::step_instant_into(std::span<const double> inputs, std::span<double> outputs) {
+    if (inputs.size() != block_->num_inputs())
+        throw std::invalid_argument("step_instant: wrong number of inputs");
+    if (outputs.size() != block_->num_outputs())
+        throw std::invalid_argument("step_instant: wrong number of outputs");
+    do_step_instant_into(inputs, outputs);
+}
+
+std::vector<double> Instance::step_instant_ordered(std::span<const double> inputs,
+                                                   std::span<const std::size_t> order) {
+    const Profile& p = compiled_->profile;
+    if (inputs.size() != block_->num_inputs())
+        throw std::invalid_argument("step_instant: wrong number of inputs");
+    if (order.size() != p.functions.size())
+        throw std::invalid_argument("step_instant: order must cover all interface functions");
+    // Check the order against the PDG.
+    std::vector<std::size_t> pos(p.functions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    for (const auto& [a, b] : p.pdg_edges)
+        if (pos[a] >= pos[b])
+            throw std::invalid_argument("step_instant: call order violates the PDG");
+
+    std::vector<double> outputs(block_->num_outputs(), 0.0);
+    std::vector<double> args;
+    for (const std::size_t f : order) {
+        const InterfaceFunction& sig = p.functions[f];
+        args.clear();
+        for (const std::size_t port : sig.reads) args.push_back(inputs[port]);
+        const std::vector<double> res = call(f, args);
+        for (std::size_t w = 0; w < sig.writes.size(); ++w) outputs[sig.writes[w]] = res[w];
+    }
+    return outputs;
+}
+
+void Instance::save_state(std::vector<double>& out) const { do_save_state(out); }
+
+std::size_t Instance::restore_state(std::span<const double> in) {
+    const std::size_t n = state_size();
+    if (in.size() < n)
+        throw std::invalid_argument("Instance::restore_state: state blob too short");
+    do_restore_state(in.first(n));
+    return n;
+}
+
+// ---------------------------------------------------------------------------
+// InterpInstance: the IR interpreter.
+
+InterpInstance::InterpInstance(const CompiledSystem& sys, BlockPtr block)
+    : Instance(sys, std::move(block)) {
     std::size_t max_call_args = 0;
     std::size_t max_call_results = 0;
     if (!block_->is_atomic()) {
@@ -20,7 +101,7 @@ Instance::Instance(const CompiledSystem& sys, BlockPtr block)
         counters_.resize(code.counter_mods.size(), 0);
         subs_.reserve(macro.num_subs());
         for (std::size_t s = 0; s < macro.num_subs(); ++s)
-            subs_.push_back(std::make_unique<Instance>(sys, macro.sub(s).type));
+            subs_.push_back(std::make_unique<InterpInstance>(sys, macro.sub(s).type));
         for (const GenFunction& gen : code.functions)
             for (const Stmt& s : gen.body)
                 if (const auto* call = std::get_if<CallStmt>(&s)) {
@@ -49,68 +130,54 @@ Instance::Instance(const CompiledSystem& sys, BlockPtr block)
     scratch_results_.reserve(std::max(max_call_results, block_->num_outputs()));
     step_args_.reserve(max_fn_reads);
     step_results_.reserve(std::max(max_fn_writes, block_->num_outputs()));
-    init();
+    do_init();
 }
 
-void Instance::init() {
+void InterpInstance::do_init() {
     if (block_->is_atomic()) {
         state_ = static_cast<const AtomicBlock&>(*block_).initial_state();
         return;
     }
     std::fill(slots_.begin(), slots_.end(), 0.0);
     std::fill(counters_.begin(), counters_.end(), 0);
-    for (const auto& sub : subs_) sub->init();
+    for (const auto& sub : subs_) sub->do_init();
 }
 
-std::size_t Instance::state_size() const {
+std::size_t InterpInstance::do_state_size() const {
     std::size_t n = state_.size() + slots_.size() + counters_.size();
-    for (const auto& sub : subs_) n += sub->state_size();
+    for (const auto& sub : subs_) n += sub->do_state_size();
     return n;
 }
 
-void Instance::save_state(std::vector<double>& out) const {
+void InterpInstance::do_save_state(std::vector<double>& out) const {
     out.insert(out.end(), state_.begin(), state_.end());
     out.insert(out.end(), slots_.begin(), slots_.end());
     for (const std::int32_t c : counters_) out.push_back(static_cast<double>(c));
-    for (const auto& sub : subs_) sub->save_state(out);
+    for (const auto& sub : subs_) sub->do_save_state(out);
 }
 
-std::size_t Instance::restore_state(std::span<const double> in) {
-    if (in.size() < state_size())
-        throw std::invalid_argument("Instance::restore_state: state blob too short");
+void InterpInstance::do_restore_state(std::span<const double> in) {
     std::size_t at = 0;
     for (double& v : state_) v = in[at++];
     for (double& v : slots_) v = in[at++];
     for (std::int32_t& c : counters_) c = static_cast<std::int32_t>(in[at++]);
-    for (const auto& sub : subs_) at += sub->restore_state(in.subspan(at));
-    return at;
+    for (const auto& sub : subs_) {
+        const std::size_t n = sub->do_state_size();
+        sub->do_restore_state(in.subspan(at, n));
+        at += n;
+    }
 }
 
-std::size_t Instance::results_size(std::size_t fn) const {
-    return compiled_->profile.functions.at(fn).writes.size();
-}
-
-std::vector<double> Instance::call(std::size_t fn, std::span<const double> args) {
-    std::vector<double> results(results_size(fn));
-    call_into(fn, args, results);
-    return results;
-}
-
-void Instance::call_into(std::size_t fn, std::span<const double> args,
-                         std::span<double> results) {
-    const InterfaceFunction& sig = compiled_->profile.functions.at(fn);
-    if (args.size() != sig.reads.size())
-        throw std::invalid_argument("Instance::call: wrong argument count for " + sig.name);
-    if (results.size() != sig.writes.size())
-        throw std::invalid_argument("Instance::call: wrong result count for " + sig.name);
+void InterpInstance::do_call_into(std::size_t fn, std::span<const double> args,
+                                  std::span<double> results) {
     if (block_->is_atomic())
         call_atomic_into(fn, args, results);
     else
         call_macro_into(fn, args, results);
 }
 
-void Instance::call_atomic_into(std::size_t fn, std::span<const double> args,
-                                std::span<double> results) {
+void InterpInstance::call_atomic_into(std::size_t fn, std::span<const double> args,
+                                      std::span<double> results) {
     const auto& atomic = static_cast<const AtomicBlock&>(*block_);
     switch (atomic.block_class()) {
     case BlockClass::Combinational:
@@ -130,8 +197,8 @@ void Instance::call_atomic_into(std::size_t fn, std::span<const double> args,
     }
 }
 
-void Instance::call_macro_into(std::size_t fn, std::span<const double> args,
-                               std::span<double> results) {
+void InterpInstance::call_macro_into(std::size_t fn, std::span<const double> args,
+                                     std::span<double> results) {
     const GenFunction& gen = compiled_->code->functions[fn];
     const auto& reads = gen.sig.reads;
     const auto value = [&](const ValueRef& v) -> double {
@@ -177,18 +244,9 @@ void Instance::call_macro_into(std::size_t fn, std::span<const double> args,
     for (std::size_t r = 0; r < gen.returns.size(); ++r) results[r] = value(gen.returns[r]);
 }
 
-std::vector<double> Instance::step_instant(std::span<const double> inputs) {
-    std::vector<double> outputs(block_->num_outputs(), 0.0);
-    step_instant_into(inputs, outputs);
-    return outputs;
-}
-
-void Instance::step_instant_into(std::span<const double> inputs, std::span<double> outputs) {
+void InterpInstance::do_step_instant_into(std::span<const double> inputs,
+                                          std::span<double> outputs) {
     const Profile& p = compiled_->profile;
-    if (inputs.size() != block_->num_inputs())
-        throw std::invalid_argument("step_instant: wrong number of inputs");
-    if (outputs.size() != block_->num_outputs())
-        throw std::invalid_argument("step_instant: wrong number of outputs");
     std::fill(outputs.begin(), outputs.end(), 0.0);
     for (const std::size_t f : pdg_order_) {
         const InterfaceFunction& sig = p.functions[f];
@@ -201,30 +259,53 @@ void Instance::step_instant_into(std::span<const double> inputs, std::span<doubl
     }
 }
 
-std::vector<double> Instance::step_instant_ordered(std::span<const double> inputs,
-                                                   std::span<const std::size_t> order) {
-    const Profile& p = compiled_->profile;
-    if (inputs.size() != block_->num_inputs())
-        throw std::invalid_argument("step_instant: wrong number of inputs");
-    if (order.size() != p.functions.size())
-        throw std::invalid_argument("step_instant: order must cover all interface functions");
-    // Check the order against the PDG.
-    std::vector<std::size_t> pos(p.functions.size());
-    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
-    for (const auto& [a, b] : p.pdg_edges)
-        if (pos[a] >= pos[b])
-            throw std::invalid_argument("step_instant: call order violates the PDG");
+// ---------------------------------------------------------------------------
+// Backend selection.
 
-    std::vector<double> outputs(block_->num_outputs(), 0.0);
-    std::vector<double> args;
-    for (const std::size_t f : order) {
-        const InterfaceFunction& sig = p.functions[f];
-        args.clear();
-        for (const std::size_t port : sig.reads) args.push_back(inputs[port]);
-        const std::vector<double> res = call(f, args);
-        for (std::size_t w = 0; w < sig.writes.size(); ++w) outputs[sig.writes[w]] = res[w];
+const char* to_string(Backend b) {
+    switch (b) {
+    case Backend::Interp: return "interp";
+    case Backend::Native: return "native";
     }
-    return outputs;
+    return "?";
+}
+
+namespace {
+
+class InterpExecutable final : public Executable {
+public:
+    InterpExecutable(const CompiledSystem& sys, BlockPtr root)
+        : Executable(sys, std::move(root)) {}
+
+    std::unique_ptr<Instance> instantiate() const override {
+        return std::make_unique<InterpInstance>(*sys_, root_);
+    }
+    const char* backend_name() const override { return "interp"; }
+};
+
+std::atomic<NativeBackendFactory> g_native_factory{nullptr};
+
+} // namespace
+
+void register_native_backend(NativeBackendFactory factory) { g_native_factory = factory; }
+
+bool native_backend_available() { return g_native_factory.load() != nullptr; }
+
+std::shared_ptr<const Executable> make_executable(const CompiledSystem& sys, BlockPtr root,
+                                                  const BackendConfig& cfg) {
+    switch (cfg.backend) {
+    case Backend::Interp:
+        return std::make_shared<InterpExecutable>(sys, std::move(root));
+    case Backend::Native: {
+        const NativeBackendFactory f = g_native_factory.load();
+        if (f == nullptr)
+            throw BackendError(BackendError::Code::Unavailable,
+                               "native backend is not linked into this binary "
+                               "(call sbd::native::install())");
+        return f(sys, std::move(root), cfg);
+    }
+    }
+    throw std::logic_error("make_executable: unknown backend");
 }
 
 } // namespace sbd::codegen

@@ -20,7 +20,7 @@ std::uint64_t ns_since(Clock::time_point t0) {
 } // namespace
 
 Engine::Engine(const codegen::CompiledSystem& sys, BlockPtr root, EngineConfig cfg)
-    : pool_(sys, std::move(root), cfg.capacity), cfg_(cfg) {
+    : pool_(sys, std::move(root), cfg.capacity, cfg.executable), cfg_(cfg) {
     cfg_.threads = std::max<std::size_t>(1, cfg_.threads);
     cfg_.chunk = std::max<std::size_t>(1, cfg_.chunk);
     cfg_.step_sample = std::max<std::size_t>(1, cfg_.step_sample);

@@ -35,6 +35,11 @@ struct LcgInputSource {
 
 struct EngineConfig {
     std::size_t capacity = 1024; ///< maximum live instances (pool size)
+    /// Backend recipe for every pooled instance (see codegen::Executable).
+    /// nullptr = the interpreter built from (sys, root) — existing callers
+    /// and `--backend=interp` both land here; `--backend=native` passes a
+    /// native executable and nothing else in the engine changes.
+    std::shared_ptr<const codegen::Executable> executable;
     std::size_t threads = 1;     ///< total threads stepping a tick, incl. the caller
     std::size_t chunk = 64;      ///< instances per work unit on the tick hot path
     /// Observability sink for tick/step latency histograms, throughput

@@ -6,9 +6,11 @@
 namespace sbd::runtime {
 
 InstancePool::InstancePool(const codegen::CompiledSystem& sys, BlockPtr root,
-                           std::size_t capacity)
-    : sys_(&sys), root_(std::move(root)), slots_(capacity), nin_(root_->num_inputs()),
-      nout_(root_->num_outputs()), stride_(nin_ + nout_) {
+                           std::size_t capacity,
+                           std::shared_ptr<const codegen::Executable> executable)
+    : sys_(&sys), root_(std::move(root)), exec_(std::move(executable)), slots_(capacity),
+      nin_(root_->num_inputs()), nout_(root_->num_outputs()), stride_(nin_ + nout_) {
+    if (exec_ == nullptr) exec_ = codegen::make_executable(*sys_, root_);
     if (capacity == 0) throw std::invalid_argument("InstancePool: capacity must be > 0");
     if (capacity > UINT32_MAX) throw std::length_error("InstancePool: capacity too large");
     arena_.assign(capacity * stride_, 0.0);
@@ -25,7 +27,7 @@ InstanceId InstancePool::create() {
     if (s.inst)
         s.inst->init(); // recycled slot: reset persistent state
     else
-        s.inst = std::make_unique<codegen::Instance>(*sys_, root_);
+        s.inst = exec_->instantiate();
     std::fill_n(arena_.data() + slot * stride_, stride_, 0.0);
     s.live = true;
     s.live_pos = static_cast<std::uint32_t>(live_.size());

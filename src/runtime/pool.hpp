@@ -34,7 +34,11 @@ struct InstanceId {
 /// so a recycled slot is indistinguishable from a fresh one.
 class InstancePool {
 public:
-    InstancePool(const codegen::CompiledSystem& sys, BlockPtr root, std::size_t capacity);
+    /// `executable` selects the execution backend for every instance this
+    /// pool builds; nullptr means the interpreter (the historical default),
+    /// so existing callers are unchanged.
+    InstancePool(const codegen::CompiledSystem& sys, BlockPtr root, std::size_t capacity,
+                 std::shared_ptr<const codegen::Executable> executable = nullptr);
 
     /// Creates (or recycles) an instance; throws std::length_error when the
     /// pool is full.
@@ -80,6 +84,8 @@ public:
 
     const codegen::CompiledSystem& system() const { return *sys_; }
     BlockPtr root() const { return root_; }
+    /// The backend recipe instances are stamped from ("interp" or "native").
+    const codegen::Executable& executable() const { return *exec_; }
 
     /// Serialized footprint of one instance's snapshot: the interpreter's
     /// persistent state (Instance::state_size) plus the input and output
@@ -123,6 +129,7 @@ private:
 
     const codegen::CompiledSystem* sys_;
     BlockPtr root_;
+    std::shared_ptr<const codegen::Executable> exec_;
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_; ///< reusable slot indices (LIFO)
     std::vector<std::uint32_t> live_;

@@ -186,8 +186,13 @@ Trace load_trace(const std::string& path) {
     return load_csv(f);
 }
 
-Trace replay(const codegen::CompiledSystem& sys, BlockPtr root, const Trace& t) {
-    codegen::Instance inst(sys, root);
+Trace replay(const codegen::CompiledSystem& sys, BlockPtr root, const Trace& t,
+             const std::shared_ptr<const codegen::Executable>& executable) {
+    const std::unique_ptr<codegen::Instance> owned =
+        executable != nullptr
+            ? executable->instantiate()
+            : std::unique_ptr<codegen::Instance>(new codegen::InterpInstance(sys, root));
+    codegen::Instance& inst = *owned;
     Trace out;
     out.num_inputs = t.num_inputs;
     out.num_outputs = t.num_outputs;

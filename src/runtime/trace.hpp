@@ -1,11 +1,13 @@
 #ifndef SBD_RUNTIME_TRACE_HPP
 #define SBD_RUNTIME_TRACE_HPP
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/compiler.hpp"
+#include "core/exec.hpp"
 
 namespace sbd::runtime {
 
@@ -54,7 +56,9 @@ Trace load_trace(const std::string& path);
 
 /// Replays the trace's inputs through a fresh instance of `root` and
 /// returns the resulting trace (same inputs, freshly computed outputs).
-Trace replay(const codegen::CompiledSystem& sys, BlockPtr root, const Trace& t);
+/// `executable` selects the backend; nullptr = interpreter.
+Trace replay(const codegen::CompiledSystem& sys, BlockPtr root, const Trace& t,
+             const std::shared_ptr<const codegen::Executable>& executable = nullptr);
 
 /// Replays the trace's inputs through the reference simulator on the
 /// flattened diagram and returns the resulting trace.

@@ -53,6 +53,7 @@ Server::Server(const codegen::CompiledSystem& sys, BlockPtr root, ServerConfig c
         runtime::EngineConfig ec;
         ec.capacity = cfg_.shard_capacity;
         ec.threads = cfg_.engine_threads;
+        ec.executable = cfg_.executable;
         shards_.push_back(std::make_unique<Shard>(*sys_, root_, ec));
     }
     for (std::uint16_t opv = 1; opv <= 8; ++opv)

@@ -40,6 +40,9 @@ namespace sbd::serve {
 struct ServerConfig {
     Endpoint endpoint;                 ///< listen address (tcp port 0 = ephemeral)
     std::size_t shards = 1;            ///< engine shards
+    /// Execution backend shared by every shard engine (one native artifact
+    /// serves the whole daemon). nullptr = interpreter.
+    std::shared_ptr<const codegen::Executable> executable;
     std::size_t shard_capacity = 1024; ///< instance slots per shard
     std::size_t engine_threads = 1;    ///< worker threads per shard engine
     /// Wall-clock budget for one TICK request (all requested instants).

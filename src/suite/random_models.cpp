@@ -36,7 +36,8 @@ BlockPtr random_atomic(std::mt19937_64& rng, double moore_probability) {
 
 // Wires every sub input and every macro output of `m` (subs already added),
 // then validates. Shared by the flat-ish and the deep generator.
-void wire_macro(std::mt19937_64& rng, MacroBlock& macro, double backward_wire_probability) {
+void wire_macro(std::mt19937_64& rng, MacroBlock& macro, double backward_wire_probability,
+                double trigger_probability = 0.0) {
     auto* m = &macro;
     std::uniform_real_distribution<double> unit(0.0, 1.0);
 
@@ -78,6 +79,18 @@ void wire_macro(std::mt19937_64& rng, MacroBlock& macro, double backward_wire_pr
                        Endpoint{Endpoint::Kind::SubInput, static_cast<std::int32_t>(s),
                                 static_cast<std::int32_t>(i)});
 
+    // Triggered sub-blocks: the trigger rides a macro input, which is
+    // always an acyclic source. Guarded so that probability 0 draws no
+    // randomness — existing seeded model streams stay bit-identical.
+    if (trigger_probability > 0.0 && m->num_inputs() > 0)
+        for (std::size_t s = 0; s < m->num_subs(); ++s)
+            if (unit(rng) < trigger_probability)
+                m->set_trigger(static_cast<std::int32_t>(s),
+                               Endpoint{Endpoint::Kind::MacroInput, -1,
+                                           std::uniform_int_distribution<std::int32_t>(
+                                               0, static_cast<std::int32_t>(m->num_inputs()) -
+                                                      1)(rng)});
+
     // Macro outputs from any sub output (or a pass-through occasionally).
     std::vector<Endpoint> out_pool;
     for (std::size_t s = 0; s < m->num_subs(); ++s)
@@ -118,7 +131,7 @@ BlockPtr gen_block(std::mt19937_64& rng, const RandomModelParams& p, std::size_t
         m->add_sub("s" + std::to_string(s), sub);
     }
 
-    wire_macro(rng, *m, p.backward_wire_probability);
+    wire_macro(rng, *m, p.backward_wire_probability, p.trigger_probability);
     return m;
 }
 
@@ -177,7 +190,7 @@ std::shared_ptr<const MacroBlock> random_deep_model(std::mt19937_64& rng,
                     type = clone_macro(static_cast<const MacroBlock&>(*type));
                 m->add_sub("s" + std::to_string(s), type);
             }
-            wire_macro(rng, *m, p.backward_wire_probability);
+            wire_macro(rng, *m, p.backward_wire_probability, p.trigger_probability);
             next.push_back(m);
         }
         library = std::move(next);

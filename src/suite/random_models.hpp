@@ -20,6 +20,10 @@ struct RandomModelParams {
     double macro_probability = 0.35; ///< chance a sub-block is a nested macro
     double moore_probability = 0.3;  ///< chance an atomic sub is Moore-sequential
     double backward_wire_probability = 0.25; ///< feedback through Moore subs
+    /// Chance a sub-block gets a trigger wired from a macro input (fires
+    /// iff trigger >= 0.5, holds its outputs otherwise). 0 (the default)
+    /// consumes no randomness, so existing seeded streams are unchanged.
+    double trigger_probability = 0.0;
 };
 
 /// Builds a random, validated, flattenable, acyclic hierarchical model.
@@ -44,6 +48,8 @@ struct DeepModelParams {
     /// identical fingerprint, so only a content-addressed cache (not a
     /// pointer-keyed memo) can deduplicate the compile.
     double clone_probability = 0.0;
+    /// As RandomModelParams::trigger_probability, applied at every level.
+    double trigger_probability = 0.0;
 };
 
 /// Builds a validated hierarchy exactly `levels` deep in which every level

@@ -32,7 +32,7 @@ inline void expect_equivalent(const std::shared_ptr<const MacroBlock>& block,
                               const std::vector<std::vector<double>>& trace) {
     const auto expected = sim::simulate(*block, trace);
     const auto sys = codegen::compile_hierarchy(block, method);
-    codegen::Instance inst(sys, block);
+    codegen::InterpInstance inst(sys, block);
     for (std::size_t t = 0; t < trace.size(); ++t) {
         const auto got = inst.step_instant(trace[t]);
         ASSERT_EQ(got.size(), expected[t].size());

@@ -201,7 +201,7 @@ bool check_soundness(const BlockPtr& root, Method method, std::uint64_t seed,
 
     std::unique_ptr<codegen::Instance> inst;
     try {
-        inst = std::make_unique<codegen::Instance>(sys, root);
+        inst = std::make_unique<codegen::InterpInstance>(sys, root);
     } catch (const std::logic_error&) {
         return false; // opaque (interface-only) blocks are not executable
     }

@@ -97,7 +97,7 @@ TEST(Codegen, PassThroughEmitsAssignment) {
     const std::string code = sys.at(*m).code->to_pseudocode();
     EXPECT_NE(code.find("pass_z := x"), std::string::npos);
     // Executing it: z mirrors x, y doubles it.
-    Instance inst(sys, m);
+    InterpInstance inst(sys, m);
     const auto out = inst.step_instant(std::vector<double>{3.0});
     EXPECT_EQ(out[0], 6.0);
     EXPECT_EQ(out[1], 3.0);

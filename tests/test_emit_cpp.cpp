@@ -63,7 +63,7 @@ void expect_emitted_cpp_equivalent(const std::shared_ptr<const MacroBlock>& bloc
 
     // Twin execution through the interpreter.
     const auto trace = lcg_input_trace(block->num_inputs(), steps, seed);
-    Instance inst(sys, block);
+    InterpInstance inst(sys, block);
     std::istringstream lines(run_out);
     for (std::size_t t = 0; t < steps; ++t) {
         const auto expected = inst.step_instant(trace[t]);

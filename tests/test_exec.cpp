@@ -118,7 +118,7 @@ TEST(CallOrder, EveryPdgLinearizationGivesTheSameTrace) {
     const auto trace = random_trace(p->num_inputs(), 25, 7);
     const auto expected = sim::simulate(*p, trace);
     for (const auto& order : orders) {
-        Instance inst(sys, p);
+        InterpInstance inst(sys, p);
         for (std::size_t t = 0; t < trace.size(); ++t) {
             const auto got = inst.step_instant_ordered(trace[t], order);
             for (std::size_t o = 0; o < got.size(); ++o)
@@ -130,7 +130,7 @@ TEST(CallOrder, EveryPdgLinearizationGivesTheSameTrace) {
 TEST(CallOrder, PdgViolationIsRejected) {
     const auto p = suite::figure3_p();
     const auto sys = compile_hierarchy(p, Method::Dynamic);
-    Instance inst(sys, p);
+    InterpInstance inst(sys, p);
     // PDG says get (0) before step (1); the reverse order must throw.
     const std::size_t bad[] = {1, 0};
     EXPECT_THROW((void)inst.step_instant_ordered(std::vector<double>{1.0}, bad),
@@ -142,7 +142,7 @@ TEST(CallOrder, PdgViolationIsRejected) {
 TEST(Instance, InitResetsAllState) {
     const auto p = suite::figure3_p();
     const auto sys = compile_hierarchy(p, Method::Dynamic);
-    Instance inst(sys, p);
+    InterpInstance inst(sys, p);
     const auto trace = random_trace(1, 10, 13);
     std::vector<std::vector<double>> first;
     for (const auto& in : trace) first.push_back(inst.step_instant(in));
@@ -154,7 +154,7 @@ TEST(Instance, InitResetsAllState) {
 TEST(Instance, GuardCountersResetWithInit) {
     const auto p = suite::figure4_chain(3);
     const auto sys = compile_hierarchy(p, Method::Dynamic);
-    Instance inst(sys, p);
+    InterpInstance inst(sys, p);
     const auto trace = random_trace(3, 6, 17);
     std::vector<std::vector<double>> first;
     for (const auto& in : trace) first.push_back(inst.step_instant(in));
@@ -166,7 +166,7 @@ TEST(Instance, GuardCountersResetWithInit) {
 TEST(Instance, WrongArityThrows) {
     const auto p = suite::figure3_p();
     const auto sys = compile_hierarchy(p, Method::Dynamic);
-    Instance inst(sys, p);
+    InterpInstance inst(sys, p);
     EXPECT_THROW((void)inst.step_instant(std::vector<double>{1.0, 2.0}),
                  std::invalid_argument);
     EXPECT_THROW((void)inst.call(0, std::vector<double>{1.0}), std::invalid_argument);

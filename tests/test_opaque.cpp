@@ -101,7 +101,7 @@ TEST(Opaque, CannotBeExecutedOrSimulatedOrEmitted) {
     m->connect("P.P_out", "y");
     const auto sys =
         compile_hierarchy(std::static_pointer_cast<const Block>(m), Method::Dynamic);
-    EXPECT_THROW(Instance inst(sys, m), std::logic_error);
+    EXPECT_THROW(InterpInstance inst(sys, m), std::logic_error);
     EXPECT_THROW((void)emit_cpp(sys), std::runtime_error);
     EXPECT_THROW(sim::Simulator s(flatten(*m)), ModelError);
 }

@@ -147,7 +147,7 @@ exact_trace(const CompiledSystem& sys, const std::shared_ptr<const MacroBlock>& 
             std::size_t steps) {
     std::vector<std::vector<double>> out;
     try {
-        Instance inst(sys, root);
+        InterpInstance inst(sys, root);
         const auto inputs = sbd::testing::random_trace(root->num_inputs(), steps, 99);
         for (const auto& row : inputs) out.push_back(inst.step_instant(row));
     } catch (const std::exception& e) {

@@ -177,7 +177,7 @@ TEST(InstancePool, DestroyAndRecreateKeepsOtherInstancesIntact) {
 
     // Mirror every pooled instance with a hand-stepped one on the same
     // input stream.
-    Instance ma(sys, block), mb(sys, block), mc(sys, block);
+    InterpInstance ma(sys, block), mb(sys, block), mc(sys, block);
     LcgInputSource sa(11), sb(22), sc(33);
     std::vector<double> in(block->num_inputs()), out(block->num_outputs());
 
@@ -210,7 +210,7 @@ TEST(InstancePool, DestroyAndRecreateKeepsOtherInstancesIntact) {
 
     // The recycled slot starts from pristine state, and the surviving
     // instances' state is untouched by destroy/create.
-    Instance md(sys, block);
+    InterpInstance md(sys, block);
     LcgInputSource sd(44);
     run_ticks(10, {{a, {&ma, &sa}}, {c, {&mc, &sc}}, {d, {&md, &sd}}});
 }
@@ -245,7 +245,7 @@ TEST(InstancePool, ResetRestoresInitialStateAndClearsBuffers) {
     for (const double v : pool.inputs(id)) EXPECT_EQ(v, 0.0);
     for (const double v : pool.outputs(id)) EXPECT_EQ(v, 0.0);
     // After reset the instance behaves like a fresh one.
-    Instance fresh(sys, block);
+    InterpInstance fresh(sys, block);
     LcgInputSource src2(9);
     std::vector<double> in(block->num_inputs()), out(block->num_outputs());
     for (int t = 0; t < 5; ++t) {
@@ -267,7 +267,7 @@ TEST(StepInto, MatchesAllocatingStepInstant) {
     const auto block = suite::fuel_controller();
     for (const Method method : {Method::Dynamic, Method::DisjointSat, Method::Singletons}) {
         const auto sys = compile_hierarchy(block, method);
-        Instance a(sys, block), b(sys, block);
+        InterpInstance a(sys, block), b(sys, block);
         LcgInputSource src(3);
         std::vector<double> in(block->num_inputs()), out(block->num_outputs());
         for (int t = 0; t < 25; ++t) {
@@ -283,7 +283,7 @@ TEST(StepInto, MatchesAllocatingStepInstant) {
 TEST(StepInto, ValidatesSpanSizes) {
     const auto block = suite::figure3_p();
     const auto sys = compile_hierarchy(block, Method::Dynamic);
-    Instance inst(sys, block);
+    InterpInstance inst(sys, block);
     std::vector<double> in(block->num_inputs() + 1), out(block->num_outputs());
     EXPECT_THROW(inst.step_instant_into(in, out), std::invalid_argument);
     in.resize(block->num_inputs());

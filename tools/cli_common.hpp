@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec.hpp"
 #include "core/methods.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -25,7 +26,7 @@ namespace sbd::cli {
 
 /// One released artifact, one version: every tool reports this via
 /// --version as "<tool> <version>".
-inline constexpr const char* kVersion = "0.8.0";
+inline constexpr const char* kVersion = "0.9.0";
 
 // Exit-code contract shared by every tool (tools use the subset that
 // applies to them; no tool assigns a different meaning to these values).
@@ -38,6 +39,7 @@ inline constexpr int kExitLint = 5;     ///< lint diagnostics with errors
 inline constexpr int kExitBudget = 6;   ///< resource budget exhausted (SBD021)
 inline constexpr int kExitDeadline = 7; ///< wall-clock deadline exceeded
 inline constexpr int kExitProtocol = 8; ///< coded wire-protocol error (serve)
+inline constexpr int kExitNative = 9;   ///< native backend unavailable/failed
 
 /// Flag-table argument parser. Flags are registered against variables; the
 /// table then drives both parsing and the usage text, so the two cannot
@@ -187,6 +189,15 @@ inline std::optional<codegen::Method> parse_method(const std::string& name) {
     for (const Method m : {Method::Monolithic, Method::StepGet, Method::Dynamic,
                            Method::DisjointSat, Method::DisjointGreedy, Method::Singletons})
         if (name == to_string(m)) return m;
+    return std::nullopt;
+}
+
+/// Parses an execution-backend name (every tool spells the choice the same
+/// way: --backend interp | native); nullopt for unknown names.
+inline std::optional<codegen::Backend> parse_backend(const std::string& name) {
+    using codegen::Backend;
+    for (const Backend b : {Backend::Interp, Backend::Native})
+        if (name == to_string(b)) return b;
     return std::nullopt;
 }
 

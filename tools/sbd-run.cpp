@@ -10,10 +10,12 @@
 //   sbd-run --method disjoint-sat --record trace.sbdt model.sbd
 //   sbd-run --replay trace.sbdt model.sbd     # bit-exact regression check
 //   sbd-run --metrics-out m.prom --trace-out t.json model.sbd
+//   sbd-run --backend native model.sbd        # AOT-compiled .so execution
 //
 // Exit codes: 0 ok, 1 runtime/replay mismatch, 2 usage,
 //             3 parse error, 4 compile (cycle) rejection,
-//             6 resource budget exhausted, 7 deadline exceeded.
+//             6 resource budget exhausted, 7 deadline exceeded,
+//             9 native backend unavailable or failed.
 
 #include <chrono>
 #include <cstdio>
@@ -21,6 +23,7 @@
 
 #include "cli_common.hpp"
 #include "core/pipeline.hpp"
+#include "native/native.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/trace.hpp"
 #include "sbd/text_format.hpp"
@@ -31,7 +34,8 @@ using namespace sbd;
 using namespace sbd::codegen;
 
 int run_replay(const CompiledSystem& sys, const std::shared_ptr<const MacroBlock>& root,
-               const std::string& path) {
+               const std::string& path,
+               const std::shared_ptr<const codegen::Executable>& executable) {
     const runtime::Trace recorded = runtime::load_trace(path);
     if (recorded.num_inputs != root->num_inputs() ||
         recorded.num_outputs != root->num_outputs()) {
@@ -40,7 +44,7 @@ int run_replay(const CompiledSystem& sys, const std::shared_ptr<const MacroBlock
                      root->num_outputs());
         return cli::kExitError;
     }
-    const runtime::Trace generated = runtime::replay(sys, root, recorded);
+    const runtime::Trace generated = runtime::replay(sys, root, recorded, executable);
     const runtime::Trace reference = runtime::simulate_reference(*root, recorded);
     const bool gen_ok = runtime::bit_equal(generated, recorded);
     const bool sim_ok = runtime::bit_equal(reference, recorded);
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
     std::size_t threads = 1;
     std::uint64_t seed = 1;
     std::string method_name = "dynamic";
+    std::string backend_name = "interp";
     std::string record_path;
     std::string replay_path;
     std::string cache_dir;
@@ -75,6 +80,10 @@ int main(int argc, char** argv) {
                 "monolithic | step-get | dynamic | disjoint-sat |\n"
                 "                 disjoint-greedy | singletons       (default: dynamic)",
                 &method_name);
+    parser.flag("--backend", "B",
+                "interp | native (AOT-compile the generated C++\n"
+                "                 into a shared object and run it)  (default: interp)",
+                &backend_name);
     parser.flag("--seed", "S", "base input seed; instance i uses S+i (default 1)", &seed);
     parser.flag("--record", "FILE",
                 "save instance 0's I/O trace (.csv for text,\n"
@@ -100,6 +109,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "sbd-run: unknown method '%s'\n", method_name.c_str());
         return cli::kExitUsage;
     }
+    const auto backend = cli::parse_backend(backend_name);
+    if (!backend) {
+        std::fprintf(stderr, "sbd-run: unknown backend '%s'\n", backend_name.c_str());
+        return cli::kExitUsage;
+    }
+    native::install();
 
     obs::MetricsRegistry registry;
     cli::ScopedTracing tracing(obs_opts);
@@ -128,12 +143,24 @@ int main(int argc, char** argv) {
         Pipeline pipeline(popts);
         const CompiledSystem sys = pipeline.compile(root);
 
-        if (!replay_path.empty()) return finish(run_replay(sys, root, replay_path));
+        std::shared_ptr<const Executable> executable;
+        if (*backend == Backend::Native) {
+            BackendConfig bc;
+            bc.backend = Backend::Native;
+            bc.method = *method;
+            bc.cluster = popts.cluster;
+            if (!cache_dir.empty()) bc.cache_dir = cache_dir + "/native";
+            bc.metrics = &registry;
+            executable = make_executable(sys, root, bc);
+        }
+
+        if (!replay_path.empty()) return finish(run_replay(sys, root, replay_path, executable));
 
         runtime::EngineConfig cfg;
         cfg.capacity = instances;
         cfg.threads = threads;
         cfg.deadline_ms = res_opts.deadline_ms;
+        cfg.executable = executable;
         if (obs_opts.enabled()) cfg.metrics = &registry;
         runtime::Engine engine(sys, root, cfg);
         const std::vector<runtime::InstanceId> ids = engine.create(instances);
@@ -177,14 +204,18 @@ int main(int argc, char** argv) {
 
         const double total = static_cast<double>(instances) * static_cast<double>(instants);
         std::fprintf(stderr,
-                     "%zu instances x %zu instants, %zu thread(s), method %s: "
+                     "%zu instances x %zu instants, %zu thread(s), method %s, backend %s: "
                      "%.3f s, %.0f instance-instants/s (checksum %.6g)\n",
-                     instances, instants, engine.threads(), method_name.c_str(), sec,
+                     instances, instants, engine.threads(), method_name.c_str(),
+                     engine.pool().executable().backend_name(), sec,
                      sec > 0 ? total / sec : 0.0, checksum);
         return finish(cli::kExitOk);
     } catch (const SdgCycleError& e) {
         std::fprintf(stderr, "rejected: %s\n", e.what());
         return finish(cli::kExitCycle);
+    } catch (const BackendError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitNative);
     } catch (const resilience::BudgetExhausted& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return finish(cli::kExitBudget);

@@ -21,7 +21,8 @@
 //             model: SBD022 guaranteed division by zero or SBD024
 //             always-NaN/infinite output), 6 budget exhausted, 7 deadline
 //             exceeded (compile-time; serving-time rejections are coded
-//             protocol errors the *client* maps to exit 8).
+//             protocol errors the *client* maps to exit 8), 9 native
+//             backend unavailable or failed.
 
 #include <atomic>
 #include <csignal>
@@ -32,6 +33,7 @@
 #include "analysis/absint.hpp"
 #include "cli_common.hpp"
 #include "core/pipeline.hpp"
+#include "native/native.hpp"
 #include "sbd/text_format.hpp"
 #include "serve/server.hpp"
 
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
     std::uint64_t tick_deadline_ms = 0;
     std::uint64_t tenant_max = 0;
     std::string method_name = "dynamic";
+    std::string backend_name = "interp";
     std::string cache_dir;
     cli::ObsOptions obs_opts;
     cli::ResilienceOptions res_opts;
@@ -91,6 +94,10 @@ int main(int argc, char** argv) {
                 "monolithic | step-get | dynamic | disjoint-sat |\n"
                 "                 disjoint-greedy | singletons       (default: dynamic)",
                 &method_name);
+    parser.flag("--backend", "B",
+                "interp | native shard execution; native AOT-compiles\n"
+                "                 the generated C++ into one shared .so (default: interp)",
+                &backend_name);
     parser.flag("--cache-dir", "D", "reuse compiled profiles from D (shared with sbdc)",
                 &cache_dir);
     parser.flag("--tick-deadline-ms", "MS",
@@ -114,6 +121,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "sbd-serve: unknown method '%s'\n", method_name.c_str());
         return cli::kExitUsage;
     }
+    const auto backend = cli::parse_backend(backend_name);
+    if (!backend) {
+        std::fprintf(stderr, "sbd-serve: unknown backend '%s'\n", backend_name.c_str());
+        return cli::kExitUsage;
+    }
+    native::install();
 
     serve::Endpoint endpoint;
     try {
@@ -165,6 +178,15 @@ int main(int argc, char** argv) {
         serve::ServerConfig cfg;
         cfg.endpoint = endpoint;
         cfg.shards = shards;
+        if (*backend == codegen::Backend::Native) {
+            codegen::BackendConfig bc;
+            bc.backend = codegen::Backend::Native;
+            bc.method = *method;
+            bc.cluster = popts.cluster;
+            if (!cache_dir.empty()) bc.cache_dir = cache_dir + "/native";
+            bc.metrics = &registry;
+            cfg.executable = codegen::make_executable(sys, file.root, bc);
+        }
         cfg.shard_capacity = capacity;
         cfg.engine_threads = engine_threads;
         cfg.tick_deadline_ms = tick_deadline_ms;
@@ -202,6 +224,9 @@ int main(int argc, char** argv) {
     } catch (const codegen::SdgCycleError& e) {
         std::fprintf(stderr, "rejected: %s\n", e.what());
         return finish(cli::kExitCycle);
+    } catch (const codegen::BackendError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitNative);
     } catch (const resilience::BudgetExhausted& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return finish(cli::kExitBudget);

@@ -9,6 +9,7 @@
 //   sbdc --emit profile model.sbd           # the exported interfaces
 //   sbdc --emit dot model.sbd               # root SDG in GraphViz form
 //   sbdc --simulate 10 model.sbd            # run the generated code
+//   sbdc --simulate 10 --backend native model.sbd   # ...as a compiled .so
 //   sbdc --stats model.sbd                  # per-block metrics table
 //   sbdc --lint model.sbd                   # static analysis only
 //   sbdc --metrics-out m.prom model.sbd     # export the metrics registry
@@ -16,7 +17,8 @@
 //
 // Exit codes: 0 ok, 1 other error, 2 usage, 3 parse error,
 //             4 compile (cycle) rejection, 5 lint errors (--lint),
-//             6 resource budget exhausted, 7 deadline exceeded.
+//             6 resource budget exhausted, 7 deadline exceeded,
+//             9 native backend unavailable or failed.
 
 #include <cstdio>
 #include <fstream>
@@ -28,6 +30,7 @@
 #include "core/pipeline.hpp"
 #include "core/exec.hpp"
 #include "core/reuse.hpp"
+#include "native/native.hpp"
 #include "runtime/engine.hpp"
 #include "sbd/text_format.hpp"
 
@@ -40,6 +43,7 @@ using namespace sbd::codegen;
 
 int main(int argc, char** argv) {
     std::string method_name = "dynamic";
+    std::string backend_name = "interp";
     std::string emit = "pseudo";
     std::string root_name;
     std::string out_path;
@@ -68,6 +72,10 @@ int main(int argc, char** argv) {
                 &emit);
     parser.flag("--simulate", "N", "execute N instants with deterministic random inputs",
                 &simulate);
+    parser.flag("--backend", "B",
+                "interp | native execution for --simulate; native\n"
+                "                 AOT-compiles the generated C++    (default: interp)",
+                &backend_name);
     parser.flag("--seed", "S", "input seed for --simulate (default 1)", &seed);
     parser.flag("--instances", "N",
                 "host N concurrent instances during --simulate (default 1;\n"
@@ -116,6 +124,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "sbdc: unknown method '%s'\n", method_name.c_str());
         return cli::kExitUsage;
     }
+    const auto backend = cli::parse_backend(backend_name);
+    if (!backend) {
+        std::fprintf(stderr, "sbdc: unknown backend '%s'\n", backend_name.c_str());
+        return cli::kExitUsage;
+    }
+    native::install();
 
     // One registry for everything this invocation does (pipeline, cache,
     // engine); --stats and --metrics-out both read it.
@@ -246,6 +260,15 @@ int main(int argc, char** argv) {
             runtime::EngineConfig cfg;
             cfg.capacity = instances;
             cfg.threads = threads;
+            if (*backend == Backend::Native) {
+                BackendConfig bc;
+                bc.backend = Backend::Native;
+                bc.method = *method;
+                bc.cluster = popts.cluster;
+                if (!cache_dir.empty()) bc.cache_dir = cache_dir + "/native";
+                bc.metrics = &registry;
+                cfg.executable = make_executable(sys, root, bc);
+            }
             if (obs_opts.enabled()) cfg.metrics = &registry;
             runtime::Engine engine(sys, root, cfg);
             const std::vector<runtime::InstanceId> ids = engine.create(instances);
@@ -271,6 +294,9 @@ int main(int argc, char** argv) {
                              "maximal reusability)\n",
                      e.what());
         return finish(cli::kExitCycle);
+    } catch (const BackendError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitNative);
     } catch (const resilience::BudgetExhausted& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return finish(cli::kExitBudget);
