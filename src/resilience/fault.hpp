@@ -140,6 +140,9 @@ inline constexpr const char* kFaultPointCatalog[] = {
                           // advances (atomic reject, never a torn instant)
     "serve.deadline",     // Server TICK: deadline check reports expired
                           // before an instant (coded DEADLINE_EXCEEDED)
+    "serve.upgrade",      // Server UPGRADE_MODEL: request rejected before
+                          // any compile work (state untouched, coded
+                          // FAULT_INJECTED)
 };
 
 } // namespace sbd::resilience

@@ -55,6 +55,15 @@ Engine::~Engine() {
     for (std::thread& w : workers_) w.join();
 }
 
+void Engine::rebind(const codegen::CompiledSystem& sys, BlockPtr root,
+                    std::shared_ptr<const codegen::Executable> executable,
+                    const StateMigrator& migrate) {
+    InstancePool::Rebind prepared =
+        pool_.prepare_rebind(sys, std::move(root), executable, migrate);
+    pool_.commit_rebind(std::move(prepared));
+    cfg_.executable = std::move(executable);
+}
+
 std::vector<InstanceId> Engine::create(std::size_t n) {
     std::vector<InstanceId> ids;
     ids.reserve(n);

@@ -89,6 +89,18 @@ public:
     std::vector<InstanceId> create(std::size_t n);
     void destroy(InstanceId id) { pool_.destroy(id); }
 
+    /// Hot-swaps the hosted model between instants: prepares and commits an
+    /// InstancePool rebind (see prepare_rebind/commit_rebind) under the
+    /// given migrator. Like create()/destroy(), this is a structural
+    /// operation — it must not overlap a running tick(); the engine is
+    /// externally synchronous, so the caller provides the quiesce point
+    /// (the serve layer uses its exclusive state lock, which by construction
+    /// is an instant boundary). Throws without touching any instance when
+    /// instantiation or migration fails.
+    void rebind(const codegen::CompiledSystem& sys, BlockPtr root,
+                std::shared_ptr<const codegen::Executable> executable,
+                const StateMigrator& migrate);
+
     /// Advances every live instance one synchronous instant.
     void tick();
     /// Convenience: tick() n times (inputs held constant between ticks

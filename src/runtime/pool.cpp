@@ -99,6 +99,49 @@ void InstancePool::restore_state(InstanceId id, std::span<const double> blob) {
     std::copy_n(blob.data() + consumed, stride_, arena_.data() + slot * stride_);
 }
 
+InstancePool::Rebind InstancePool::prepare_rebind(
+    const codegen::CompiledSystem& sys, BlockPtr root,
+    std::shared_ptr<const codegen::Executable> executable, const StateMigrator& migrate) const {
+    Rebind r;
+    r.sys = &sys;
+    r.root = std::move(root);
+    r.exec = std::move(executable);
+    if (r.exec == nullptr) r.exec = codegen::make_executable(*r.sys, r.root);
+    r.nin = r.root->num_inputs();
+    r.nout = r.root->num_outputs();
+    r.stride = r.nin + r.nout;
+    r.arena.assign(slots_.size() * r.stride, 0.0);
+    r.insts.reserve(live_.size());
+    std::vector<double> old_state, new_state;
+    for (const std::uint32_t slot : live_) {
+        old_state.clear();
+        slots_[slot].inst->save_state(old_state);
+        std::unique_ptr<codegen::Instance> inst = r.exec->instantiate();
+        new_state.clear();
+        inst->save_state(new_state); // the new model's init values
+        const std::span<double> new_in(r.arena.data() + slot * r.stride, r.nin);
+        const std::span<double> new_out(r.arena.data() + slot * r.stride + r.nin, r.nout);
+        migrate.migrate(old_state, inputs_of(slot), outputs_of(slot), new_state, new_in,
+                        new_out);
+        inst->restore_state(new_state);
+        r.insts.push_back(std::move(inst));
+    }
+    return r;
+}
+
+void InstancePool::commit_rebind(Rebind&& r) {
+    for (std::size_t i = 0; i < live_.size(); ++i) slots_[live_[i]].inst = std::move(r.insts[i]);
+    for (Slot& s : slots_)
+        if (!s.live) s.inst.reset(); // recycle from the new executable
+    sys_ = r.sys;
+    root_ = std::move(r.root);
+    exec_ = std::move(r.exec);
+    nin_ = r.nin;
+    nout_ = r.nout;
+    stride_ = r.stride;
+    arena_ = std::move(r.arena);
+}
+
 void InstancePool::debug_set_generation(std::uint32_t slot, std::uint32_t generation) {
     if (slot >= slots_.size() || slots_[slot].live || slots_[slot].generation == UINT32_MAX)
         throw std::invalid_argument("InstancePool: bad slot for debug_set_generation");

@@ -21,6 +21,32 @@ struct InstanceId {
     bool operator==(const InstanceId&) const = default;
 };
 
+/// Maps one instance's state across a live model upgrade. The pool calls
+/// migrate() once per live instance while preparing a rebind: `old_*` carry
+/// the outgoing instance's persistent state (Instance::save_state layout)
+/// and its arena I/O rows; `new_state` arrives pre-filled with the state of
+/// a freshly initialized instance of the new model, `new_in`/`new_out`
+/// arrive zeroed. Implementations copy whatever carries over and leave the
+/// rest at init values. The interface lives here (not in src/upgrade) so
+/// the runtime stays independent of the upgrade planner; upgrade's
+/// MigrationPlan is the production implementation.
+class StateMigrator {
+public:
+    virtual ~StateMigrator() = default;
+
+    virtual void migrate(std::span<const double> old_state, std::span<const double> old_in,
+                         std::span<const double> old_out, std::span<double> new_state,
+                         std::span<double> new_in, std::span<double> new_out) const = 0;
+};
+
+/// A StateMigrator that carries nothing: every instance restarts from the
+/// new model's init values with zeroed I/O (the drain-and-replace path).
+class DrainMigrator final : public StateMigrator {
+public:
+    void migrate(std::span<const double>, std::span<const double>, std::span<const double>,
+                 std::span<double>, std::span<double>, std::span<double>) const override {}
+};
+
 /// A pool of executable instances of one compiled block, with contiguous
 /// reusable slots and arena-allocated per-instance input/output buffers.
 ///
@@ -101,6 +127,42 @@ public:
     /// mismatch; on success the instance is bit-identical to the snapshot
     /// source, including its I/O buffers.
     void restore_state(InstanceId id, std::span<const double> blob);
+
+    /// Opaque token produced by prepare_rebind() and consumed by
+    /// commit_rebind(): the complete replacement population (one migrated
+    /// instance per live slot, in live-list order) plus the new arena.
+    /// Treat the fields as private; they are public only so the serve layer
+    /// can stage tokens for all shards before committing any of them.
+    struct Rebind {
+        const codegen::CompiledSystem* sys = nullptr;
+        BlockPtr root;
+        std::shared_ptr<const codegen::Executable> exec;
+        std::size_t nin = 0, nout = 0, stride = 0;
+        std::vector<double> arena;
+        std::vector<std::unique_ptr<codegen::Instance>> insts; ///< by live_ order
+    };
+
+    /// Phase 1 of a hot-swap: builds a fully migrated replacement population
+    /// for the new compiled model without touching any live state. For each
+    /// live slot it instantiates the new executable, runs `migrate` from the
+    /// old instance's snapshot into the fresh instance's state/I-O, and
+    /// restores the result. May throw (instantiation or an irreconcilable
+    /// migration); the pool is untouched either way, so a multi-shard caller
+    /// can prepare every shard before committing any — no torn fleet.
+    /// `executable` nullptr selects the interpreter, as in the constructor.
+    /// Must not overlap step_slot() (externally synchronous, like create()).
+    Rebind prepare_rebind(const codegen::CompiledSystem& sys, BlockPtr root,
+                          std::shared_ptr<const codegen::Executable> executable,
+                          const StateMigrator& migrate) const;
+
+    /// Phase 2: installs a prepared rebind. Never throws apart from
+    /// allocation failure (everything fallible happened in phase 1). Slot
+    /// numbering, generations, the live list, the free list, retirement and
+    /// therefore every outstanding InstanceId survive unchanged — only the
+    /// instances, the I/O arena (ports may differ) and the compiled-system/
+    /// root/executable bindings are replaced. Non-live slots drop their
+    /// cached instance so the next create() stamps from the new executable.
+    void commit_rebind(Rebind&& r);
 
     /// Testing hook (wraparound regression tests): forces the generation
     /// counter of a non-live slot. Throws std::invalid_argument for a live

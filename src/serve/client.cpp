@@ -133,4 +133,28 @@ void Client::shutdown(std::uint64_t tenant) {
     call(Op::Shutdown, w.take());
 }
 
+UpgradeResult Client::upgrade_model(std::uint64_t tenant, const std::string& source,
+                                    bool allow_drain) {
+    PayloadWriter w;
+    w.u64(tenant);
+    w.u32(allow_drain ? kUpgradeAllowDrain : 0);
+    w.str(source);
+    const Frame resp = call(Op::UpgradeModel, w.take());
+    PayloadReader r(resp.payload);
+    UpgradeResult u;
+    u.version = r.u64();
+    u.macro_compiles = r.u64();
+    u.macro_reuses = r.u64();
+    u.units_total = r.u64();
+    u.units_reused = r.u64();
+    u.drained = r.u32() != 0;
+    u.state_copied = r.u64();
+    u.state_initialized = r.u64();
+    u.state_dropped = r.u64();
+    u.compile_ns = r.u64();
+    u.swap_ns = r.u64();
+    r.done();
+    return u;
+}
+
 } // namespace sbd::serve

@@ -19,6 +19,28 @@ struct TickResult {
     std::uint32_t executed = 0;     ///< instants this request ran
 };
 
+/// Result of an applied UPGRADE_MODEL (rejections throw ServeError with
+/// Err::UpgradeRejected and the server's coded reason instead).
+struct UpgradeResult {
+    std::uint64_t version = 0;        ///< the now-live model version
+    std::uint64_t macro_compiles = 0; ///< units recompiled for this version
+    std::uint64_t macro_reuses = 0;   ///< units served from the shared cache
+    std::uint64_t units_total = 0;    ///< distinct macro units in the new model
+    std::uint64_t units_reused = 0;   ///< of those, structurally unchanged
+    bool drained = false;             ///< plan was drain-and-replace
+    std::uint64_t state_copied = 0;   ///< doubles carried across the swap
+    std::uint64_t state_initialized = 0;
+    std::uint64_t state_dropped = 0;
+    std::uint64_t compile_ns = 0; ///< unlocked recompile time
+    std::uint64_t swap_ns = 0;    ///< exclusive swap pause (prepare + commit)
+
+    double reuse_ratio() const {
+        return units_total == 0 ? 0.0
+                                : static_cast<double>(units_reused) /
+                                      static_cast<double>(units_total);
+    }
+};
+
 class Client {
 public:
     explicit Client(Conn conn) : conn_(std::move(conn)) {}
@@ -38,6 +60,13 @@ public:
     std::vector<double> snapshot(std::uint64_t tenant, const WireHandle& handle);
     std::string stats(std::uint64_t tenant);
     void shutdown(std::uint64_t tenant);
+    /// Hot-swaps the server's model to the given .sbd source. `allow_drain`
+    /// opts into drain-and-replace plans (all state reset) when the new
+    /// root's port interface changed. Throws ServeError(UpgradeRejected)
+    /// with the server's coded reason when the upgrade is refused; the
+    /// running version is untouched in that case.
+    UpgradeResult upgrade_model(std::uint64_t tenant, const std::string& source,
+                                bool allow_drain = false);
 
     /// Raw round-trip (tests use this for hand-built payloads): sends one
     /// request, returns the matching response frame without status mapping.

@@ -17,6 +17,7 @@ const char* to_string(Op op) {
     case Op::Snapshot: return "SNAPSHOT";
     case Op::Stats: return "STATS";
     case Op::Shutdown: return "SHUTDOWN";
+    case Op::UpgradeModel: return "UPGRADE_MODEL";
     }
     return "UNKNOWN";
 }
@@ -35,6 +36,7 @@ const char* to_string(Err err) {
     case Err::FaultInjected: return "FAULT_INJECTED";
     case Err::ShuttingDown: return "SHUTTING_DOWN";
     case Err::Internal: return "INTERNAL";
+    case Err::UpgradeRejected: return "UPGRADE_REJECTED";
     }
     return "UNKNOWN";
 }

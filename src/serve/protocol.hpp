@@ -43,7 +43,11 @@ enum class Op : std::uint16_t {
     Snapshot = 6,        ///< tenant, handle -> state blob (doubles)
     Stats = 7,           ///< tenant -> Prometheus text exposition
     Shutdown = 8,        ///< tenant -> (); server drains and exits
+    UpgradeModel = 9,    ///< tenant, flags, .sbd source -> version, reuse stats
 };
+
+/// UPGRADE_MODEL request flag bits.
+inline constexpr std::uint32_t kUpgradeAllowDrain = 1u; ///< accept drain-and-replace plans
 
 /// Coded protocol outcomes. Everything a server can refuse is one of these
 /// — a client never sees a torn tick or an uncoded failure. CLI tools map
@@ -61,6 +65,9 @@ enum class Err : std::uint16_t {
     FaultInjected = 9,    ///< armed fault plan failed the dispatch path
     ShuttingDown = 10,    ///< server is draining; no new work accepted
     Internal = 11,        ///< unexpected server-side exception
+    UpgradeRejected = 12, ///< UPGRADE_MODEL refused (bad model, incompatible
+                          ///< state, disabled, or lost a concurrent race);
+                          ///< the running version is untouched
 };
 
 const char* to_string(Op op);

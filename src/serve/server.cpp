@@ -56,7 +56,7 @@ Server::Server(const codegen::CompiledSystem& sys, BlockPtr root, ServerConfig c
         ec.executable = cfg_.executable;
         shards_.push_back(std::make_unique<Shard>(*sys_, root_, ec));
     }
-    for (std::uint16_t opv = 1; opv <= 8; ++opv)
+    for (std::uint16_t opv = 1; opv <= 9; ++opv)
         c_requests_[opv] =
             metrics_->counter("sbd_serve_requests_total", "protocol requests received",
                               {{"op", to_string(static_cast<Op>(opv))}});
@@ -71,6 +71,20 @@ Server::Server(const codegen::CompiledSystem& sys, BlockPtr root, ServerConfig c
                                         "HTTP GET /metrics scrapes answered");
     c_connections_total_ =
         metrics_->counter("sbd_serve_connections_total", "connections accepted");
+    c_upgrades_applied_ = metrics_->counter("sbd_upgrade_applied_total",
+                                            "model upgrades committed into the fleet");
+    c_upgrades_rejected_ = metrics_->counter("sbd_upgrade_rejected_total",
+                                             "UPGRADE_MODEL requests rejected coded");
+    c_upgrade_units_reused_ =
+        metrics_->counter("sbd_upgrade_units_reused_total",
+                          "macro units served from the shared cache during upgrades");
+    c_upgrade_units_compiled_ = metrics_->counter(
+        "sbd_upgrade_units_compiled_total", "macro units recompiled during upgrades");
+    h_upgrade_swap_ns_ = metrics_->histogram(
+        "sbd_upgrade_swap_ns", obs::exponential_bounds(1000, 4.0, 14),
+        "exclusive swap pause of an applied upgrade (prepare + commit), nanoseconds");
+    g_model_version_ = metrics_->gauge("sbd_upgrade_model_version", "live model version");
+    g_model_version_.set(1);
     h_request_ns_ = metrics_->histogram("sbd_serve_request_ns",
                                         obs::exponential_bounds(1000, 4.0, 14),
                                         "request handling latency, nanoseconds");
@@ -237,7 +251,7 @@ void Server::refresh_shard_gauges() {
 
 ServerStats Server::stats_view() const {
     ServerStats st;
-    for (std::uint16_t opv = 1; opv <= 8; ++opv) st.requests += c_requests_[opv].value();
+    for (std::uint16_t opv = 1; opv <= 9; ++opv) st.requests += c_requests_[opv].value();
     st.errors = c_errors_total_.value();
     st.ticks = c_ticks_total_.value();
     st.shed = c_shed_total_.value();
@@ -273,7 +287,7 @@ Frame Server::error_frame(const Frame& req, Err code, const std::string& message
 Frame Server::handle_request(const Frame& req) {
     const Clock::time_point t0 = Clock::now();
     const std::uint16_t opv = static_cast<std::uint16_t>(req.opcode);
-    if (opv >= 1 && opv <= 8) c_requests_[opv].inc();
+    if (opv >= 1 && opv <= 9) c_requests_[opv].inc();
     Frame resp;
     try {
         if (SBD_FAULT_HIT("serve.dispatch")) {
@@ -293,6 +307,7 @@ Frame Server::handle_request(const Frame& req) {
             case Op::Snapshot: resp = do_snapshot(req, r); break;
             case Op::Stats: resp = do_stats(req, r); break;
             case Op::Shutdown: resp = do_shutdown(req, r); break;
+            case Op::UpgradeModel: resp = do_upgrade(req, r); break;
             default:
                 resp = error_frame(req, Err::BadOpcode,
                                    "unknown opcode " + std::to_string(opv));
@@ -482,6 +497,111 @@ Frame Server::do_shutdown(const Frame& req, PayloadReader& r) {
     // The reply goes out first; handle_conn() then calls request_stop(), so
     // the client always sees its SHUTDOWN acknowledged.
     return ok_frame(req);
+}
+
+Frame Server::do_upgrade(const Frame& req, PayloadReader& r) {
+    (void)r.u64(); // tenant: upgrades are control-plane, fleet-wide
+    const std::uint32_t flags = r.u32();
+    const std::string source = r.str();
+    r.done();
+    if (!cfg_.upgrade)
+        return error_frame(req, Err::UpgradeRejected,
+                           "live upgrades are disabled on this server");
+    if (SBD_FAULT_HIT("serve.upgrade"))
+        // Injected before any compile work: the running version, every
+        // shard and every instance are untouched.
+        throw resilience::FaultInjected("injected upgrade fault before compile");
+
+    // Phase 1 (shared lock): pin the running version. sys_/root_ only move
+    // under the exclusive lock, so a consistent triple read here stays
+    // valid until the version counter says otherwise.
+    const codegen::CompiledSystem* old_sys;
+    BlockPtr old_root;
+    std::shared_ptr<const codegen::CompiledSystem> old_owner; // keeps it alive unlocked
+    std::uint64_t base_version;
+    {
+        QueuedShared lk(state_m_, g_queue_depth_);
+        if (stopping_.load(std::memory_order_relaxed))
+            return error_frame(req, Err::ShuttingDown, "server is shutting down");
+        old_sys = sys_;
+        old_root = root_;
+        old_owner = owned_sys_;
+        base_version = model_version_.load(std::memory_order_relaxed);
+    }
+
+    // Phase 2 (unlocked — traffic keeps flowing): incremental recompile
+    // through the shared profile cache, then diff and migration planning.
+    upgrade::ModelVersion next;
+    upgrade::ModelDiff diff;
+    upgrade::MigrationPlan plan;
+    try {
+        next = upgrade::compile_version(source, *cfg_.upgrade, base_version + 1);
+        diff = upgrade::diff_models(old_root, next.root);
+        plan = upgrade::plan_migration(*old_sys, old_root, *next.sys, next.root);
+        if (plan.drain_and_replace() && (flags & kUpgradeAllowDrain) == 0)
+            throw upgrade::UpgradeError(upgrade::UpgradeError::Code::Incompatible,
+                                        "drain-and-replace required (" + plan.drain_reason() +
+                                            ") but the request does not allow draining");
+    } catch (const upgrade::UpgradeError& e) {
+        c_upgrades_rejected_.inc();
+        return error_frame(req, Err::UpgradeRejected,
+                           std::string(upgrade::to_string(e.code())) + ": " + e.what());
+    }
+
+    // Phase 3 (exclusive lock — the instant-boundary quiesce): recheck the
+    // race, prepare every shard, then commit every shard. prepare touches
+    // nothing and commit cannot throw, so the fleet is never torn: either
+    // all shards swap or none do.
+    const Clock::time_point swap_t0 = Clock::now();
+    {
+        QueuedExclusive lk(state_m_, g_queue_depth_);
+        if (stopping_.load(std::memory_order_relaxed))
+            return error_frame(req, Err::ShuttingDown, "server is shutting down");
+        if (model_version_.load(std::memory_order_relaxed) != base_version) {
+            c_upgrades_rejected_.inc();
+            return error_frame(req, Err::UpgradeRejected,
+                               "conflict: a concurrent upgrade was applied first");
+        }
+        std::vector<runtime::InstancePool::Rebind> staged;
+        staged.reserve(shards_.size());
+        try {
+            for (const auto& s : shards_)
+                staged.push_back(s->pool().prepare_rebind(*next.sys, next.root, next.exec, plan));
+        } catch (const std::exception& e) {
+            c_upgrades_rejected_.inc();
+            return error_frame(req, Err::UpgradeRejected,
+                               std::string("migration failed: ") + e.what());
+        }
+        for (std::size_t s = 0; s < shards_.size(); ++s)
+            shards_[s]->pool().commit_rebind(std::move(staged[s]));
+        owned_sys_ = next.sys;
+        owned_exec_ = next.exec;
+        sys_ = owned_sys_.get();
+        root_ = next.root;
+        cfg_.executable = next.exec;
+        model_version_.store(next.version, std::memory_order_relaxed);
+    }
+    const std::uint64_t swap_ns = ns_since(swap_t0);
+
+    c_upgrades_applied_.inc();
+    c_upgrade_units_reused_.inc(next.macro_reuses);
+    c_upgrade_units_compiled_.inc(next.macro_compiles);
+    h_upgrade_swap_ns_.observe(swap_ns);
+    g_model_version_.set(static_cast<std::int64_t>(next.version));
+
+    PayloadWriter w;
+    w.u64(next.version);
+    w.u64(next.macro_compiles);
+    w.u64(next.macro_reuses);
+    w.u64(diff.units_total);
+    w.u64(diff.units_reused);
+    w.u32(plan.drain_and_replace() ? 1 : 0);
+    w.u64(plan.copied());
+    w.u64(plan.initialized());
+    w.u64(plan.dropped());
+    w.u64(next.compile_ns);
+    w.u64(swap_ns);
+    return ok_frame(req, w.take());
 }
 
 } // namespace sbd::serve

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -34,6 +35,7 @@
 #include "serve/protocol.hpp"
 #include "serve/shard.hpp"
 #include "serve/socket.hpp"
+#include "upgrade/upgrade.hpp"
 
 namespace sbd::serve {
 
@@ -56,6 +58,11 @@ struct ServerConfig {
     /// gauges). nullptr = the server creates a private registry, so STATS
     /// and /metrics always work.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Live-upgrade compile context (how to recompile a new model version:
+    /// the boot-time clustering method/options, the shared profile cache,
+    /// the backend recipe). nullopt = UPGRADE_MODEL is rejected coded —
+    /// operators opt into live upgrades by supplying the context.
+    std::optional<upgrade::CompileContext> upgrade;
 };
 
 /// Aggregate counters mirrored from the metrics registry (for tools/tests).
@@ -92,6 +99,10 @@ public:
     bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
 
     std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+    /// The live model version: 1 at boot, +1 per applied UPGRADE_MODEL.
+    std::uint64_t model_version() const {
+        return model_version_.load(std::memory_order_relaxed);
+    }
     ServerStats stats_view() const;
     obs::MetricsRegistry* metrics() const { return metrics_; }
 
@@ -113,6 +124,7 @@ private:
     Frame do_snapshot(const Frame& req, PayloadReader& r);
     Frame do_stats(const Frame& req, PayloadReader& r);
     Frame do_shutdown(const Frame& req, PayloadReader& r);
+    Frame do_upgrade(const Frame& req, PayloadReader& r);
 
     Frame ok_frame(const Frame& req, std::vector<std::uint8_t> payload = {});
     Frame error_frame(const Frame& req, Err code, const std::string& message);
@@ -121,8 +133,15 @@ private:
     Err resolve(const WireHandle& h, std::uint64_t tenant, runtime::InstanceId* out) const;
     void refresh_shard_gauges();
 
+    /// The live model version. sys_/root_ are replaced only under the
+    /// exclusive state lock (an UPGRADE_MODEL commit); owned_sys_ and
+    /// owned_exec_ keep upgraded versions alive (the boot version is owned
+    /// by the caller, so they start null).
     const codegen::CompiledSystem* sys_;
     BlockPtr root_;
+    std::shared_ptr<const codegen::CompiledSystem> owned_sys_;
+    std::shared_ptr<const codegen::Executable> owned_exec_;
+    std::atomic<std::uint64_t> model_version_{1};
     ServerConfig cfg_;
     Listener listener_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -142,11 +161,13 @@ private:
 
     std::shared_ptr<obs::MetricsRegistry> owned_metrics_;
     obs::MetricsRegistry* metrics_ = nullptr;
-    obs::Counter c_requests_[9];    ///< by Op (index = opcode, 0 unused)
+    obs::Counter c_requests_[10];   ///< by Op (index = opcode, 0 unused)
     obs::Counter c_errors_total_, c_shed_total_, c_ticks_total_, c_accept_faults_,
         c_http_scrapes_, c_connections_total_;
-    obs::Histogram h_request_ns_, h_tick_ns_;
-    obs::Gauge g_connections_, g_queue_depth_;
+    obs::Counter c_upgrades_applied_, c_upgrades_rejected_, c_upgrade_units_reused_,
+        c_upgrade_units_compiled_;
+    obs::Histogram h_request_ns_, h_tick_ns_, h_upgrade_swap_ns_;
+    obs::Gauge g_connections_, g_queue_depth_, g_model_version_;
     std::vector<obs::Gauge> g_shard_instances_, g_shard_capacity_;
 };
 

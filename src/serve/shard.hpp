@@ -49,7 +49,11 @@ public:
 
 private:
     runtime::Engine engine_;
-    std::vector<std::uint64_t> owner_; ///< by slot; valid while the slot is live
+    /// By slot; valid while the slot is live. Survives a live-upgrade rebind
+    /// untouched: commit_rebind preserves slot numbering, generations and
+    /// the live list, so ownership (and every outstanding wire handle)
+    /// remains valid across model versions.
+    std::vector<std::uint64_t> owner_;
 };
 
 } // namespace sbd::serve

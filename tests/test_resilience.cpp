@@ -24,8 +24,10 @@
 #include "resilience/budget.hpp"
 #include "resilience/fault.hpp"
 #include "runtime/engine.hpp"
+#include "sbd/text_format.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "upgrade/upgrade.hpp"
 #include "suite/npred.hpp"
 #include "suite/random_models.hpp"
 
@@ -585,11 +587,29 @@ Outcome chaos_run(const ChaosConfig& cfg, const fs::path& cache_dir, std::size_t
             scfg.endpoint = serve::Endpoint::parse("tcp:127.0.0.1:0");
             scfg.shards = 2;
             scfg.shard_capacity = 2;
+            upgrade::CompileContext uctx;
+            uctx.method = cfg.method;
+            scfg.upgrade = std::move(uctx);
             serve::Server server(sys, cfg.root, scfg);
             server.start();
             auto client = serve::Client::connect(server.endpoint());
             const auto handles = client.create_instances(1, 2);
             for (std::size_t t = 0; t < cfg.reference.size(); ++t) (void)client.tick(1, 1);
+            // Mid-session hot swap to the *identical* model: the plan is
+            // all-CopySubtree, so live state — and therefore the outputs
+            // read below — must stay bit-for-bit on the oracle whether the
+            // swap lands or is rejected. serve.upgrade fires before the
+            // compile, and compile-side points surface as coded
+            // UPGRADE_REJECTED / FAULT_INJECTED / DEADLINE_EXCEEDED frames
+            // that leave the running version untouched.
+            try {
+                (void)client.upgrade_model(1, text::to_sbd(*cfg.root));
+            } catch (const serve::ServeError& e) {
+                if (e.code() != serve::Err::FaultInjected &&
+                    e.code() != serve::Err::DeadlineExceeded &&
+                    e.code() != serve::Err::UpgradeRejected)
+                    throw;
+            }
             const auto served = client.read_outputs(1, handles);
             const std::size_t nout = cfg.serve_reference.size();
             EXPECT_EQ(served.size(), 2 * nout) << "served output row count diverged";

@@ -17,14 +17,25 @@
 // overload, not a generator failure. --fail-on-reject turns any coded
 // rejection into exit 8 for tests that assert a clean run.
 //
+// --upgrade-at N --upgrade-model new.sbd turns a run into an
+// upgrade-under-load soak: once N successful TICKs have been observed
+// across all tenants, a dedicated control connection issues UPGRADE_MODEL
+// and retries coded rejections (conflicts, injected faults) until the swap
+// lands or the run ends. Rejections are counted by code; an upgrade that
+// never applies exits 10.
+//
 // Exit codes: 0 ok, 1 transport/internal error, 2 usage,
-//             8 coded protocol rejection (only with --fail-on-reject).
+//             8 coded protocol rejection (only with --fail-on-reject),
+//             10 requested upgrade never applied.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +64,15 @@ std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
     return sorted[i];
 }
 
+/// Outcome of the optional mid-run UPGRADE_MODEL (see --upgrade-at).
+struct UpgradeOutcome {
+    bool requested = false;
+    bool applied = false;
+    std::uint64_t fired_at_tick = 0; ///< observed ok-tick count at send time
+    serve::UpgradeResult result;     ///< valid iff applied
+    std::map<serve::Err, std::uint64_t> rejected; ///< retry rejections by code
+};
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -67,6 +87,9 @@ int main(int argc, char** argv) {
     std::string stats_out;
     bool do_shutdown = false;
     bool fail_on_reject = false;
+    std::uint64_t upgrade_at = 0;
+    std::string upgrade_model_path;
+    bool upgrade_allow_drain = false;
     cli::ResilienceOptions res_opts;
 
     cli::ArgParser parser("sbd-loadgen", "");
@@ -92,11 +115,39 @@ int main(int argc, char** argv) {
                 &do_shutdown);
     parser.flag("--fail-on-reject", "exit 8 if any request was rejected with a coded error",
                 &fail_on_reject);
+    parser.flag("--upgrade-at", "N",
+                "after N successful TICKs (across all tenants), send\n"
+                "                 UPGRADE_MODEL with --upgrade-model and retry coded\n"
+                "                 rejections until it lands (0 = no upgrade)",
+                &upgrade_at);
+    parser.flag("--upgrade-model", "FILE", "new model source for --upgrade-at",
+                &upgrade_model_path);
+    parser.flag("--upgrade-allow-drain",
+                "permit a drain-and-replace upgrade (instances restart\n"
+                "                 from init when the port interface changed)",
+                &upgrade_allow_drain);
     cli::add_resilience_flags(parser, &res_opts, /*sat_flags=*/false);
     if (const auto code = parser.parse(argc, argv)) return *code;
     if (const auto code = cli::arm_fault_plan("sbd-loadgen", res_opts)) return *code;
     if (connect_spec.empty() || !parser.positionals().empty() || tenants == 0 || rps == 0)
         return parser.usage(stderr), cli::kExitUsage;
+    if ((upgrade_at != 0) != !upgrade_model_path.empty()) {
+        std::fprintf(stderr,
+                     "sbd-loadgen: --upgrade-at and --upgrade-model go together\n");
+        return cli::kExitUsage;
+    }
+    std::string upgrade_source;
+    if (upgrade_at != 0) {
+        std::ifstream in(upgrade_model_path);
+        if (!in) {
+            std::fprintf(stderr, "sbd-loadgen: cannot read %s\n",
+                         upgrade_model_path.c_str());
+            return cli::kExitError;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        upgrade_source = buf.str();
+    }
 
     serve::Endpoint endpoint;
     try {
@@ -109,6 +160,10 @@ int main(int argc, char** argv) {
     std::vector<TenantResult> results(tenants);
     std::vector<std::thread> threads;
     threads.reserve(tenants);
+    std::atomic<std::uint64_t> ok_ticks{0}; ///< fires the --upgrade-at trigger
+    std::atomic<bool> load_done{false};
+    UpgradeOutcome upgrade;
+    upgrade.requested = upgrade_at != 0;
     const Clock::time_point start = Clock::now();
     const Clock::duration duration = std::chrono::milliseconds(duration_ms);
     const Clock::duration period =
@@ -157,6 +212,7 @@ int main(int argc, char** argv) {
                                 .count()));
                         (void)client.read_outputs(tenant_id, handles);
                         ++res.ok;
+                        ok_ticks.fetch_add(1, std::memory_order_relaxed);
                     } catch (const serve::ServeError& e) {
                         ++res.rejected[e.code()];
                     }
@@ -169,7 +225,42 @@ int main(int argc, char** argv) {
             }
         });
     }
+    // The upgrader runs on its own control connection (tenant 0) so the
+    // swap competes with live traffic, not with a quiet server. Coded
+    // rejections (version conflicts, injected serve.upgrade faults) are
+    // retried: under chaos an upgrade is *expected* to bounce a few times.
+    std::thread upgrader;
+    if (upgrade.requested) {
+        upgrader = std::thread([&] {
+            while (ok_ticks.load(std::memory_order_relaxed) < upgrade_at &&
+                   !load_done.load(std::memory_order_relaxed))
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            upgrade.fired_at_tick = ok_ticks.load(std::memory_order_relaxed);
+            try {
+                serve::Client control = serve::Client::connect(endpoint);
+                for (int grace = 5; grace > 0;) {
+                    try {
+                        upgrade.result =
+                            control.upgrade_model(0, upgrade_source, upgrade_allow_drain);
+                        upgrade.applied = true;
+                        return;
+                    } catch (const serve::ServeError& e) {
+                        ++upgrade.rejected[e.code()];
+                        // Keep retrying while load runs; once it stops, a
+                        // few grace attempts settle injected-fault flakes.
+                        if (load_done.load(std::memory_order_relaxed)) --grace;
+                    }
+                    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "sbd-loadgen: upgrade: %s\n", e.what());
+            }
+        });
+    }
+
     for (std::thread& th : threads) th.join();
+    load_done.store(true);
+    if (upgrader.joinable()) upgrader.join();
     const double elapsed_s =
         std::chrono::duration<double>(Clock::now() - start).count();
 
@@ -205,6 +296,26 @@ int main(int argc, char** argv) {
     std::printf("  tick latency p50 %.3f ms, p99 %.3f ms (%zu samples)\n",
                 static_cast<double>(p50) / 1e6, static_cast<double>(p99) / 1e6,
                 all_ns.size());
+    if (upgrade.requested) {
+        std::uint64_t upgrade_rejects = 0;
+        for (const auto& [code, n] : upgrade.rejected) upgrade_rejects += n;
+        if (upgrade.applied)
+            std::printf("  upgrade: applied v%llu at tick %llu after %llu rejection(s) "
+                        "(%llu/%llu units reused, swap %.3f ms%s)\n",
+                        static_cast<unsigned long long>(upgrade.result.version),
+                        static_cast<unsigned long long>(upgrade.fired_at_tick),
+                        static_cast<unsigned long long>(upgrade_rejects),
+                        static_cast<unsigned long long>(upgrade.result.units_reused),
+                        static_cast<unsigned long long>(upgrade.result.units_total),
+                        static_cast<double>(upgrade.result.swap_ns) / 1e6,
+                        upgrade.result.drained ? ", drained" : "");
+        else
+            std::printf("  upgrade: NOT applied after %llu rejection(s)\n",
+                        static_cast<unsigned long long>(upgrade_rejects));
+        for (const auto& [code, n] : upgrade.rejected)
+            std::printf("    %s: %llu\n", serve::to_string(code),
+                        static_cast<unsigned long long>(n));
+    }
 
     if (!json_out.empty()) {
         std::FILE* f = std::fopen(json_out.c_str(), "w");
@@ -228,10 +339,40 @@ int main(int argc, char** argv) {
         }
         std::fprintf(f,
                      "},\n  \"transport_errors\": %llu,\n  \"tick_p50_ns\": %llu,\n"
-                     "  \"tick_p99_ns\": %llu\n}\n",
+                     "  \"tick_p99_ns\": %llu",
                      static_cast<unsigned long long>(transport_errors),
                      static_cast<unsigned long long>(p50),
                      static_cast<unsigned long long>(p99));
+        if (upgrade.requested) {
+            std::fprintf(f,
+                         ",\n  \"upgrade\": {\n    \"applied\": %s,\n"
+                         "    \"fired_at_tick\": %llu,\n    \"rejected\": {",
+                         upgrade.applied ? "true" : "false",
+                         static_cast<unsigned long long>(upgrade.fired_at_tick));
+            first = true;
+            for (const auto& [code, n] : upgrade.rejected) {
+                std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ",
+                             serve::to_string(code), static_cast<unsigned long long>(n));
+                first = false;
+            }
+            std::fprintf(f, "}");
+            if (upgrade.applied)
+                std::fprintf(
+                    f,
+                    ",\n    \"version\": %llu,\n    \"units_total\": %llu,\n"
+                    "    \"units_reused\": %llu,\n    \"reuse_ratio\": %.4f,\n"
+                    "    \"drained\": %s,\n    \"state_copied\": %llu,\n"
+                    "    \"compile_ns\": %llu,\n    \"swap_ns\": %llu",
+                    static_cast<unsigned long long>(upgrade.result.version),
+                    static_cast<unsigned long long>(upgrade.result.units_total),
+                    static_cast<unsigned long long>(upgrade.result.units_reused),
+                    upgrade.result.reuse_ratio(), upgrade.result.drained ? "true" : "false",
+                    static_cast<unsigned long long>(upgrade.result.state_copied),
+                    static_cast<unsigned long long>(upgrade.result.compile_ns),
+                    static_cast<unsigned long long>(upgrade.result.swap_ns));
+            std::fprintf(f, "\n  }");
+        }
+        std::fprintf(f, "\n}\n");
         std::fclose(f);
     }
 
@@ -260,6 +401,7 @@ int main(int argc, char** argv) {
     }
 
     if (transport_errors != 0) return cli::kExitError;
+    if (upgrade.requested && !upgrade.applied) return cli::kExitUpgrade;
     if (fail_on_reject && shed != 0) return cli::kExitProtocol;
     return cli::kExitOk;
 }

@@ -4,10 +4,17 @@
 // Compiles the model through the standard pipeline (honoring --cache-dir
 // and --jobs like sbdc), then hosts N engine shards behind the SBDS binary
 // protocol on a TCP or Unix socket: CREATE_INSTANCES / DESTROY_INSTANCES /
-// POST_INPUTS / TICK / READ_OUTPUTS / SNAPSHOT / STATS / SHUTDOWN. A plain
-// HTTP `GET /metrics` on the same port answers the Prometheus text
-// exposition. Per-tenant budgets shed CREATE load with coded TENANT_BUDGET
-// rejections; a tick deadline rejects whole instants, never tears one.
+// POST_INPUTS / TICK / READ_OUTPUTS / SNAPSHOT / STATS / UPGRADE_MODEL /
+// SHUTDOWN. A plain HTTP `GET /metrics` on the same port answers the
+// Prometheus text exposition. Per-tenant budgets shed CREATE load with
+// coded TENANT_BUDGET rejections; a tick deadline rejects whole instants,
+// never tears one.
+//
+// UPGRADE_MODEL hot-swaps a new model version into the running shards at
+// an instant boundary: unchanged subtrees are served from the boot-time
+// profile cache (only the changed frontier recompiles) and live instance
+// state migrates old -> new by stable block path. Rejections are coded
+// UPGRADE_REJECTED frames; --no-live-upgrade disables the opcode.
 //
 //   sbd-serve --listen tcp:127.0.0.1:7070 --shards 4 model.sbd
 //   sbd-serve --listen unix:/tmp/sbd.sock --tenant-max-instances 64 model.sbd
@@ -36,6 +43,7 @@
 #include "native/native.hpp"
 #include "sbd/text_format.hpp"
 #include "serve/server.hpp"
+#include "upgrade/upgrade.hpp"
 
 namespace {
 
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
     std::string method_name = "dynamic";
     std::string backend_name = "interp";
     std::string cache_dir;
+    bool live_upgrade = true;
     cli::ObsOptions obs_opts;
     cli::ResilienceOptions res_opts;
 
@@ -108,6 +117,10 @@ int main(int argc, char** argv) {
                 "per-tenant live-instance budget; excess CREATEs are shed\n"
                 "                 with TENANT_BUDGET (0 = unlimited)",
                 &tenant_max);
+    parser.flag("--no-live-upgrade",
+                "reject UPGRADE_MODEL requests (coded UPGRADE_REJECTED)\n"
+                "                 instead of hot-swapping model versions",
+                &live_upgrade, false);
     cli::add_obs_flags(parser, &obs_opts);
     cli::add_resilience_flags(parser, &res_opts, /*sat_flags=*/true);
     if (const auto code = parser.parse(argc, argv)) return *code;
@@ -192,6 +205,24 @@ int main(int argc, char** argv) {
         cfg.tick_deadline_ms = tick_deadline_ms;
         cfg.tenant_max_instances = tenant_max;
         cfg.metrics = &registry;
+        if (live_upgrade) {
+            // New versions must compile exactly like the boot version
+            // (same method/options, same profile cache, same backend), or
+            // fingerprint-equal subtrees would not be layout-equal and the
+            // reuse accounting would be fiction.
+            upgrade::CompileContext uctx;
+            uctx.method = *method;
+            uctx.cluster = popts.cluster;
+            uctx.jobs = jobs;
+            uctx.cache = pipeline.cache();
+            uctx.backend.backend = *backend;
+            uctx.backend.method = *method;
+            uctx.backend.cluster = popts.cluster;
+            if (*backend == codegen::Backend::Native && !cache_dir.empty())
+                uctx.backend.cache_dir = cache_dir + "/native";
+            uctx.backend.metrics = &registry;
+            cfg.upgrade = std::move(uctx);
+        }
         serve::Server server(sys, file.root, cfg);
 
         const std::string bound = server.endpoint().to_string();

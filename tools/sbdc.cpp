@@ -14,11 +14,13 @@
 //   sbdc --lint model.sbd                   # static analysis only
 //   sbdc --metrics-out m.prom model.sbd     # export the metrics registry
 //   sbdc --trace-out t.json model.sbd       # record compile trace spans
+//   sbdc --diff-model old.sbd new.sbd       # upgrade diff + migration plan
 //
 // Exit codes: 0 ok, 1 other error, 2 usage, 3 parse error,
 //             4 compile (cycle) rejection, 5 lint errors (--lint),
 //             6 resource budget exhausted, 7 deadline exceeded,
-//             9 native backend unavailable or failed.
+//             9 native backend unavailable or failed,
+//             10 upgrade incompatible (--diff-model: drain-and-replace).
 
 #include <cstdio>
 #include <fstream>
@@ -33,6 +35,7 @@
 #include "native/native.hpp"
 #include "runtime/engine.hpp"
 #include "sbd/text_format.hpp"
+#include "upgrade/upgrade.hpp"
 
 namespace {
 
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 1;
     bool stats = false;
     bool lint = false;
+    bool diff_model = false;
     bool deep = false;
     bool verify_contracts = false;
     std::string format = "text";
@@ -105,6 +109,11 @@ int main(int argc, char** argv) {
                 &deep);
     parser.flag("--format", "F", "text | json diagnostics for --lint    (default: text)",
                 &format);
+    parser.flag("--diff-model",
+                "take two models OLD.sbd NEW.sbd: print the structural\n"
+                "                 upgrade diff, the incremental-recompile reuse and the state\n"
+                "                 migration plan; exit 10 if the upgrade needs drain-and-replace",
+                &diff_model);
     parser.flag("--verify-contracts",
                 "re-check every generated profile against the\n"
                 "                 modular compilation contract while compiling",
@@ -115,7 +124,7 @@ int main(int argc, char** argv) {
     if (const auto code = parser.parse(argc, argv)) return *code;
     if (const auto code = cli::arm_fault_plan("sbdc", res_opts)) return *code;
 
-    if (parser.positionals().size() != 1 || instances == 0)
+    if (parser.positionals().size() != (diff_model ? 2u : 1u) || instances == 0)
         return parser.usage(stderr), cli::kExitUsage;
     const std::string input_path = parser.positionals().front();
     if (format != "text" && format != "json") return parser.usage(stderr), cli::kExitUsage;
@@ -139,6 +148,85 @@ int main(int argc, char** argv) {
         const int obs_code = cli::write_obs_outputs(obs_opts, &registry, tracing);
         return code != cli::kExitOk ? code : obs_code;
     };
+
+    if (diff_model) {
+        // Upgrade preflight: compile OLD, then compile NEW through the same
+        // profile cache — the NEW pipeline's reuse counters are exactly the
+        // incremental-recompile measure a live upgrade would achieve — and
+        // print the structural diff plus the state migration plan.
+        text::ParsedFile old_file, new_file;
+        try {
+            old_file = text::parse_sbd_file(parser.positionals()[0]);
+            new_file = text::parse_sbd_file(parser.positionals()[1]);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "parse error: %s\n", e.what());
+            return finish(cli::kExitParse);
+        }
+        try {
+            PipelineOptions popts;
+            popts.method = *method;
+            popts.cluster.sat_conflict_budget = res_opts.sat_conflict_budget;
+            popts.cluster.sat_budget_degrade = res_opts.sat_budget_degrade;
+            popts.threads = jobs > 0 ? jobs : 1;
+            popts.metrics = &registry;
+            popts.budgets.deadline_ms = res_opts.deadline_ms;
+            auto cache = std::make_shared<ProfileCache>(0, cache_dir, &registry);
+            Pipeline old_pipe(popts, cache);
+            const CompiledSystem old_sys = old_pipe.compile(old_file.root);
+            PipelineOptions npopts = popts;
+            npopts.metrics = nullptr; // private registry: per-run reuse counters
+            Pipeline new_pipe(npopts, cache);
+            const CompiledSystem new_sys = new_pipe.compile(new_file.root);
+            const PipelineStats nst = new_pipe.stats();
+
+            const upgrade::ModelDiff diff = upgrade::diff_models(old_file.root, new_file.root);
+            const upgrade::MigrationPlan plan =
+                upgrade::plan_migration(old_sys, old_file.root, new_sys, new_file.root);
+
+            std::ostringstream body;
+            if (format == "json") {
+                body << "{\n\"diff\": " << diff.to_json() << ",\n\"recompile\": {"
+                     << "\"macro_compiles\": " << nst.macro_compiles
+                     << ", \"macro_reuses\": " << nst.macro_reuses << "},\n\"plan\": "
+                     << plan.to_json() << "}\n";
+            } else {
+                body << "diff: " << diff.summary() << "\n";
+                for (const upgrade::DiffEntry& e : diff.entries)
+                    if (e.change != upgrade::SubtreeChange::Unchanged)
+                        body << "  " << to_string(e.change) << " "
+                             << (e.path.empty() ? "<root>" : e.path) << " (" << e.type_name
+                             << ")\n";
+                body << "recompile: " << nst.macro_compiles << " units compiled, "
+                     << nst.macro_reuses << " reused from cache\n";
+                body << "plan: " << plan.summary() << "\n";
+            }
+            if (out_path.empty()) {
+                std::fputs(body.str().c_str(), stdout);
+            } else {
+                std::ofstream f(out_path);
+                if (!f) throw ModelError("cannot write '" + out_path + "'");
+                f << body.str();
+            }
+            if (plan.drain_and_replace()) {
+                std::fprintf(stderr, "sbdc: upgrade requires drain-and-replace: %s\n",
+                             plan.drain_reason().c_str());
+                return finish(cli::kExitUpgrade);
+            }
+            return finish(cli::kExitOk);
+        } catch (const SdgCycleError& e) {
+            std::fprintf(stderr, "rejected: %s\n", e.what());
+            return finish(cli::kExitCycle);
+        } catch (const resilience::BudgetExhausted& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return finish(cli::kExitBudget);
+        } catch (const resilience::DeadlineExceeded& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return finish(cli::kExitDeadline);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return finish(cli::kExitError);
+        }
+    }
 
     if (lint) {
         // Static analysis replaces compilation entirely: lenient parse,
