@@ -1,0 +1,71 @@
+#include "core/fsio.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace sbd::fsio {
+
+namespace fs = std::filesystem;
+
+bool fsync_fd(int fd) noexcept {
+    int rc = 0;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    return rc == 0;
+}
+
+namespace {
+
+bool fsync_path(const fs::path& path) noexcept {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return false;
+    const bool ok = fsync_fd(fd);
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool fsync_file(const fs::path& path) noexcept { return fsync_path(path); }
+
+bool fsync_parent_dir(const fs::path& path) noexcept {
+    fs::path dir = path.parent_path();
+    if (dir.empty()) dir = ".";
+    return fsync_path(dir);
+}
+
+bool publish_file_durable(const fs::path& tmp, const fs::path& final_path,
+                          bool durable_sync) noexcept {
+    if (durable_sync && !fsync_file(tmp)) return false;
+    std::error_code ec;
+    fs::rename(tmp, final_path, ec); // atomic: readers see old/none/new
+    if (ec) return false;
+    if (durable_sync && !fsync_parent_dir(final_path)) return false;
+    return true;
+}
+
+bool write_file_durable(const fs::path& final_path, const fs::path& tmp,
+                        std::span<const std::uint8_t> bytes,
+                        bool durable_sync) noexcept {
+    bool written = false;
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (f) {
+            f.write(reinterpret_cast<const char*>(bytes.data()),
+                    static_cast<std::streamsize>(bytes.size()));
+            f.close();
+            written = f.good();
+        }
+    }
+    if (written && publish_file_durable(tmp, final_path, durable_sync)) return true;
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+}
+
+} // namespace sbd::fsio

@@ -1,0 +1,50 @@
+#ifndef SBD_CORE_FSIO_HPP
+#define SBD_CORE_FSIO_HPP
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+
+namespace sbd::fsio {
+
+/// Durable-publish primitives shared by everything that writes
+/// crash-survivable files (the profile cache, the native artifact store,
+/// the durable journal and checkpoint store). The discipline is always the
+/// same: write a temp file, fsync the file, atomically rename it into
+/// place, then fsync the parent directory so the rename itself survives a
+/// power cut. POSIX rename gives readers old/none/new; the two fsyncs turn
+/// that into old/new across a crash.
+///
+/// All helpers are noexcept and report failure by returning false: every
+/// caller in this codebase treats a failed durable write as a degradation
+/// (recompute, recompile, coded rejection), never as a reason to die.
+
+/// fsync(2) an already-open descriptor.
+bool fsync_fd(int fd) noexcept;
+
+/// Open `path` read-only and fsync it. Works for regular files.
+bool fsync_file(const std::filesystem::path& path) noexcept;
+
+/// fsync the directory containing `path`, making a completed rename of
+/// `path` durable. Falls back to `.` when the path has no parent.
+bool fsync_parent_dir(const std::filesystem::path& path) noexcept;
+
+/// Publish an existing temp file at its final path: fsync(tmp), rename
+/// tmp -> final, fsync(parent dir). With `durable_sync` false the fsyncs
+/// are skipped and this is a plain atomic rename (the pre-crash-safety
+/// behaviour, kept for callers with an explicit fast mode). On failure the
+/// temp file is left in place for the caller's cleanup path.
+bool publish_file_durable(const std::filesystem::path& tmp,
+                          const std::filesystem::path& final_path,
+                          bool durable_sync = true) noexcept;
+
+/// Write `bytes` to `tmp`, then publish_file_durable(tmp, final_path).
+/// Removes `tmp` (best effort) on failure.
+bool write_file_durable(const std::filesystem::path& final_path,
+                        const std::filesystem::path& tmp,
+                        std::span<const std::uint8_t> bytes,
+                        bool durable_sync = true) noexcept;
+
+} // namespace sbd::fsio
+
+#endif

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/contract.hpp"
+#include "core/fsio.hpp"
 #include "obs/trace.hpp"
 #include "resilience/fault.hpp"
 #include "sbd/opaque.hpp"
@@ -771,9 +772,10 @@ void ProfileCache::disk_store(const Fingerprint& key, const CacheEntry& entry) {
     for (int attempt = 1; attempt <= retry_.attempts && !renamed; ++attempt) {
         if (attempt > 1) retry_pause(attempt - 1);
         if (SBD_FAULT_HIT("cache.disk_rename")) continue; // simulated EACCES
-        std::error_code ec;
-        fs::rename(tmp_path, final_path, ec); // atomic: readers see old/none/new
-        renamed = !ec;
+        // fsync(tmp) + atomic rename + fsync(dir): a crash right after the
+        // rename must not be able to resurrect a zero-length "valid-looking"
+        // entry. Failure keeps the temp file and retries.
+        renamed = fsio::publish_file_durable(tmp_path, final_path);
     }
     if (!renamed) return drop();
     c_disk_stores_.inc();

@@ -1,0 +1,194 @@
+#include "durable/durable.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#include "core/fsio.hpp"
+#include "resilience/fault.hpp"
+
+namespace sbd::durable {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'B', 'D', 'K'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeader = 4 + 4 + 8 + 8;
+constexpr std::uint64_t kMaxPayload = 1ull << 32;
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::string checkpoint_name(std::uint64_t seq) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "ckpt-%016llx.sbdk",
+                  static_cast<unsigned long long>(seq));
+    return buf;
+}
+
+std::optional<std::uint64_t> parse_checkpoint_name(const std::string& name) {
+    if (name.size() != 5 + 16 + 5 || name.rfind("ckpt-", 0) != 0 ||
+        name.substr(5 + 16) != ".sbdk")
+        return std::nullopt;
+    std::uint64_t v = 0;
+    for (std::size_t i = 5; i < 5 + 16; ++i) {
+        const char c = name[i];
+        int d = 0;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else return std::nullopt;
+        v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    return v;
+}
+
+/// Newest first.
+std::vector<std::pair<std::uint64_t, fs::path>> list_checkpoints(const fs::path& dir) {
+    std::vector<std::pair<std::uint64_t, fs::path>> v;
+    std::error_code ec;
+    for (const auto& e : fs::directory_iterator(dir, ec)) {
+        if (!e.is_regular_file(ec)) continue;
+        if (const auto seq = parse_checkpoint_name(e.path().filename().string()))
+            v.emplace_back(*seq, e.path());
+    }
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore(const Options& opts) : opts_(opts) {
+    c_checkpoints_ = obs::counter_in(opts_.metrics, "sbd_durable_checkpoints_total",
+                                     "checkpoints durably published");
+    c_failures_ = obs::counter_in(opts_.metrics, "sbd_durable_checkpoint_failures_total",
+                                  "failed or injected checkpoint writes");
+    c_fallbacks_ = obs::counter_in(opts_.metrics, "sbd_durable_checkpoint_fallbacks_total",
+                                   "invalid checkpoints skipped during recovery");
+    h_checkpoint_ns_ = obs::histogram_in(opts_.metrics, "sbd_durable_checkpoint_ns",
+                                         obs::exponential_bounds(4000, 4.0, 12),
+                                         "checkpoint publish duration (ns)");
+    std::error_code ec;
+    fs::create_directories(opts_.data_dir, ec);
+    if (ec)
+        throw DurableError("durable: cannot create data dir '" + opts_.data_dir.string() +
+                           "': " + ec.message());
+}
+
+bool CheckpointStore::write(std::uint64_t seq, std::span<const std::uint8_t> payload) {
+    obs::ScopedNsTimer timer(h_checkpoint_ns_);
+    if (SBD_FAULT_HIT("durable.checkpoint")) {
+        timer.cancel();
+        c_failures_.inc();
+        return false;
+    }
+    std::vector<std::uint8_t> buf(kHeader + payload.size() + 8);
+    std::memcpy(buf.data(), kMagic, 4);
+    put_u32(buf.data() + 4, kFormatVersion);
+    put_u64(buf.data() + 8, seq);
+    put_u64(buf.data() + 16, payload.size());
+    std::copy(payload.begin(), payload.end(), buf.begin() + kHeader);
+    // Checksum covers seq + length + payload, same discipline as the journal.
+    const std::uint64_t check =
+        fnv1a64(payload, fnv1a64({buf.data() + 8, 16}));
+    put_u64(buf.data() + kHeader + payload.size(), check);
+
+    std::uint64_t serial = 0;
+    {
+        std::lock_guard lock(m_);
+        serial = ++tmp_serial_;
+    }
+    const fs::path final_path = opts_.data_dir / checkpoint_name(seq);
+    const fs::path tmp_path =
+        opts_.data_dir / (checkpoint_name(seq) + ".tmp" + std::to_string(serial));
+    // Checkpoints are always published with the full fsync discipline —
+    // a checkpoint that might vanish in a crash is worse than none, because
+    // truncate_until() deletes the journal prefix it supposedly covers.
+    if (!fsio::write_file_durable(final_path, tmp_path, buf,
+                                  /*durable_sync=*/opts_.fsync != FsyncMode::Off)) {
+        timer.cancel();
+        c_failures_.inc();
+        return false;
+    }
+    c_checkpoints_.inc();
+    return true;
+}
+
+std::optional<CheckpointStore::Loaded> CheckpointStore::load_latest() {
+    Loaded out;
+    for (const auto& [seq, path] : list_checkpoints(opts_.data_dir)) {
+        const auto reject = [&] {
+            ++out.fallbacks;
+            c_fallbacks_.inc();
+        };
+        if (SBD_FAULT_HIT("durable.recover")) { // simulated unreadable checkpoint
+            reject();
+            continue;
+        }
+        std::vector<std::uint8_t> raw;
+        {
+            std::ifstream f(path, std::ios::binary);
+            if (!f) {
+                reject();
+                continue;
+            }
+            raw.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+            if (f.bad()) {
+                reject();
+                continue;
+            }
+        }
+        if (raw.size() < kHeader + 8 || std::memcmp(raw.data(), kMagic, 4) != 0 ||
+            get_u32(raw.data() + 4) != kFormatVersion) {
+            reject();
+            continue;
+        }
+        const std::uint64_t stored_seq = get_u64(raw.data() + 8);
+        const std::uint64_t len = get_u64(raw.data() + 16);
+        if (stored_seq != seq || len > kMaxPayload ||
+            raw.size() != kHeader + len + 8) {
+            reject();
+            continue;
+        }
+        const std::span<const std::uint8_t> payload{raw.data() + kHeader,
+                                                    static_cast<std::size_t>(len)};
+        const std::uint64_t check = get_u64(raw.data() + kHeader + len);
+        if (check != fnv1a64(payload, fnv1a64({raw.data() + 8, 16}))) {
+            reject();
+            continue;
+        }
+        out.seq = seq;
+        out.payload.assign(payload.begin(), payload.end());
+        return out;
+    }
+    return std::nullopt;
+}
+
+void CheckpointStore::retain(std::size_t keep) {
+    const auto all = list_checkpoints(opts_.data_dir);
+    for (std::size_t i = keep; i < all.size(); ++i) {
+        std::error_code ec;
+        fs::remove(all[i].second, ec);
+    }
+    if (all.size() > keep && opts_.fsync != FsyncMode::Off)
+        fsio::fsync_file(opts_.data_dir);
+}
+
+} // namespace sbd::durable

@@ -1,0 +1,95 @@
+#include "durable/durable.hpp"
+
+#include <chrono>
+
+namespace sbd::durable {
+
+std::optional<FsyncMode> parse_fsync_mode(const std::string& s) {
+    if (s == "always") return FsyncMode::Always;
+    if (s == "batch") return FsyncMode::Batch;
+    if (s == "off") return FsyncMode::Off;
+    return std::nullopt;
+}
+
+const char* to_string(FsyncMode m) {
+    switch (m) {
+    case FsyncMode::Always: return "always";
+    case FsyncMode::Batch: return "batch";
+    case FsyncMode::Off: return "off";
+    }
+    return "?";
+}
+
+const char* to_string(RecordKind k) {
+    switch (k) {
+    case RecordKind::Create: return "CREATE";
+    case RecordKind::Destroy: return "DESTROY";
+    case RecordKind::PostInputs: return "POST_INPUTS";
+    case RecordKind::Tick: return "TICK";
+    case RecordKind::Upgrade: return "UPGRADE_MODEL";
+    }
+    return "?";
+}
+
+Store::Store(Options opts)
+    : opts_(std::move(opts)), journal_(opts_), checkpoints_(opts_) {
+    c_replayed_records_ =
+        obs::counter_in(opts_.metrics, "sbd_durable_recovery_replayed_records_total",
+                        "journal records replayed during recovery");
+    c_replayed_ticks_ =
+        obs::counter_in(opts_.metrics, "sbd_durable_recovery_replayed_ticks_total",
+                        "ticks replayed during recovery");
+    c_recovery_ns_ = obs::counter_in(opts_.metrics, "sbd_durable_recovery_ns_total",
+                                     "total wall time spent recovering (ns)");
+    c_recoveries_ = obs::counter_in(opts_.metrics, "sbd_durable_recoveries_total",
+                                    "recovery passes completed");
+    c_flush_failures_ = obs::counter_in(opts_.metrics, "sbd_durable_flush_failures_total",
+                                        "batch-flusher sync failures (absorbed)");
+    if (opts_.fsync == FsyncMode::Batch)
+        flusher_ = std::thread([this] { flusher_main(); });
+}
+
+Store::~Store() {
+    if (flusher_.joinable()) {
+        {
+            std::lock_guard lock(flush_m_);
+            stop_ = true;
+        }
+        flush_cv_.notify_all();
+        flusher_.join();
+    }
+}
+
+void Store::note_recovery(std::uint64_t replayed_records, std::uint64_t replayed_ticks,
+                          std::uint64_t ns) {
+    c_replayed_records_.inc(replayed_records);
+    c_replayed_ticks_.inc(replayed_ticks);
+    c_recovery_ns_.inc(ns);
+    c_recoveries_.inc();
+}
+
+void Store::flusher_main() {
+    std::unique_lock lock(flush_m_);
+    while (!stop_) {
+        flush_cv_.wait_for(lock, std::chrono::milliseconds(opts_.batch_flush_ms),
+                           [this] { return stop_; });
+        if (stop_) break;
+        lock.unlock();
+        try {
+            journal_.sync();
+        } catch (const DurableError&) {
+            // Batch mode has no ack to fail: count it and keep flushing —
+            // the acked-durability window stretches until a sync succeeds.
+            c_flush_failures_.inc();
+        }
+        lock.lock();
+    }
+    // Final drain so a clean shutdown leaves nothing in the page cache.
+    try {
+        journal_.sync();
+    } catch (const DurableError&) {
+        c_flush_failures_.inc();
+    }
+}
+
+} // namespace sbd::durable

@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "core/fingerprint.hpp"
+#include "core/fsio.hpp"
 #include "native/module.hpp"
 #include "native/native.hpp"
 #include "obs/metrics.hpp"
@@ -147,11 +148,12 @@ BuildResult build_artifact(const fs::path& path, const std::string& tu,
     }
     r.so_bytes = static_cast<std::size_t>(fs::file_size(tmp_so, ec));
 
-    // Atomic publish: rename within one directory never exposes a partial
-    // file. A concurrent publisher of the same key wrote identical bytes,
-    // so whoever wins the rename is irrelevant.
-    fs::rename(tmp_so, path, ec);
-    if (ec) {
+    // Durable atomic publish: fsync(tmp) + rename within one directory +
+    // fsync(dir) never exposes a partial file, even across a power cut. A
+    // concurrent publisher of the same key wrote identical bytes, so whoever
+    // wins the rename is irrelevant. (A corrupt survivor is still handled:
+    // the load path above rejects and rebuilds.)
+    if (!fsio::publish_file_durable(tmp_so, path)) {
         fs::remove(tmp_so, ec);
         throw BackendError(BackendError::Code::CompileFailed,
                            "native backend: cannot publish artifact " + path.string());

@@ -2,6 +2,7 @@
 #define SBD_OBS_METRICS_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -108,6 +109,35 @@ private:
 /// the standard latency-histogram shape (e.g. 250ns * 4^k).
 std::vector<std::uint64_t> exponential_bounds(std::uint64_t start, double factor,
                                               std::size_t count);
+
+/// RAII wall-clock timer: observes elapsed nanoseconds into a histogram at
+/// scope exit. Detached-handle safe — with no registry attached the only
+/// cost is the two clock reads.
+class ScopedNsTimer {
+public:
+    explicit ScopedNsTimer(Histogram h)
+        : h_(h), t0_(std::chrono::steady_clock::now()) {}
+    ~ScopedNsTimer() {
+        if (armed_) h_.observe(elapsed_ns());
+    }
+    ScopedNsTimer(const ScopedNsTimer&) = delete;
+    ScopedNsTimer& operator=(const ScopedNsTimer&) = delete;
+
+    std::uint64_t elapsed_ns() const {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0_)
+                .count());
+    }
+    /// Stop without recording (e.g. the timed operation failed and a
+    /// dedicated failure counter tells that story instead).
+    void cancel() { armed_ = false; }
+
+private:
+    Histogram h_;
+    std::chrono::steady_clock::time_point t0_;
+    bool armed_ = true;
+};
 
 /// One series in a snapshot. For counters `value` is set; for gauges
 /// `gauge`; for histograms `bounds`/`buckets` (non-cumulative, one extra

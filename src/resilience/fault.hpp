@@ -143,6 +143,16 @@ inline constexpr const char* kFaultPointCatalog[] = {
     "serve.upgrade",      // Server UPGRADE_MODEL: request rejected before
                           // any compile work (state untouched, coded
                           // FAULT_INJECTED)
+    "durable.append",     // Journal::append: write fails before any state
+                          // change (mutation rejected coded DURABLE_FAILED)
+    "durable.fsync",      // Journal::sync: fsync fails (always-mode acks
+                          // reject coded; batch-mode counts and retries)
+    "durable.checkpoint", // CheckpointStore::write: durable publish fails
+                          // (kept serving; journal retained; retried next
+                          // cadence)
+    "durable.recover",    // CheckpointStore::load_latest: newest checkpoint
+                          // unreadable/corrupt (falls back to the previous
+                          // one + longer replay, never fatal)
 };
 
 } // namespace sbd::resilience

@@ -142,6 +142,57 @@ void InstancePool::commit_rebind(Rebind&& r) {
     arena_ = std::move(r.arena);
 }
 
+InstancePool::Image InstancePool::image() const {
+    Image img;
+    img.free_order = free_;
+    img.live_order = live_;
+    img.generations.reserve(slots_.size());
+    for (const Slot& s : slots_) img.generations.push_back(s.generation);
+    img.blobs.reserve(live_.size());
+    for (const std::uint32_t slot : live_)
+        img.blobs.push_back(snapshot_state({slot, slots_[slot].generation}));
+    return img;
+}
+
+void InstancePool::restore_image(const Image& img) {
+    if (!live_.empty())
+        throw std::invalid_argument("InstancePool: restore_image requires an empty pool");
+    if (img.generations.size() != slots_.size())
+        throw std::invalid_argument("InstancePool: image capacity mismatch");
+    if (img.blobs.size() != img.live_order.size())
+        throw std::invalid_argument("InstancePool: image blob count mismatch");
+    if (img.free_order.size() + img.live_order.size() > slots_.size())
+        throw std::invalid_argument("InstancePool: image slot lists exceed capacity");
+    std::vector<std::uint8_t> seen(slots_.size(), 0);
+    for (const std::uint32_t s : img.free_order) {
+        if (s >= slots_.size() || seen[s]++)
+            throw std::invalid_argument("InstancePool: image free list invalid");
+    }
+    for (const std::uint32_t s : img.live_order) {
+        if (s >= slots_.size() || seen[s]++)
+            throw std::invalid_argument("InstancePool: image live list invalid");
+    }
+
+    free_ = img.free_order;
+    live_ = img.live_order;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        slots_[s].generation = img.generations[s];
+        slots_[s].live = false;
+        slots_[s].inst.reset();
+    }
+    // Slots in neither list were lost to generation exhaustion.
+    retired_ = slots_.size() - free_.size() - live_.size();
+    std::fill(arena_.begin(), arena_.end(), 0.0);
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+        const std::uint32_t slot = live_[i];
+        Slot& s = slots_[slot];
+        s.live = true;
+        s.live_pos = static_cast<std::uint32_t>(i);
+        s.inst = exec_->instantiate();
+        restore_state({slot, s.generation}, img.blobs[i]);
+    }
+}
+
 void InstancePool::debug_set_generation(std::uint32_t slot, std::uint32_t generation) {
     if (slot >= slots_.size() || slots_[slot].live || slots_[slot].generation == UINT32_MAX)
         throw std::invalid_argument("InstancePool: bad slot for debug_set_generation");

@@ -169,6 +169,32 @@ public:
     /// or out-of-range slot, or a slot already retired.
     void debug_set_generation(std::uint32_t slot, std::uint32_t generation);
 
+    /// Complete structural snapshot of the pool for durable checkpoints:
+    /// not just the live instances' state (snapshot_state) but the exact
+    /// slot machinery around them — free-list order, live-list order and
+    /// per-slot generations — so that after restore_image() the pool
+    /// assigns the same slots and generations to future create() calls as
+    /// the original would have. That determinism is what makes journal
+    /// replay reproduce handles (and therefore client-visible ids)
+    /// bit-for-bit.
+    struct Image {
+        std::vector<std::uint32_t> free_order;  ///< free_ verbatim (LIFO order)
+        std::vector<std::uint32_t> live_order;  ///< live_ verbatim (creation order)
+        std::vector<std::uint32_t> generations; ///< per slot, size == capacity
+        std::vector<std::vector<double>> blobs; ///< snapshot_state per live_order entry
+    };
+
+    Image image() const;
+
+    /// Rebuilds the pool from an image. Only valid on a pool with no live
+    /// instances (fresh, or fully destroyed) whose capacity and compiled
+    /// model match the image's origin. Throws std::invalid_argument on any
+    /// structural mismatch; the pool is unchanged when it throws before
+    /// instantiating, and must be considered unusable if an instantiate or
+    /// blob restore fails midway (recovery treats that as fatal-for-this-
+    /// checkpoint and falls back).
+    void restore_image(const Image& img);
+
 private:
     struct Slot {
         std::unique_ptr<codegen::Instance> inst; ///< built on first use, then reused

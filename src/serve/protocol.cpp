@@ -37,6 +37,7 @@ const char* to_string(Err err) {
     case Err::ShuttingDown: return "SHUTTING_DOWN";
     case Err::Internal: return "INTERNAL";
     case Err::UpgradeRejected: return "UPGRADE_REJECTED";
+    case Err::DurableFailed: return "DURABLE_FAILED";
     }
     return "UNKNOWN";
 }

@@ -68,6 +68,10 @@ enum class Err : std::uint16_t {
     UpgradeRejected = 12, ///< UPGRADE_MODEL refused (bad model, incompatible
                           ///< state, disabled, or lost a concurrent race);
                           ///< the running version is untouched
+    DurableFailed = 13,   ///< the write-ahead journal could not make the
+                          ///< mutation durable (append or fsync failed);
+                          ///< nothing was applied — journal-then-apply means
+                          ///< a rejected append leaves state untouched
 };
 
 const char* to_string(Op op);

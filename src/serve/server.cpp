@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -55,6 +56,14 @@ Server::Server(const codegen::CompiledSystem& sys, BlockPtr root, ServerConfig c
         ec.threads = cfg_.engine_threads;
         ec.executable = cfg_.executable;
         shards_.push_back(std::make_unique<Shard>(*sys_, root_, ec));
+    }
+    model_source_ = cfg_.model_source;
+    if (cfg_.durable) {
+        durable::Options d = *cfg_.durable;
+        if (d.metrics == nullptr) d.metrics = metrics_;
+        // Throws DurableError when the data dir itself is unusable; torn or
+        // corrupt *contents* are repaired/skipped, never fatal.
+        store_ = std::make_unique<durable::Store>(std::move(d));
     }
     for (std::uint16_t opv = 1; opv <= 9; ++opv)
         c_requests_[opv] =
@@ -115,6 +124,10 @@ Server::~Server() {
         handlers.swap(handlers_);
     }
     for (std::thread& t : handlers) t.join();
+    // The store's batch flusher touches journal counters backed by the
+    // metrics registry; owned_metrics_ is declared after store_ and would
+    // be destroyed first, so stop the store while the registry is alive.
+    store_.reset();
 }
 
 void Server::start() {
@@ -315,6 +328,10 @@ Frame Server::handle_request(const Frame& req) {
         }
     } catch (const ServeError& e) {
         resp = error_frame(req, e.code(), e.what());
+    } catch (const durable::DurableError& e) {
+        // journal-then-apply: every append happens before its mutation, so
+        // a failed append rejects the request with state untouched.
+        resp = error_frame(req, Err::DurableFailed, e.what());
     } catch (const resilience::DeadlineExceeded& e) {
         resp = error_frame(req, Err::DeadlineExceeded, e.what());
     } catch (const resilience::FaultInjected& e) {
@@ -356,18 +373,30 @@ Frame Server::do_create(const Frame& req, PayloadReader& r) {
                            "no capacity: " + std::to_string(count) + " requested, " +
                                std::to_string(total_free) + " free");
     // Admission passed for the whole batch: placement cannot fail now.
+    // Journal before applying — replay reruns the same deterministic
+    // placement loop against the same pool state, so the handles it mints
+    // match the ones acked here bit-for-bit.
+    journal_append(durable::RecordKind::Create, req.payload);
     PayloadWriter w;
     w.u32(count);
+    for (const WireHandle& h : apply_create_locked(tenant, count)) write_handle(w, h);
+    return ok_frame(req, w.take());
+}
+
+std::vector<WireHandle> Server::apply_create_locked(std::uint64_t tenant,
+                                                    std::uint32_t count) {
+    std::vector<WireHandle> out;
+    out.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
         while (shards_[next_shard_]->free() == 0)
             next_shard_ = (next_shard_ + 1) % shards_.size();
         const runtime::InstanceId id = shards_[next_shard_]->create(tenant);
-        write_handle(w, {static_cast<std::uint32_t>(next_shard_), id.slot, id.generation});
+        out.push_back({static_cast<std::uint32_t>(next_shard_), id.slot, id.generation});
         next_shard_ = (next_shard_ + 1) % shards_.size();
     }
-    tenant_instances_[tenant] = live + count;
+    tenant_instances_[tenant] += count;
     refresh_shard_gauges();
-    return ok_frame(req, w.take());
+    return out;
 }
 
 Frame Server::do_destroy(const Frame& req, PayloadReader& r) {
@@ -384,6 +413,7 @@ Frame Server::do_destroy(const Frame& req, PayloadReader& r) {
         if (resolve(handles[i], tenant, &ids[i]) != Err::Ok)
             return error_frame(req, Err::BadHandle,
                                "stale or foreign handle at index " + std::to_string(i));
+    journal_append(durable::RecordKind::Destroy, req.payload);
     for (std::uint32_t i = 0; i < count; ++i) shards_[handles[i].shard]->destroy(ids[i]);
     tenant_instances_[tenant] -= count;
     refresh_shard_gauges();
@@ -407,6 +437,13 @@ Frame Server::do_post_inputs(const Frame& req, PayloadReader& r) {
         if (resolve(handles[i], tenant, &ids[i]) != Err::Ok)
             return error_frame(req, Err::BadHandle,
                                "stale or foreign handle at index " + std::to_string(i));
+    // Posts run under the *shared* lock, so journal order must be pinned to
+    // apply order explicitly — durable_post_m_ spans append+apply.
+    std::unique_lock<std::mutex> post_order;
+    if (store_ != nullptr) {
+        post_order = std::unique_lock(durable_post_m_);
+        journal_append(durable::RecordKind::PostInputs, req.payload);
+    }
     for (std::uint32_t i = 0; i < count; ++i) {
         const std::span<double> dst = shards_[handles[i].shard]->pool().inputs(ids[i]);
         const std::span<const double> src(rows.data() + static_cast<std::size_t>(i) * nin, nin);
@@ -436,17 +473,33 @@ Frame Server::do_tick(const Frame& req, PayloadReader& r) {
             return error_frame(req, Err::FaultInjected,
                                "injected tick fault after " + std::to_string(executed) +
                                    " of " + std::to_string(n) + " instants");
-        const Clock::time_point t0 = Clock::now();
-        for (const auto& s : shards_) s->engine().tick();
-        h_tick_ns_.observe(ns_since(t0));
-        c_ticks_total_.inc();
-        ticks_.fetch_add(1, std::memory_order_relaxed);
+        // One journal record per instant, appended before any shard steps:
+        // a crash between append and step makes replay complete the instant
+        // (unacked, but a valid prefix of the timeline); an append failure
+        // sheds the rest of the batch coded, never a torn instant.
+        try {
+            journal_append(durable::RecordKind::Tick, {});
+        } catch (const durable::DurableError& e) {
+            return error_frame(req, Err::DurableFailed,
+                               std::string(e.what()) + " after " + std::to_string(executed) +
+                                   " of " + std::to_string(n) + " instants");
+        }
+        step_instant_locked();
         ++executed;
     }
+    maybe_checkpoint_locked();
     PayloadWriter w;
     w.u64(ticks_.load(std::memory_order_relaxed));
     w.u32(executed);
     return ok_frame(req, w.take());
+}
+
+void Server::step_instant_locked() {
+    const Clock::time_point t0 = Clock::now();
+    for (const auto& s : shards_) s->engine().tick();
+    h_tick_ns_.observe(ns_since(t0));
+    c_ticks_total_.inc();
+    ticks_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Frame Server::do_read_outputs(const Frame& req, PayloadReader& r) {
@@ -572,6 +625,23 @@ Frame Server::do_upgrade(const Frame& req, PayloadReader& r) {
             return error_frame(req, Err::UpgradeRejected,
                                std::string("migration failed: ") + e.what());
         }
+        // Journal after prepare succeeded (commit below cannot fail) and
+        // before commit: an append failure rejects the upgrade with the old
+        // version fully intact, and a crash after the append replays the
+        // upgrade deterministically — post-upgrade journal records are
+        // never replayed against the pre-upgrade model.
+        if (store_ != nullptr) {
+            PayloadWriter jw;
+            jw.u32(flags);
+            jw.str(source);
+            const std::vector<std::uint8_t> jrec = jw.take();
+            try {
+                journal_append(durable::RecordKind::Upgrade, jrec);
+            } catch (const durable::DurableError& e) {
+                c_upgrades_rejected_.inc();
+                return error_frame(req, Err::DurableFailed, e.what());
+            }
+        }
         for (std::size_t s = 0; s < shards_.size(); ++s)
             shards_[s]->pool().commit_rebind(std::move(staged[s]));
         owned_sys_ = next.sys;
@@ -579,6 +649,7 @@ Frame Server::do_upgrade(const Frame& req, PayloadReader& r) {
         sys_ = owned_sys_.get();
         root_ = next.root;
         cfg_.executable = next.exec;
+        model_source_ = source;
         model_version_.store(next.version, std::memory_order_relaxed);
     }
     const std::uint64_t swap_ns = ns_since(swap_t0);
@@ -602,6 +673,269 @@ Frame Server::do_upgrade(const Frame& req, PayloadReader& r) {
     w.u64(next.compile_ns);
     w.u64(swap_ns);
     return ok_frame(req, w.take());
+}
+
+// ------------------------------------------------------------- durability
+
+void Server::journal_append(durable::RecordKind kind, std::span<const std::uint8_t> payload) {
+    if (store_ == nullptr) return;
+    store_->journal().append(kind, payload);
+}
+
+void Server::maybe_checkpoint_locked() {
+    if (store_ == nullptr || cfg_.durable->checkpoint_every_ticks == 0) return;
+    const std::uint64_t t = ticks_.load(std::memory_order_relaxed);
+    if (t - last_checkpoint_ticks_ < cfg_.durable->checkpoint_every_ticks) return;
+    write_checkpoint_locked();
+}
+
+void Server::write_checkpoint_locked() {
+    // The checkpoint covers every record appended so far: mutations only
+    // happen under the exclusive lock we hold (posts additionally serialize
+    // through durable_post_m_ before their shared-lock apply), so
+    // next_seq-1 is exact.
+    const std::uint64_t seq = store_->journal().next_seq() - 1;
+    const std::vector<std::uint8_t> payload = checkpoint_payload_locked();
+    if (store_->checkpoints().write(seq, payload)) {
+        store_->checkpoints().retain(2);
+        store_->journal().truncate_until(seq);
+    }
+    // On failure the journal keeps the full tail, so nothing is lost —
+    // resetting the cadence marker either way just retries one interval
+    // later instead of on every subsequent tick.
+    last_checkpoint_ticks_ = ticks_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint8_t> Server::checkpoint_payload_locked() const {
+    PayloadWriter w;
+    w.u64(model_version_.load(std::memory_order_relaxed));
+    w.str(model_source_);
+    w.u64(ticks_.load(std::memory_order_relaxed));
+    w.u64(next_shard_);
+    w.u32(static_cast<std::uint32_t>(tenant_instances_.size()));
+    // Sorted for determinism: two checkpoints of identical state are
+    // byte-identical, which makes them trivially diffable in tests.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> tenants;
+    tenants.reserve(tenant_instances_.size());
+    for (const auto& [t, n] : tenant_instances_) tenants.emplace_back(t, n);
+    std::sort(tenants.begin(), tenants.end());
+    for (const auto& [t, n] : tenants) {
+        w.u64(t);
+        w.u64(n);
+    }
+    w.u32(static_cast<std::uint32_t>(shards_.size()));
+    for (const auto& shard : shards_) {
+        const runtime::InstancePool& pool = shard->pool();
+        const runtime::InstancePool::Image img = pool.image();
+        w.u32(static_cast<std::uint32_t>(pool.capacity()));
+        w.u32(static_cast<std::uint32_t>(img.free_order.size()));
+        for (const std::uint32_t s : img.free_order) w.u32(s);
+        w.u32(static_cast<std::uint32_t>(img.live_order.size()));
+        for (const std::uint32_t s : img.live_order) w.u32(s);
+        for (const std::uint32_t g : img.generations) w.u32(g);
+        for (const std::uint32_t s : img.live_order) w.u64(shard->owners()[s]);
+        for (const std::vector<double>& blob : img.blobs) {
+            w.u32(static_cast<std::uint32_t>(blob.size()));
+            w.f64s(blob);
+        }
+    }
+    return w.take();
+}
+
+void Server::restore_checkpoint(std::span<const std::uint8_t> payload) {
+    static const runtime::DrainMigrator kDrain;
+    try {
+        PayloadReader r(payload);
+        const std::uint64_t version = r.u64();
+        const std::string source = r.str();
+        const std::uint64_t ticks = r.u64();
+        const std::uint64_t next_shard = r.u64();
+        const std::uint32_t ntenants = r.u32();
+        std::unordered_map<std::uint64_t, std::size_t> tenants;
+        for (std::uint32_t i = 0; i < ntenants; ++i) {
+            const std::uint64_t t = r.u64();
+            tenants[t] = static_cast<std::size_t>(r.u64());
+        }
+        const std::uint32_t nshards = r.u32();
+        if (nshards != shards_.size())
+            throw durable::DurableError(
+                "durable: checkpoint has " + std::to_string(nshards) + " shards, server booted with " +
+                std::to_string(shards_.size()) + " — restart with the original topology");
+        // The checkpoint's blobs are laid out for the checkpointed model
+        // version; rebind the (still empty) shards to it before restoring.
+        if (version != 1 || (!source.empty() && source != model_source_))
+            install_version_for_recovery(source, version, &kDrain);
+        for (auto& shard : shards_) {
+            runtime::InstancePool& pool = shard->pool();
+            const std::uint32_t cap = r.u32();
+            if (cap != pool.capacity())
+                throw durable::DurableError(
+                    "durable: checkpoint shard capacity " + std::to_string(cap) +
+                    " != configured " + std::to_string(pool.capacity()) +
+                    " — restart with the original topology");
+            runtime::InstancePool::Image img;
+            img.free_order.resize(r.u32());
+            for (std::uint32_t& s : img.free_order) s = r.u32();
+            img.live_order.resize(r.u32());
+            for (std::uint32_t& s : img.live_order) s = r.u32();
+            img.generations.resize(cap);
+            for (std::uint32_t& g : img.generations) g = r.u32();
+            std::vector<std::uint64_t> owners(cap, 0);
+            for (const std::uint32_t s : img.live_order) {
+                if (s >= cap) throw durable::DurableError("durable: checkpoint live slot out of range");
+                owners[s] = r.u64();
+            }
+            img.blobs.resize(img.live_order.size());
+            for (std::vector<double>& blob : img.blobs) {
+                blob.resize(r.u32());
+                r.f64s(blob);
+            }
+            pool.restore_image(img);
+            shard->restore_owners(std::move(owners));
+        }
+        r.done();
+        tenant_instances_ = std::move(tenants);
+        next_shard_ = static_cast<std::size_t>(next_shard);
+        ticks_.store(ticks, std::memory_order_relaxed);
+        c_ticks_total_.inc(ticks); // keep the metrics mirror consistent
+        model_source_ = source;
+        model_version_.store(version, std::memory_order_relaxed);
+        g_model_version_.set(static_cast<std::int64_t>(version));
+        last_checkpoint_ticks_ = ticks;
+    } catch (const ServeError&) {
+        throw durable::DurableError(
+            "durable: checkpoint payload does not parse — written by an incompatible build?");
+    } catch (const std::invalid_argument& e) {
+        throw durable::DurableError(
+            std::string("durable: checkpoint does not match the boot configuration: ") + e.what());
+    } catch (const upgrade::UpgradeError& e) {
+        throw durable::DurableError(
+            std::string("durable: cannot recompile the checkpointed model version: ") + e.what());
+    }
+}
+
+void Server::install_version_for_recovery(const std::string& source, std::uint64_t version,
+                                          const runtime::StateMigrator* migrator) {
+    if (!cfg_.upgrade)
+        throw durable::DurableError(
+            "durable: the store holds model version " + std::to_string(version) +
+            " but live upgrades are disabled — recovery cannot recompile it");
+    upgrade::ModelVersion next = upgrade::compile_version(source, *cfg_.upgrade, version);
+    std::unique_ptr<upgrade::MigrationPlan> plan;
+    if (migrator == nullptr) {
+        plan = std::make_unique<upgrade::MigrationPlan>(
+            upgrade::plan_migration(*sys_, root_, *next.sys, next.root));
+        migrator = plan.get();
+    }
+    std::vector<runtime::InstancePool::Rebind> staged;
+    staged.reserve(shards_.size());
+    for (const auto& s : shards_)
+        staged.push_back(s->pool().prepare_rebind(*next.sys, next.root, next.exec, *migrator));
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        shards_[s]->pool().commit_rebind(std::move(staged[s]));
+    owned_sys_ = next.sys;
+    owned_exec_ = next.exec;
+    sys_ = owned_sys_.get();
+    root_ = next.root;
+    cfg_.executable = next.exec;
+    model_source_ = source;
+    model_version_.store(version, std::memory_order_relaxed);
+    g_model_version_.set(static_cast<std::int64_t>(version));
+}
+
+void Server::replay_record(const durable::Record& rec) {
+    PayloadReader r(rec.payload);
+    switch (rec.kind) {
+    case durable::RecordKind::Create: {
+        const std::uint64_t tenant = r.u64();
+        const std::uint32_t count = r.u32();
+        r.done();
+        apply_create_locked(tenant, count);
+        return;
+    }
+    case durable::RecordKind::Destroy: {
+        const std::uint64_t tenant = r.u64();
+        const std::uint32_t count = r.u32();
+        std::vector<WireHandle> handles(count);
+        for (WireHandle& h : handles) h = read_handle(r);
+        r.done();
+        std::vector<runtime::InstanceId> ids(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            if (resolve(handles[i], tenant, &ids[i]) != Err::Ok)
+                throw durable::DurableError("durable: replay diverged on DESTROY handle");
+        for (std::uint32_t i = 0; i < count; ++i) shards_[handles[i].shard]->destroy(ids[i]);
+        tenant_instances_[tenant] -= count;
+        return;
+    }
+    case durable::RecordKind::PostInputs: {
+        const std::uint64_t tenant = r.u64();
+        const std::uint32_t count = r.u32();
+        const std::size_t nin = shards_[0]->pool().num_inputs();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const WireHandle h = read_handle(r);
+            runtime::InstanceId id;
+            if (resolve(h, tenant, &id) != Err::Ok)
+                throw durable::DurableError("durable: replay diverged on POST_INPUTS handle");
+            r.f64s(shards_[h.shard]->pool().inputs(id).subspan(0, nin));
+        }
+        r.done();
+        return;
+    }
+    case durable::RecordKind::Tick: {
+        r.done();
+        step_instant_locked();
+        return;
+    }
+    case durable::RecordKind::Upgrade: {
+        (void)r.u32(); // flags: compatibility was proven when it applied live
+        const std::string source = r.str();
+        r.done();
+        install_version_for_recovery(
+            source, model_version_.load(std::memory_order_relaxed) + 1, nullptr);
+        return;
+    }
+    }
+    throw durable::DurableError("durable: unknown journal record kind " +
+                                std::to_string(static_cast<std::uint32_t>(rec.kind)));
+}
+
+RecoveryStats Server::recover() {
+    RecoveryStats rs;
+    if (store_ == nullptr) return rs;
+    const Clock::time_point t0 = Clock::now();
+    std::uint64_t from_seq = 0;
+    if (auto ck = store_->checkpoints().load_latest()) {
+        rs.checkpoint_fallbacks = ck->fallbacks;
+        restore_checkpoint(ck->payload);
+        from_seq = ck->seq;
+        rs.checkpoint_seq = ck->seq;
+        rs.recovered = true;
+    }
+    const durable::ScanResult scan =
+        durable::Journal::scan(store_->options().journal_dir(), from_seq);
+    for (const durable::Record& rec : scan.records) {
+        try {
+            replay_record(rec);
+        } catch (const std::exception&) {
+            // A coded fault (armed chaos plan) or a disabled upgrade
+            // context stopped the replay. Everything applied so far is a
+            // consistent prefix of the journaled timeline; serving resumes
+            // from there rather than dying.
+            rs.replay_aborted = true;
+            break;
+        }
+        ++rs.replayed_records;
+        if (rec.kind == durable::RecordKind::Tick) ++rs.replayed_ticks;
+        rs.recovered = true;
+    }
+    rs.recovered_version = model_version_.load(std::memory_order_relaxed);
+    rs.recovered_ticks = ticks_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) rs.live_instances += s->size();
+    rs.recovery_ns = ns_since(t0);
+    last_checkpoint_ticks_ = rs.recovered_ticks;
+    store_->note_recovery(rs.replayed_records, rs.replayed_ticks, rs.recovery_ns);
+    refresh_shard_gauges();
+    return rs;
 }
 
 } // namespace sbd::serve

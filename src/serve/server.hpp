@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durable/durable.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/shard.hpp"
@@ -63,6 +64,34 @@ struct ServerConfig {
     /// the backend recipe). nullopt = UPGRADE_MODEL is rejected coded —
     /// operators opt into live upgrades by supplying the context.
     std::optional<upgrade::CompileContext> upgrade;
+    /// Durable store (write-ahead journal + checkpoints under one data
+    /// dir). nullopt = in-memory only, the historical behaviour. With a
+    /// store attached every mutation is journaled *before* it is applied —
+    /// a rejected append (DURABLE_FAILED) leaves state untouched, and a
+    /// crash loses at most unacked work (none at all in FsyncMode::Always).
+    std::optional<durable::Options> durable;
+    /// Source text of the boot model. Checkpoints carry the live version's
+    /// source so recovery can recompile it (required to recover across an
+    /// UPGRADE_MODEL; recompiling needs `upgrade` to be set too).
+    std::string model_source;
+};
+
+/// What Server::recover() found and did. All counters are zero when the
+/// data dir was empty (first boot).
+struct RecoveryStats {
+    bool recovered = false; ///< a checkpoint or journal records were applied
+    std::uint64_t checkpoint_seq = 0;       ///< journal seq the checkpoint covered
+    std::size_t checkpoint_fallbacks = 0;   ///< newer checkpoints skipped as invalid
+    std::uint64_t replayed_records = 0;     ///< journal records applied after the checkpoint
+    std::uint64_t replayed_ticks = 0;       ///< TICK records among them
+    std::uint64_t recovered_version = 1;    ///< live model version after recovery
+    std::uint64_t recovered_ticks = 0;      ///< server tick counter after recovery
+    std::size_t live_instances = 0;
+    std::uint64_t recovery_ns = 0;
+    /// Replay stopped early on a coded fault (only possible under an armed
+    /// fault plan or a disabled upgrade context); the recovered state is a
+    /// consistent prefix of the journaled timeline.
+    bool replay_aborted = false;
 };
 
 /// Aggregate counters mirrored from the metrics registry (for tools/tests).
@@ -97,6 +126,20 @@ public:
     /// Idempotent; safe from any thread (including request handlers).
     void request_stop();
     bool stopping() const { return stopping_.load(std::memory_order_relaxed); }
+
+    /// Rebuilds state from the durable store (newest valid checkpoint +
+    /// journal-tail replay). Call once, before start(). Corrupt store
+    /// *contents* degrade (checkpoint fallback, torn-tail truncation,
+    /// shorter replay) — they never throw; a checkpoint that is intact but
+    /// incompatible with the boot configuration (different shard topology,
+    /// or an upgraded version with no upgrade context) throws DurableError,
+    /// because silently serving the wrong state would be worse. No-op
+    /// returning a default RecoveryStats when no durable store is attached.
+    RecoveryStats recover();
+
+    /// The attached durable store, or nullptr (tests and tools poke at
+    /// journal/checkpoint internals through this).
+    durable::Store* durable_store() { return store_.get(); }
 
     std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
     /// The live model version: 1 at boot, +1 per applied UPGRADE_MODEL.
@@ -133,6 +176,41 @@ private:
     Err resolve(const WireHandle& h, std::uint64_t tenant, runtime::InstanceId* out) const;
     void refresh_shard_gauges();
 
+    // ---- durable plumbing (all no-ops when store_ is null) -------------
+    /// Appends one journal record; throws durable::DurableError on failure
+    /// — callers append *before* applying, so a throw rejects the mutation
+    /// coded (DURABLE_FAILED) with state untouched.
+    void journal_append(durable::RecordKind kind, std::span<const std::uint8_t> payload);
+    /// Advances every shard one instant and bumps the tick counters (the
+    /// shared core of do_tick and TICK-record replay).
+    void step_instant_locked();
+    /// CREATE's placement loop + bookkeeping (shared with replay); the
+    /// caller has already admitted the batch.
+    std::vector<WireHandle> apply_create_locked(std::uint64_t tenant, std::uint32_t count);
+    /// Checkpoint cadence check, called at the end of a TICK batch under
+    /// the exclusive lock.
+    void maybe_checkpoint_locked();
+    void write_checkpoint_locked();
+    std::vector<std::uint8_t> checkpoint_payload_locked() const;
+    /// Parses + applies a checkpoint payload into a freshly constructed
+    /// server (empty shards). Throws DurableError on boot-config mismatch.
+    void restore_checkpoint(std::span<const std::uint8_t> payload);
+    /// Applies one journal record during recovery (no journaling, no
+    /// admission — the record was admitted live).
+    void replay_record(const durable::Record& rec);
+    /// Recovery-side version install: compiles `source` as `version`
+    /// through cfg_.upgrade and rebinds every shard with `migrator`
+    /// (DrainMigrator over empty shards when restoring a checkpoint; the
+    /// replay of an UPGRADE record plans a real migration first). Runs
+    /// single-threaded before start(), so no locking. Throws
+    /// upgrade::UpgradeError on compile failure and DurableError when no
+    /// upgrade context is configured.
+    /// `migrator` nullptr means "plan a real migration from the currently
+    /// installed version" (the UPGRADE replay path); a non-null migrator is
+    /// used verbatim (checkpoint restore rebinds empty shards with a drain).
+    void install_version_for_recovery(const std::string& source, std::uint64_t version,
+                                      const runtime::StateMigrator* migrator);
+
     /// The live model version. sys_/root_ are replaced only under the
     /// exclusive state lock (an UPGRADE_MODEL commit); owned_sys_ and
     /// owned_exec_ keep upgraded versions alive (the boot version is owned
@@ -151,6 +229,18 @@ private:
     std::shared_mutex state_m_;
     std::unordered_map<std::uint64_t, std::size_t> tenant_instances_;
     std::size_t next_shard_ = 0; ///< round-robin start for balanced creates
+
+    /// Durable store; null when cfg_.durable is unset.
+    std::unique_ptr<durable::Store> store_;
+    /// Source text of the *live* model version (boot source until an
+    /// upgrade commits). Written into every checkpoint. Guarded by state_m_.
+    std::string model_source_;
+    std::uint64_t last_checkpoint_ticks_ = 0; ///< guarded by state_m_ (exclusive)
+    /// POST_INPUTS holds the state lock shared, so two posts to the same
+    /// instance could journal in one order and apply in the other. This
+    /// mutex spans append+apply for posts, making journal order the apply
+    /// order. Only taken when a store is attached.
+    std::mutex durable_post_m_;
 
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> ticks_{0};

@@ -7,6 +7,8 @@
 #define SBD_SERVE_SHARD_HPP
 
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "runtime/engine.hpp"
@@ -46,6 +48,16 @@ public:
     /// Slots still available for create(): capacity minus live minus the
     /// slots retired by generation exhaustion.
     std::size_t free() const { return capacity() - size() - pool().retired(); }
+
+    /// Per-slot tenant ownership, exposed for durable checkpoints. The
+    /// restore side pairs it with InstancePool::restore_image, which
+    /// re-establishes exactly the live set the owners table describes.
+    const std::vector<std::uint64_t>& owners() const { return owner_; }
+    void restore_owners(std::vector<std::uint64_t> owners) {
+        if (owners.size() != owner_.size())
+            throw std::invalid_argument("Shard: owner table size mismatch");
+        owner_ = std::move(owners);
+    }
 
 private:
     runtime::Engine engine_;

@@ -177,11 +177,38 @@ void Conn::shutdown_both() {
     if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
 }
 
+namespace {
+
+/// True iff a process is accepting connections on the unix socket at
+/// `path`. A socket file with no listener behind it (the server died
+/// without unlinking) refuses the probe; a missing file fails the
+/// connect with ENOENT. Both mean "stale".
+bool unix_socket_alive(const std::string& path) {
+    Fd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!probe.valid()) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    return ::connect(probe.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+}
+
+} // namespace
+
 Listener::Listener(const Endpoint& ep) {
     if (ep.is_unix) {
         fd_ = Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
         if (!fd_.valid()) sys_fail("socket");
-        ::unlink(ep.path.c_str());
+        // Bind-over semantics: a leftover socket file from a crashed server
+        // must not block restarts, but silently unlinking a *live* server's
+        // socket would hijack its clients mid-session. Probe first: only a
+        // socket nobody answers is stale enough to remove.
+        if (::access(ep.path.c_str(), F_OK) == 0) {
+            if (unix_socket_alive(ep.path))
+                throw std::runtime_error("bind " + ep.to_string() +
+                                         ": address in use (a live server is accepting "
+                                         "connections on this socket)");
+            ::unlink(ep.path.c_str());
+        }
         sockaddr_un addr{};
         addr.sun_family = AF_UNIX;
         std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);

@@ -100,7 +100,9 @@ public:
     Listener() = default;
     /// Binds and listens; throws std::runtime_error on failure. For tcp
     /// with port 0 the kernel assigns a port — see bound_endpoint(). A unix
-    /// path is unlinked first (stale sockets from a crashed server).
+    /// path with a socket file nobody answers (a crashed server's leftover)
+    /// is unlinked and bound over; one with a *live* listener behind it
+    /// throws "address in use" rather than hijacking it.
     explicit Listener(const Endpoint& ep);
     ~Listener();
     Listener(Listener&&) = default;
@@ -113,6 +115,7 @@ public:
     void shutdown();
 
     const Endpoint& bound_endpoint() const { return bound_; }
+    bool valid() const { return fd_.valid(); }
 
 private:
     Fd fd_;

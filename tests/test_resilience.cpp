@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,7 @@
 
 #include "core/clustering.hpp"
 #include "core/pipeline.hpp"
+#include "durable/durable.hpp"
 #include "graph/undirected.hpp"
 #include "helpers.hpp"
 #include "resilience/budget.hpp"
@@ -581,7 +583,23 @@ Outcome chaos_run(const ChaosConfig& cfg, const fs::path& cache_dir, std::size_t
         // (and the engine points firing inside the shards) must surface as
         // coded rejections or a cleanly dropped connection — never a crash
         // or a torn instant; a session that completes must read back the
-        // fault-free outputs bit-for-bit.
+        // fault-free outputs bit-for-bit. The session runs on a durable
+        // store (fsync=always, checkpoint cadence 2), so durable.append /
+        // durable.fsync fire on every mutation and durable.checkpoint
+        // mid-session; a completed session is then recovered into a fresh
+        // server (durable.recover fires there) and the recovered state must
+        // match the served outputs bit-for-bit.
+        static std::atomic<std::uint64_t> durable_serial{0};
+        const fs::path durable_dir =
+            cfg.cache_dir.parent_path() /
+            ("serve_durable_" + std::to_string(durable_serial.fetch_add(1)));
+        struct DirRemover {
+            fs::path p;
+            ~DirRemover() {
+                std::error_code ec;
+                fs::remove_all(p, ec);
+            }
+        } durable_cleanup{durable_dir};
         try {
             serve::ServerConfig scfg;
             scfg.endpoint = serve::Endpoint::parse("tcp:127.0.0.1:0");
@@ -590,38 +608,78 @@ Outcome chaos_run(const ChaosConfig& cfg, const fs::path& cache_dir, std::size_t
             upgrade::CompileContext uctx;
             uctx.method = cfg.method;
             scfg.upgrade = std::move(uctx);
-            serve::Server server(sys, cfg.root, scfg);
-            server.start();
-            auto client = serve::Client::connect(server.endpoint());
-            const auto handles = client.create_instances(1, 2);
-            for (std::size_t t = 0; t < cfg.reference.size(); ++t) (void)client.tick(1, 1);
-            // Mid-session hot swap to the *identical* model: the plan is
-            // all-CopySubtree, so live state — and therefore the outputs
-            // read below — must stay bit-for-bit on the oracle whether the
-            // swap lands or is rejected. serve.upgrade fires before the
-            // compile, and compile-side points surface as coded
-            // UPGRADE_REJECTED / FAULT_INJECTED / DEADLINE_EXCEEDED frames
-            // that leave the running version untouched.
-            try {
-                (void)client.upgrade_model(1, text::to_sbd(*cfg.root));
-            } catch (const serve::ServeError& e) {
-                if (e.code() != serve::Err::FaultInjected &&
-                    e.code() != serve::Err::DeadlineExceeded &&
-                    e.code() != serve::Err::UpgradeRejected)
-                    throw;
+            scfg.model_source = text::to_sbd(*cfg.root);
+            durable::Options dopts;
+            dopts.data_dir = durable_dir;
+            dopts.fsync = durable::FsyncMode::Always;
+            dopts.checkpoint_every_ticks = 2;
+            scfg.durable = dopts;
+            std::vector<double> served;
+            std::vector<serve::WireHandle> handles;
+            {
+                serve::Server server(sys, cfg.root, scfg);
+                server.start();
+                auto client = serve::Client::connect(server.endpoint());
+                handles = client.create_instances(1, 2);
+                for (std::size_t t = 0; t < cfg.reference.size(); ++t) (void)client.tick(1, 1);
+                // Mid-session hot swap to the *identical* model: the plan is
+                // all-CopySubtree, so live state — and therefore the outputs
+                // read below — must stay bit-for-bit on the oracle whether the
+                // swap lands or is rejected. serve.upgrade fires before the
+                // compile, and compile-side points surface as coded
+                // UPGRADE_REJECTED / FAULT_INJECTED / DEADLINE_EXCEEDED frames
+                // that leave the running version untouched.
+                try {
+                    (void)client.upgrade_model(1, text::to_sbd(*cfg.root));
+                } catch (const serve::ServeError& e) {
+                    if (e.code() != serve::Err::FaultInjected &&
+                        e.code() != serve::Err::DeadlineExceeded &&
+                        e.code() != serve::Err::UpgradeRejected)
+                        throw;
+                }
+                served = client.read_outputs(1, handles);
+                const std::size_t nout = cfg.serve_reference.size();
+                EXPECT_EQ(served.size(), 2 * nout) << "served output row count diverged";
+                for (std::size_t i = 0; served.size() == 2 * nout && i < 2; ++i)
+                    EXPECT_EQ(std::memcmp(served.data() + i * nout, cfg.serve_reference.data(),
+                                          nout * sizeof(double)),
+                              0)
+                        << "served outputs diverged from oracle (instance " << i << ")";
             }
-            const auto served = client.read_outputs(1, handles);
-            const std::size_t nout = cfg.serve_reference.size();
-            EXPECT_EQ(served.size(), 2 * nout) << "served output row count diverged";
-            for (std::size_t i = 0; served.size() == 2 * nout && i < 2; ++i)
-                EXPECT_EQ(std::memcmp(served.data() + i * nout, cfg.serve_reference.data(),
-                                      nout * sizeof(double)),
-                          0)
-                    << "served outputs diverged from oracle (instance " << i << ")";
+            // Recovery pass: a fresh server over the same durable store must
+            // rebuild exactly the state the session acked. durable.recover
+            // (checkpoint fallback) degrades to longer journal replay, never
+            // to different state; replay-time injections abort the replay at
+            // a consistent prefix (replay_aborted) instead of diverging.
+            {
+                serve::Server rec(sys, cfg.root, scfg);
+                const serve::RecoveryStats rs = rec.recover();
+                if (!rs.replay_aborted) {
+                    EXPECT_EQ(rs.recovered_ticks, cfg.reference.size())
+                        << "recovery lost acked ticks";
+                    EXPECT_EQ(rs.live_instances, 2u) << "recovery lost live instances";
+                    rec.start();
+                    auto rclient = serve::Client::connect(rec.endpoint());
+                    const auto recovered = rclient.read_outputs(1, handles);
+                    EXPECT_EQ(recovered.size(), served.size());
+                    if (recovered.size() == served.size()) {
+                        EXPECT_EQ(std::memcmp(recovered.data(), served.data(),
+                                              served.size() * sizeof(double)),
+                                  0)
+                            << "recovered outputs diverged from the acked session";
+                    }
+                }
+            }
         } catch (const serve::ServeError& e) {
             if (e.code() == serve::Err::FaultInjected) return Outcome::Injected;
             if (e.code() == serve::Err::DeadlineExceeded) return Outcome::Deadline;
+            if (e.code() == serve::Err::DurableFailed) return Outcome::Injected;
             throw; // any other coded rejection is undocumented here: fail
+        } catch (const durable::DurableError&) {
+            // An injected durable.append/fsync that fires outside a request
+            // (e.g. while the recovery server replays) surfaces as the coded
+            // DurableError itself rather than a protocol status.
+            return Outcome::Injected;
         } catch (const std::runtime_error&) {
             // serve.accept drops the connection before the first frame, so
             // the client sees a transport error. That drop is the documented

@@ -11,7 +11,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
+#include <unistd.h>
 
 #include "core/compiler.hpp"
 #include "resilience/fault.hpp"
@@ -259,6 +262,44 @@ TEST(ServeLoopback, UnixSocketRoundTrip) {
     EXPECT_EQ(out.size(), 2 * m->num_outputs());
     client.shutdown(1);
     server.wait();
+}
+
+TEST(ServeLoopback, UnixSocketStaleFileIsReclaimed) {
+    // A server that died without unlinking leaves a socket file nobody
+    // answers. The next Listener must probe it, find it dead and bind over
+    // it instead of failing with EADDRINUSE (the systemd-restart scenario).
+    const std::string path = testing::TempDir() + "sbd_serve_stale.sock";
+    ::unlink(path.c_str());
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+        ::close(fd); // crash surrogate: file stays, listener is gone
+    }
+    ASSERT_EQ(::access(path.c_str(), F_OK), 0);
+    Listener fresh(Endpoint::parse("unix:" + path));
+    EXPECT_TRUE(fresh.valid());
+}
+
+TEST(ServeLoopback, UnixSocketLiveListenerIsNotHijacked) {
+    // The flip side: a socket with a live listener behind it must refuse a
+    // second bind instead of silently unlinking it and stranding the first
+    // server's clients.
+    const std::string path = testing::TempDir() + "sbd_serve_live.sock";
+    ::unlink(path.c_str());
+    Listener first(Endpoint::parse("unix:" + path));
+    ASSERT_TRUE(first.valid());
+    try {
+        Listener second(Endpoint::parse("unix:" + path));
+        FAIL() << "binding over a live unix socket must throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("address in use"), std::string::npos);
+    }
+    // The probe must not have destroyed the live listener's socket file.
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
 }
 
 // ---------------------------------------------------------------------------

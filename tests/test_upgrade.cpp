@@ -611,6 +611,81 @@ TEST(UpgradeSnapshot, PortableAcrossVersionsAndBackends) {
     }
 }
 
+// The same portability contract must survive slot recycling: snapshots
+// taken from an upgraded interp engine whose pool has been churned
+// (create/destroy/create, so slots were reused and generations bumped)
+// restore into a native engine with a *different* churn history, and the
+// two continue bit-identically. Slot indices and generations are pool
+// bookkeeping — none of it may leak into the state blob.
+TEST(UpgradeSnapshot, PortableUnderSlotChurnAcrossBackends) {
+    const auto m = suite::thermostat();
+    const BlockPtr v2 = mutate_model(m);
+    const auto sys_old = codegen::compile_hierarchy(m, Method::Dynamic);
+    const auto sys_new = codegen::compile_hierarchy(v2, Method::Dynamic);
+    const upgrade::MigrationPlan plan = upgrade::plan_migration(sys_old, m, sys_new, v2);
+    ASSERT_FALSE(plan.drain_and_replace());
+
+    codegen::BackendConfig bc;
+    bc.backend = codegen::Backend::Native;
+    bc.method = Method::Dynamic;
+    bc.cache_dir = native_store();
+    const auto native_exec = native::make_native_executable(sys_new, v2, bc);
+
+    // Interp engine on v1: churn the pool so live slots are recycled ones,
+    // then run, then hot-swap to v2, then churn and run again.
+    runtime::EngineConfig cfg;
+    cfg.capacity = 8;
+    runtime::Engine live(sys_old, m, cfg);
+    auto ids = live.create(6);
+    live.destroy(ids[1]);
+    live.destroy(ids[3]);
+    live.destroy(ids[4]);
+    ids = {ids[0], ids[2], ids[5], live.create(), live.create()}; // reused slots
+    std::vector<runtime::LcgInputSource> srcs;
+    for (std::size_t i = 0; i < ids.size(); ++i) srcs.emplace_back(900 + 7 * i);
+    for (int t = 0; t < 6; ++t) {
+        for (std::size_t i = 0; i < ids.size(); ++i) srcs[i].fill(live.pool().inputs(ids[i]));
+        live.tick();
+    }
+    live.rebind(sys_new, v2, nullptr, plan);
+    live.destroy(ids.back());
+    ids.back() = live.create(); // recycle once more, post-upgrade
+    for (int t = 0; t < 3; ++t) {
+        for (std::size_t i = 0; i < ids.size(); ++i) srcs[i].fill(live.pool().inputs(ids[i]));
+        live.tick();
+    }
+
+    // Native engine on v2 with a different slot history; restore each
+    // upgraded snapshot into it (same version — no migration this time).
+    runtime::EngineConfig ncfg;
+    ncfg.capacity = 8;
+    ncfg.executable = native_exec;
+    runtime::Engine restored(sys_new, v2, ncfg);
+    const auto scratch = restored.create(4);
+    for (const auto id : scratch) restored.destroy(id);
+    std::vector<runtime::InstanceId> rids = restored.create(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        restored.pool().restore_state(rids[i], live.pool().snapshot_state(ids[i]));
+
+    // Identical continuations, instance by instance, bit for bit.
+    std::vector<runtime::LcgInputSource> srcs2 = srcs;
+    for (int t = 0; t < 5; ++t) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            srcs[i].fill(live.pool().inputs(ids[i]));
+            srcs2[i].fill(restored.pool().inputs(rids[i]));
+        }
+        live.tick();
+        restored.tick();
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const auto lo = live.pool().outputs(ids[i]);
+            const auto ro = restored.pool().outputs(rids[i]);
+            ASSERT_EQ(lo.size(), ro.size());
+            for (std::size_t k = 0; k < lo.size(); ++k)
+                ASSERT_EQ(bits_of(lo[k]), bits_of(ro[k])) << "t=" << t << " i=" << i;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Serving: UPGRADE_MODEL end to end
 

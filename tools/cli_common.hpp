@@ -26,7 +26,7 @@ namespace sbd::cli {
 
 /// One released artifact, one version: every tool reports this via
 /// --version as "<tool> <version>".
-inline constexpr const char* kVersion = "0.10.0";
+inline constexpr const char* kVersion = "0.11.0";
 
 // Exit-code contract shared by every tool (tools use the subset that
 // applies to them; no tool assigns a different meaning to these values).
@@ -41,6 +41,7 @@ inline constexpr int kExitDeadline = 7; ///< wall-clock deadline exceeded
 inline constexpr int kExitProtocol = 8; ///< coded wire-protocol error (serve)
 inline constexpr int kExitNative = 9;   ///< native backend unavailable/failed
 inline constexpr int kExitUpgrade = 10; ///< model upgrade rejected (diff/migration)
+inline constexpr int kExitDurable = 11; ///< durable store unusable (journal/recovery)
 
 /// Flag-table argument parser. Flags are registered against variables; the
 /// table then drives both parsing and the usage text, so the two cannot

@@ -23,23 +23,44 @@
 // The daemon runs until SIGINT/SIGTERM or a protocol SHUTDOWN, then drains
 // and exits 0.
 //
+// With --data-dir the service is crash-safe: every mutation (CREATE /
+// DESTROY / POST_INPUTS / TICK / UPGRADE_MODEL) is appended to a
+// checksummed write-ahead journal before it is applied, and periodic
+// durable checkpoints bound replay. On startup the newest valid checkpoint
+// is restored and the journal tail replayed, rebuilding the exact acked
+// state bit-for-bit — --fsync picks the durability/latency trade-off.
+//
+//   sbd-serve --listen tcp:127.0.0.1:7070 --shards 4 model.sbd
+//   sbd-serve --listen unix:/tmp/sbd.sock --tenant-max-instances 64 model.sbd
+//   sbd-serve --listen tcp:127.0.0.1:0 --endpoint-file ep.txt model.sbd &
+//   sbd-serve --data-dir /var/lib/sbd --fsync always model.sbd
+//   sbd-serve --data-dir /var/lib/sbd --recover-verify model.sbd
+//   sbd-serve --journal-dump /var/lib/sbd/journal
+//
+// The daemon runs until SIGINT/SIGTERM or a protocol SHUTDOWN, then drains
+// and exits 0.
+//
 // Exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 compile (cycle)
 //             rejection, 5 deep-analysis rejection (a provably broken
 //             model: SBD022 guaranteed division by zero or SBD024
 //             always-NaN/infinite output), 6 budget exhausted, 7 deadline
 //             exceeded (compile-time; serving-time rejections are coded
 //             protocol errors the *client* maps to exit 8), 9 native
-//             backend unavailable or failed.
+//             backend unavailable or failed, 11 durable store unusable
+//             (journal unwritable at boot or recovery failed).
 
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "analysis/absint.hpp"
 #include "cli_common.hpp"
 #include "core/pipeline.hpp"
+#include "durable/durable.hpp"
 #include "native/native.hpp"
 #include "sbd/text_format.hpp"
 #include "serve/server.hpp"
@@ -67,6 +88,57 @@ void install_signal_drain() {
     }).detach();
 }
 
+/// --journal-dump: human-readable listing of a journal directory (or one
+/// segment file). Decodes what it can; the listing itself never mutates
+/// the store. Returns a process exit code.
+int journal_dump(const std::string& path) {
+    try {
+        const durable::ScanResult scan = durable::Journal::scan(path);
+        for (const durable::Record& rec : scan.records) {
+            std::printf("seq=%llu kind=%s len=%zu",
+                        static_cast<unsigned long long>(rec.seq), to_string(rec.kind),
+                        rec.payload.size());
+            try {
+                serve::PayloadReader r(rec.payload);
+                switch (rec.kind) {
+                case durable::RecordKind::Create:
+                case durable::RecordKind::Destroy:
+                case durable::RecordKind::PostInputs: {
+                    const std::uint64_t tenant = r.u64();
+                    const std::uint32_t count = r.u32();
+                    std::printf(" tenant=%llu count=%u",
+                                static_cast<unsigned long long>(tenant), count);
+                    break;
+                }
+                case durable::RecordKind::Tick:
+                    break;
+                case durable::RecordKind::Upgrade: {
+                    const std::uint32_t flags = r.u32();
+                    const std::string source = r.str();
+                    std::printf(" flags=%u source_bytes=%zu", flags, source.size());
+                    break;
+                }
+                }
+            } catch (const serve::ServeError&) {
+                std::printf(" (payload not decodable)");
+            }
+            std::printf("\n");
+        }
+        std::printf("journal-dump: %zu record(s), %zu segment(s), last_seq=%llu",
+                    scan.records.size(), scan.segments,
+                    static_cast<unsigned long long>(scan.last_seq));
+        if (scan.torn)
+            std::printf(", torn tail (%llu byte(s) ignored, %zu later segment(s) skipped)",
+                        static_cast<unsigned long long>(scan.torn_bytes),
+                        scan.dropped_segments);
+        std::printf("\n");
+        return cli::kExitOk;
+    } catch (const durable::DurableError& e) {
+        std::fprintf(stderr, "sbd-serve: %s\n", e.what());
+        return cli::kExitDurable;
+    }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -82,6 +154,11 @@ int main(int argc, char** argv) {
     std::string backend_name = "interp";
     std::string cache_dir;
     bool live_upgrade = true;
+    std::string data_dir;
+    std::uint64_t checkpoint_every_ticks = 1024;
+    std::string fsync_name = "batch";
+    bool recover_verify = false;
+    std::string journal_dump_path;
     cli::ObsOptions obs_opts;
     cli::ResilienceOptions res_opts;
 
@@ -121,13 +198,45 @@ int main(int argc, char** argv) {
                 "reject UPGRADE_MODEL requests (coded UPGRADE_REJECTED)\n"
                 "                 instead of hot-swapping model versions",
                 &live_upgrade, false);
+    parser.flag("--data-dir", "D",
+                "durable store root: write-ahead journal + checkpoints;\n"
+                "                 on startup the acked state is recovered bit-for-bit",
+                &data_dir);
+    parser.flag("--checkpoint-every-ticks", "N",
+                "durable checkpoint cadence in server instants; 0 disables\n"
+                "                 checkpoints (journal-only)        (default 1024)",
+                &checkpoint_every_ticks);
+    parser.flag("--fsync", "M",
+                "always | batch | off — journal durability: always syncs\n"
+                "                 before every ack, batch syncs in the background,\n"
+                "                 off leaves it to the OS            (default batch)",
+                &fsync_name);
+    parser.flag("--recover-verify",
+                "recover from --data-dir, print what was rebuilt, then exit\n"
+                "                 without serving (for crash-soak verification)",
+                &recover_verify);
+    parser.flag("--journal-dump", "PATH",
+                "print the records in a journal directory (or one .sbdj\n"
+                "                 segment) and exit; no model is loaded",
+                &journal_dump_path);
     cli::add_obs_flags(parser, &obs_opts);
     cli::add_resilience_flags(parser, &res_opts, /*sat_flags=*/true);
     if (const auto code = parser.parse(argc, argv)) return *code;
     if (const auto code = cli::arm_fault_plan("sbd-serve", res_opts)) return *code;
 
+    if (!journal_dump_path.empty()) return journal_dump(journal_dump_path);
+
     if (parser.positionals().size() != 1 || shards == 0 || capacity == 0)
         return parser.usage(stderr), cli::kExitUsage;
+    const auto fsync_mode = durable::parse_fsync_mode(fsync_name);
+    if (!fsync_mode) {
+        std::fprintf(stderr, "sbd-serve: unknown --fsync mode '%s'\n", fsync_name.c_str());
+        return cli::kExitUsage;
+    }
+    if (recover_verify && data_dir.empty()) {
+        std::fprintf(stderr, "sbd-serve: --recover-verify requires --data-dir\n");
+        return cli::kExitUsage;
+    }
     const std::string input_path = parser.positionals().front();
     const auto method = cli::parse_method(method_name);
     if (!method) {
@@ -205,6 +314,20 @@ int main(int argc, char** argv) {
         cfg.tick_deadline_ms = tick_deadline_ms;
         cfg.tenant_max_instances = tenant_max;
         cfg.metrics = &registry;
+        if (!data_dir.empty()) {
+            // The boot source text rides along so recovery can tell whether
+            // a checkpoint (or journaled upgrade) refers to a different
+            // model version that must be recompiled first.
+            std::ifstream in(input_path, std::ios::binary);
+            std::ostringstream src;
+            src << in.rdbuf();
+            cfg.model_source = std::move(src).str();
+            durable::Options dopts;
+            dopts.data_dir = data_dir;
+            dopts.fsync = *fsync_mode;
+            dopts.checkpoint_every_ticks = checkpoint_every_ticks;
+            cfg.durable = std::move(dopts);
+        }
         if (live_upgrade) {
             // New versions must compile exactly like the boot version
             // (same method/options, same profile cache, same backend), or
@@ -224,6 +347,24 @@ int main(int argc, char** argv) {
             cfg.upgrade = std::move(uctx);
         }
         serve::Server server(sys, file.root, cfg);
+
+        if (!data_dir.empty()) {
+            const serve::RecoveryStats rs = server.recover();
+            if (rs.recovered || recover_verify)
+                std::printf("sbd-serve: recovered ticks=%llu version=%llu live=%llu "
+                            "replayed_records=%llu replayed_ticks=%llu checkpoint_seq=%llu "
+                            "fallbacks=%llu aborted=%d recovery_ms=%.3f\n",
+                            static_cast<unsigned long long>(rs.recovered_ticks),
+                            static_cast<unsigned long long>(rs.recovered_version),
+                            static_cast<unsigned long long>(rs.live_instances),
+                            static_cast<unsigned long long>(rs.replayed_records),
+                            static_cast<unsigned long long>(rs.replayed_ticks),
+                            static_cast<unsigned long long>(rs.checkpoint_seq),
+                            static_cast<unsigned long long>(rs.checkpoint_fallbacks),
+                            rs.replay_aborted ? 1 : 0,
+                            static_cast<double>(rs.recovery_ns) / 1e6);
+            if (recover_verify) return finish(cli::kExitOk);
+        }
 
         const std::string bound = server.endpoint().to_string();
         if (!endpoint_file.empty()) {
@@ -252,6 +393,9 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(st.shed),
                     static_cast<unsigned long long>(st.errors));
         return finish(cli::kExitOk);
+    } catch (const durable::DurableError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return finish(cli::kExitDurable);
     } catch (const codegen::SdgCycleError& e) {
         std::fprintf(stderr, "rejected: %s\n", e.what());
         return finish(cli::kExitCycle);
